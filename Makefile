@@ -1,0 +1,27 @@
+# Convenience targets for the PATA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick report lint-corpus clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.3 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro eval all --markdown evaluation-report.md
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results __pycache__
+	find . -name "*.pyc" -delete

@@ -1,0 +1,177 @@
+"""Component micro-benchmarks + ablations of DESIGN.md's design choices.
+
+Not a paper table: these measure the throughput of the pieces the paper
+argues about — alias-graph updates (trail vs the naive copy the paper
+describes), the SMT-lite solver, path exploration — and the effect of
+the two engine knobs (callee-exit merging, path validation).
+"""
+
+import random
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.alias import AliasGraph, Trail
+from repro.ir import INT, PointerType, Var
+from repro.lang import compile_source
+from repro.smt import App, Atom, Num, Sym, solve
+
+P = PointerType(INT)
+_VARS = [Var(f"v{i}", P, source_name=f"v{i}") for i in range(24)]
+
+
+def _random_ops(n, seed=7):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        kind = rng.choice(["move", "store", "load", "gep"])
+        a, b = rng.sample(_VARS, 2)
+        ops.append((kind, a, b, rng.choice(["f", "g", "next"])))
+    return ops
+
+
+def test_alias_graph_update_throughput(benchmark):
+    ops = _random_ops(2000)
+
+    def run():
+        trail = Trail()
+        graph = AliasGraph(trail)
+        for kind, a, b, fieldname in ops:
+            if kind == "move":
+                graph.handle_move(a, b)
+            elif kind == "store":
+                graph.handle_store(a, b)
+            elif kind == "load":
+                graph.handle_load(a, b)
+            else:
+                graph.handle_gep(a, b, fieldname)
+        return graph
+
+    benchmark(run)
+
+
+def test_alias_graph_trail_undo_throughput(benchmark):
+    """The paper's Fig. 7 copies the graph at every branch; the trail
+    makes fork+backtrack O(changes).  This measures a fork-heavy load:
+    1000 branch points of 10 operations each."""
+    ops = _random_ops(10)
+
+    def run():
+        trail = Trail()
+        graph = AliasGraph(trail)
+        for _ in range(1000):
+            mark = trail.mark()
+            for kind, a, b, fieldname in ops:
+                if kind == "move":
+                    graph.handle_move(a, b)
+                elif kind == "store":
+                    graph.handle_store(a, b)
+                elif kind == "load":
+                    graph.handle_load(a, b)
+                else:
+                    graph.handle_gep(a, b, fieldname)
+            trail.undo_to(mark)
+
+    benchmark(run)
+
+
+def test_solver_throughput_on_path_shaped_systems(benchmark):
+    """Conjunctions shaped like translated paths: equality chains +
+    branch facts + a few disequalities."""
+    systems = []
+    rng = random.Random(3)
+    for s in range(50):
+        atoms = []
+        for i in range(1, 10):
+            atoms.append(Atom("eq", Sym(s * 100 + i), App("add", (Sym(s * 100 + i - 1), Num(1)))))
+        atoms.append(Atom("eq", Sym(s * 100), Num(rng.randint(-5, 5))))
+        atoms.append(Atom("lt", Sym(s * 100 + 3), Num(100)))
+        atoms.append(Atom("ne", Sym(s * 100 + 5), Num(-99)))
+        systems.append(atoms)
+
+    def run():
+        return [solve(atoms).result for atoms in systems]
+
+    results = benchmark(run)
+    assert all(r.value in ("sat", "unsat") for r in results)
+
+
+# The callee has four internal branches (16 paths) but a single
+# externally visible outcome, so exit merging collapses every call site
+# to one continuation; six such calls would otherwise chain into 16^6
+# continuations.
+_EXPLOSION_SOURCE = (
+    "static int leaf(int a) {\n"
+    "    int r = 0;\n"
+    "    if (a > 1) r = r + 1;\n"
+    "    if (a > 2) r = r + 1;\n"
+    "    if (a > 3) r = r + 1;\n"
+    "    if (a > 4) r = r + 1;\n"
+    "    return 7;\n"
+    "}\n"
+    "int top(int a) {\n"
+    + "\n".join(f"    int r{i} = leaf(a + {i});" for i in range(6))
+    + "\n    return a;\n}"
+)
+
+
+def test_ablation_callee_exit_merging(benchmark):
+    """DESIGN.md §6: return merging ('combines the information of its
+    code paths', §4 P2) — with the digest merge on vs off."""
+    compile_source(_EXPLOSION_SOURCE)  # fail fast on syntax issues
+
+    def run(merge):
+        config = AnalysisConfig(
+            merge_callee_exits=merge,
+            max_paths_per_entry=3000,
+            max_steps_per_entry=2_000_000,
+        )
+        return PATA(config=config).analyze_sources([("x.c", _EXPLOSION_SOURCE)])
+
+    merged = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    unmerged = run(False)
+    assert merged.stats.explored_paths <= 16
+    assert (
+        unmerged.stats.explored_paths > 50 * merged.stats.explored_paths
+        or unmerged.stats.budget_exhausted_entries == 1
+    )
+
+
+def test_ablation_validation_cost_and_value(benchmark, harness):
+    """Stage 2 costs time and removes false bugs (Table 5's 'dropped
+    false bugs' row): compare found counts with validation on and off
+    on a program built from every dischargeable bait pattern plus a few
+    real bugs."""
+    import random as _random
+
+    from repro.corpus.patterns import BAIT_PATTERNS, BUG_PATTERNS, COMMON_DECLS
+    from repro.lang import compile_program
+
+    rng = _random.Random(5)
+    pieces = [COMMON_DECLS]
+    for index, fn in enumerate(BAIT_PATTERNS + BUG_PATTERNS["NPD"][:2]):
+        pieces.append("\n".join(fn(f"abl{index}", rng).lines))
+    program = compile_program([("ablation.c", "\n".join(pieces))])
+
+    def run(validate):
+        config = AnalysisConfig(validate_paths=validate)
+        return PATA(config=config).analyze(program)
+
+    with_validation = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    without = run(False)
+    assert len(without.reports) > len(with_validation.reports)
+    assert with_validation.stats.dropped_false_bugs > 0
+
+
+def test_frontend_compile_throughput(benchmark, harness):
+    from repro.corpus import TENCENTOS, generate
+
+    corpus = generate(TENCENTOS.scaled(min(1.0, harness.scale)))
+
+    def run():
+        from repro.lang import compile_program
+
+        return compile_program(corpus.compiled_sources())
+
+    program = benchmark(run)
+    assert sum(1 for _ in program.functions()) > 10

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §5 for the index).  The rendered tables are also written
+to ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from them.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the corpora; the full scale
+matches the numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.evaluation import EvaluationHarness
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """One harness per session: corpora and PATA runs are cached across
+    benchmark modules, so each table only pays for what it adds."""
+    return EvaluationHarness(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir, name, text):
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Writing a new typestate checker: use-after-free in ~60 lines.
+
+The paper claims each checker takes "just 100-200 lines of code" (§5.1,
+§5.5) because PATA's framework handles alias tracking, path exploration
+and validation.  This example defines FSM_UAF — S0 → free → SF → use →
+SUAF — wires it into the engine, and runs it on a demo driver with a
+use-after-free reachable only through an alias.
+
+Run:  python examples/custom_checker.py
+"""
+
+from repro import PATA, AnalysisConfig
+from repro.core import BugFilter, InformationCollector, PathExplorer
+from repro.core.report import BugReport
+from repro.lang import compile_program
+from repro.typestate import (
+    BugKind,
+    Checker,
+    DerefEvent,
+    FreeEvent,
+    PossibleBug,
+    TrackerContext,
+    make_fsm,
+)
+
+UAF_FSM = make_fsm(
+    "FSM_UAF",
+    initial="S0",
+    error="SUAF",
+    transitions={
+        ("S0", "free"): "SF",
+        ("SF", "use"): "SUAF",
+        ("SF", "realloc"): "S0",
+        ("SUAF", "realloc"): "S0",
+    },
+)
+
+
+class UseAfterFreeChecker(Checker):
+    """States per alias set: S0 (live), SF (freed), SUAF (bug)."""
+
+    name = "uaf"
+    kind = BugKind.NPD  # reuse an existing category for report plumbing
+    fsm = UAF_FSM
+
+    def handle(self, event, ctx: TrackerContext) -> None:
+        if isinstance(event, FreeEvent):
+            ctx.set(self.name, event.ptr, ("SF", event.inst))
+        elif isinstance(event, DerefEvent):
+            state = ctx.get(self.name, event.ptr)
+            if state is not None and state[0] == "SF":
+                ctx.report(
+                    PossibleBug(
+                        kind=self.kind,
+                        checker=self.name,
+                        subject=event.ptr.display_name(),
+                        source=state[1],
+                        sink=event.inst,
+                        message=(
+                            f"'{event.ptr.display_name()}' used after being freed "
+                            f"at {state[1].loc}"
+                        ),
+                        alias_set=ctx.alias_names(event.ptr),
+                    )
+                )
+                ctx.set(self.name, event.ptr, ("S0", None))
+
+
+DEMO_SOURCE = r"""
+struct req { int opcode; int len; };
+
+static void finish(struct req *r) {
+    kfree(r);
+}
+
+int submit(struct req *r, int retry) {
+    struct req *saved = r;
+    finish(r);
+    if (retry) {
+        int op = saved->opcode;   /* use-after-free via the alias */
+        return op;
+    }
+    return 0;
+}
+struct req_ops { int (*submit)(struct req *r, int retry); };
+static struct req_ops ops = { .submit = submit };
+"""
+
+
+def main() -> None:
+    program = compile_program([("drivers/req.c", DEMO_SOURCE)])
+    collector = InformationCollector(program)
+    config = AnalysisConfig()
+    explorer = PathExplorer(program, config, [UseAfterFreeChecker()])
+    for entry in collector.entry_functions():
+        explorer.explore(entry)
+    filtered = BugFilter().run(explorer.possible_bugs)
+    print(f"use-after-free checker: {len(filtered.reports)} bug(s)\n")
+    for report in filtered.reports:
+        print(report.render())
+        print()
+    assert any(r.checker == "uaf" for r in filtered.reports)
+    print("note: the bug is found through the alias set "
+          f"{filtered.reports[0].alias_set} — 'saved' was never freed "
+          "directly, 'finish' freed its parameter.")
+
+
+if __name__ == "__main__":
+    main()

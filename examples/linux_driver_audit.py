@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Audit a generated Linux-profile corpus with all six checkers and score
+the results against the corpus' exact ground truth.
+
+This is the §5.1 + §5.5 experience in miniature: generate an OS tree,
+compile it with the mini-C frontend, run PATA with the NPD/UVA/ML
+checkers plus the double-lock / array-underflow / division-by-zero
+checkers, then report precision, recall, and the Fig. 11 distribution.
+
+Run:  python examples/linux_driver_audit.py [scale]
+"""
+
+import sys
+import time
+
+from repro import PATA
+from repro.corpus import LINUX, generate, match_findings, reachable_truth
+from repro.lang import compile_program
+from repro.typestate import BugKind
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    profile = LINUX.scaled(scale)
+
+    print(f"Generating {profile.name}-{profile.version_label} corpus (scale {scale}) ...")
+    corpus = generate(profile)
+    print(f"  {len(corpus.files)} files, {corpus.total_lines():,} LOC, "
+          f"{len(corpus.ground_truth)} injected bugs, "
+          f"{len(corpus.bait_regions)} bait regions")
+
+    print("Compiling config-enabled files ...")
+    program = compile_program(corpus.compiled_sources())
+
+    print("Running PATA with all six checkers ...")
+    started = time.monotonic()
+    result = PATA.with_all_checkers().analyze(program)
+    elapsed = time.monotonic() - started
+
+    findings = [(r.kind, r.sink_file, r.sink_line) for r in result.reports]
+    match = match_findings(findings, corpus)
+    truth = reachable_truth(corpus, list(BugKind))
+
+    print(f"\n  analysis time        {elapsed:.1f}s "
+          f"({result.stats.explored_paths:,} paths, "
+          f"{result.stats.executed_steps:,} instruction steps)")
+    print(f"  typestates           {result.stats.typestates_aware:,} alias-aware "
+          f"vs {result.stats.typestates_unaware:,} per-variable")
+    print(f"  SMT constraints      {result.stats.smt_constraints_aware:,} alias-aware "
+          f"vs {result.stats.smt_constraints_unaware:,} per-variable")
+    print(f"  dropped as repeated  {result.stats.dropped_repeated_bugs}")
+    print(f"  dropped as infeasible {result.stats.dropped_false_bugs}")
+    print(f"\n  found bugs           {match.found}")
+    print(f"  real bugs            {match.real} / {len(truth)} reachable "
+          f"(recall {match.real / max(1, len(truth)):.0%})")
+    print(f"  false positives      {match.false_positives} "
+          f"(FP rate {match.false_positive_rate:.0%})")
+
+    print("\n  by kind:")
+    for kind in BugKind:
+        found = match.found_by_kind.get(kind, 0)
+        real = match.real_by_kind.get(kind, 0)
+        if found:
+            print(f"    {kind.short:4s} found {found:3d}  real {real:3d}")
+
+    print("\n  real bugs by OS part (cf. Fig. 11):")
+    total_real = sum(match.real_by_category.values()) or 1
+    for category, count in sorted(match.real_by_category.items(), key=lambda kv: -kv[1]):
+        print(f"    {category:12s} {count:3d}  ({count / total_real:.0%})")
+
+    print("\n  sample reports:")
+    for report in result.reports[:3]:
+        print()
+        for line in report.render().splitlines():
+            print(f"    {line}")
+
+    print("\nDynamically confirming the real reports in the interpreter ...")
+    from repro.interp import DynamicConfirmer
+
+    real_reports = [
+        r for r in result.reports
+        if any(g.covers(r.kind, r.sink_file, r.sink_line) for g in corpus.ground_truth)
+    ]
+    confirmer = DynamicConfirmer(program, max_runs=60)
+    confirmed = [c for c in confirmer.confirm_all(real_reports) if c.confirmed]
+    print(f"  {len(confirmed)}/{len(real_reports)} real reports reproduced at runtime")
+    if confirmed:
+        sample = confirmed[0]
+        print(f"  e.g. {sample.report.kind.value} at {sample.report.location} "
+              f"with {sample.witness}")
+
+
+if __name__ == "__main__":
+    main()

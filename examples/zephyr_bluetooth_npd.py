@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's motivating example (§2.1, Fig. 3): the Zephyr Bluetooth
+mesh null-pointer dereference that hid for three years.
+
+``friend_set`` checks ``cfg = model->user_data`` against NULL and jumps
+to error handling — which calls ``send_friend_status(model)``.  The
+callee re-loads the *same field* into its own ``cfg`` and dereferences
+it.  Finding this requires:
+
+1. path-based aliasing — on the error path, both ``cfg`` variables and
+   ``model->user_data`` are one alias set;
+2. inter-procedural typestate tracking — the NULL fact crosses the call;
+3. an entry point with no caller — ``friend_set`` is registered through
+   a function-pointer struct, so points-to analysis sees nothing.
+
+The script runs full PATA and the PATA-NA ablation side by side, and
+prints the alias set from the report — compare with Fig. 7 of the paper.
+
+Run:  python examples/zephyr_bluetooth_npd.py
+"""
+
+from repro import PATA, AnalysisConfig
+
+ZEPHYR_SOURCE = r"""
+struct bt_mesh_cfg_srv { int frnd; int relay; int beacon; };
+struct bt_mesh_model { struct bt_mesh_cfg_srv *user_data; int id; };
+
+static void send_friend_status(struct bt_mesh_model *model) {
+    struct bt_mesh_cfg_srv *cfg = model->user_data;
+    int frnd_state = cfg->frnd;            /* unsafe dereference */
+    emit_status(frnd_state);
+}
+
+static void friend_set(struct bt_mesh_model *model) {
+    struct bt_mesh_cfg_srv *cfg = model->user_data;
+    if (!cfg) {
+        log_warn();
+        goto send_status;                    /* error handling ... */
+    }
+    cfg->relay = 1;
+send_status:
+    send_friend_status(model);               /* ... still dereferences */
+}
+
+struct bt_mesh_model_op { void (*set)(struct bt_mesh_model *model); };
+static struct bt_mesh_model_op friend_op = { .set = friend_set };
+"""
+
+
+def main() -> None:
+    sources = [("subsys/bluetooth/cfg_srv.c", ZEPHYR_SOURCE)]
+
+    print("=== PATA (path-sensitive + alias-aware) ===")
+    result = PATA().analyze_sources(sources)
+    for report in result.reports:
+        print(report.render())
+    assert result.reports, "PATA must find the Fig. 3 bug"
+
+    print("\n=== PATA-NA (no alias relationships, Table 6 ablation) ===")
+    na_result = PATA(config=AnalysisConfig().for_pata_na()).analyze_sources(sources)
+    if na_result.reports:
+        for report in na_result.reports:
+            print(report.render())
+    else:
+        print("no bugs found — the NULL fact cannot cross the field alias, "
+              "exactly the paper's point")
+
+    print("\nAlias set carried by PATA's report (cf. Fig. 7):")
+    print(" ", ", ".join(result.reports[0].alias_set))
+
+
+if __name__ == "__main__":
+    main()

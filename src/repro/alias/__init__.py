@@ -1,0 +1,10 @@
+"""Path-based alias analysis (§3.1): alias graphs, update rules, drivers."""
+
+from .trail import Trail
+from .graph import DEREF, AliasGraph, AliasNode
+from .analysis import PathAliasAnalysis, PathAliasResult, apply_instruction
+
+__all__ = [
+    "Trail", "DEREF", "AliasGraph", "AliasNode",
+    "PathAliasAnalysis", "PathAliasResult", "apply_instruction",
+]

@@ -1,0 +1,38 @@
+"""Undo trail for depth-first path exploration.
+
+PATA copies the alias graph at each branch (Fig. 7 "COPY").  Copying a
+whole graph per branch is O(graph) at every fork; this implementation
+instead records inverse operations on a trail and rewinds on backtrack,
+which is O(changes) — the standard trick from Prolog/SAT engines.  The
+result is observationally identical to the paper's copy semantics: each
+control-flow path sees its own alias-graph history.
+
+The same trail is shared by the typestate manager so alias state and
+checker state rewind together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class Trail:
+    """A stack of undo thunks with positional marks."""
+
+    __slots__ = ("_undo",)
+
+    def __init__(self) -> None:
+        self._undo: List[Callable[[], None]] = []
+
+    def push(self, undo: Callable[[], None]) -> None:
+        self._undo.append(undo)
+
+    def mark(self) -> int:
+        return len(self._undo)
+
+    def undo_to(self, mark: int) -> None:
+        while len(self._undo) > mark:
+            self._undo.pop()()
+
+    def __len__(self) -> int:
+        return len(self._undo)

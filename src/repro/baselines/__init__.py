@@ -1,0 +1,31 @@
+"""Re-implementations of the seven compared tools' analysis regimes (§6)
+plus the PATA-NA ablation (§5.4)."""
+
+from .base import BaselineTool, ToolFinding, ToolResult
+from .cppcheck_like import CppcheckLike
+from .coccinelle_like import CoccinelleLike
+from .smatch_like import SmatchLike
+from .csa_like import CSALike
+from .infer_like import InferLike
+from .saber_like import DEFAULT_PTS_BUDGET, SaberLike
+from .svf_null import SVFNull
+from .pata_na import PataNA
+
+__all__ = [
+    "BaselineTool", "ToolFinding", "ToolResult",
+    "CppcheckLike", "CoccinelleLike", "SmatchLike", "CSALike", "InferLike",
+    "SaberLike", "SVFNull", "PataNA", "DEFAULT_PTS_BUDGET",
+]
+
+
+def all_baselines():
+    """The seven compared tools in Table 8's column order."""
+    return [
+        CppcheckLike(),
+        CoccinelleLike(),
+        SmatchLike(),
+        CSALike(),
+        InferLike(),
+        SaberLike(),
+        SVFNull(),
+    ]

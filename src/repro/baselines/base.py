@@ -1,0 +1,71 @@
+"""Common surface of the compared static tools (§6).
+
+Each baseline reproduces the *analysis regime* of one published tool —
+path sensitivity, aliasing approach, inter-procedurality — over the same
+IR substrate as PATA, so Table 8's comparison is apples-to-apples on our
+corpora.  A baseline returns :class:`ToolResult`; the ``status`` field
+can be ``"oom"`` (Saber/SVF on the Linux-profile corpus) or
+``"compile_error"`` (tools whose build integration fails on some OS, as
+the paper reports for Smatch/CSA/Infer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir import Program
+from ..typestate import BugKind
+
+
+@dataclass
+class ToolFinding:
+    kind: BugKind
+    file: str
+    line: int
+    message: str
+    function: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class ToolResult:
+    tool: str
+    findings: List[ToolFinding] = field(default_factory=list)
+    time_seconds: float = 0.0
+    status: str = "ok"  # "ok" | "oom" | "compile_error" | "unsupported"
+
+    def by_kind(self, kind: BugKind) -> List[ToolFinding]:
+        return [f for f in self.findings if f.kind is kind]
+
+
+class BaselineTool:
+    """Base class: implement :meth:`_run`; timing and status handling are
+    shared."""
+
+    name = "tool"
+    #: bug kinds this tool can detect at all
+    supported_kinds = (BugKind.NPD, BugKind.UVA, BugKind.ML)
+
+    def analyze(self, program: Program) -> ToolResult:
+        started = time.monotonic()
+        result = ToolResult(tool=self.name)
+        try:
+            result.findings = self._run(program)
+        except MemoryError:
+            result.status = "oom"
+        except _OOMSignal:
+            result.status = "oom"
+        result.time_seconds = time.monotonic() - started
+        return result
+
+    def _run(self, program: Program) -> List[ToolFinding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _OOMSignal(Exception):
+    """Raised internally when a tool's memory budget model trips."""

@@ -1,0 +1,56 @@
+"""Coccinelle-regime baseline: purely syntactic semantic-patch matching,
+NPD patterns only (§6 — "we just use its existing semantic patches to
+detect null-pointer dereferences").
+
+The patch reproduced here is the classic ``if (!p) { ... *p ... }``
+pattern: a dereference *exclusively inside* the null-taken region of a
+test.  Very low false-positive rate, very low recall — no dataflow, no
+inter-procedural reasoning, no reassignment awareness beyond the region
+exclusivity test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir import Function, Program
+from ..typestate import BugKind
+from .base import BaselineTool, ToolFinding
+from .cppcheck_like import blocks_reachable_from, deref_sites, null_tests
+
+
+class CoccinelleLike(BaselineTool):
+    """The Coccinelle regime; see the module docstring."""
+
+    name = "coccinelle-like"
+    supported_kinds = (BugKind.NPD,)
+
+    def _run(self, program: Program) -> List[ToolFinding]:
+        findings: List[ToolFinding] = []
+        for func in program.functions():
+            findings.extend(self._match_function(func))
+        return findings
+
+    def _match_function(self, func: Function) -> List[ToolFinding]:
+        findings = []
+        seen: Set[int] = set()
+        for ptr_name, null_block, nonnull_block in null_tests(func):
+            null_region = blocks_reachable_from(null_block)
+            nonnull_region = blocks_reachable_from(nonnull_block)
+            exclusive = null_region - nonnull_region
+            for deref_name, inst, block in deref_sites(func):
+                if deref_name != ptr_name or block.uid not in exclusive:
+                    continue
+                if inst.uid in seen:
+                    continue
+                seen.add(inst.uid)
+                findings.append(
+                    ToolFinding(
+                        BugKind.NPD,
+                        inst.loc.filename,
+                        inst.loc.line,
+                        f"'{ptr_name}' dereferenced inside its NULL branch",
+                        func.name,
+                    )
+                )
+        return findings

@@ -1,0 +1,222 @@
+"""Cppcheck-regime baseline: intra-procedural, path-insensitive pattern
+checks, no aliasing, no path validation (§6).
+
+Like the real tool it "checks source files without code compilation" —
+the evaluation harness therefore hands it *every* corpus file, including
+ones excluded from PATA's compilation configuration; that is how Cppcheck
+finds the handful of bugs PATA misses in Table 8 while missing all the
+inter-procedural and alias-dependent ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg import reachable_blocks
+from ..ir import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    DeclLocal,
+    Free,
+    Function,
+    Gep,
+    Load,
+    Malloc,
+    Move,
+    PointerType,
+    Program,
+    Ret,
+    Store,
+    Var,
+    is_null_const,
+)
+from ..typestate import BugKind
+from .base import BaselineTool, ToolFinding
+
+
+def null_tests(func: Function) -> List[Tuple[str, object, object]]:
+    """(pointer name, null-arm block, nonnull-arm block) triples."""
+    cmp_defs: Dict[str, BinOp] = {}
+    tests = []
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, BinOp) and inst.is_comparison:
+                cmp_defs[inst.dst.name] = inst
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.cond, Var):
+            cmp = cmp_defs.get(term.cond.name)
+            if cmp is None:
+                continue
+            lhs, rhs, op = cmp.lhs, cmp.rhs, cmp.op
+            if isinstance(rhs, Var) and not isinstance(lhs, Var):
+                lhs, rhs = rhs, lhs
+            if not isinstance(lhs, Var):
+                continue
+            is_null_cmp = is_null_const(rhs) or (
+                isinstance(lhs.type, PointerType) and getattr(rhs, "value", None) == 0
+            )
+            if not is_null_cmp:
+                continue
+            if op == "eq":
+                tests.append((lhs.name, term.then_block, term.else_block))
+            elif op == "ne":
+                tests.append((lhs.name, term.else_block, term.then_block))
+    return tests
+
+
+def deref_sites(func: Function) -> List[Tuple[str, object, object]]:
+    """(pointer name, instruction, block) for every dereference."""
+    sites = []
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Load):
+                sites.append((inst.ptr.name, inst, block))
+            elif isinstance(inst, Store):
+                sites.append((inst.ptr.name, inst, block))
+            elif isinstance(inst, Gep):
+                sites.append((inst.base.name, inst, block))
+    return sites
+
+
+def blocks_reachable_from(start) -> Set[int]:
+    """Blocks reachable from ``start`` (inclusive), by uid."""
+    seen = {start.uid}
+    work = [start]
+    while work:
+        block = work.pop()
+        for succ in block.successors():
+            if succ.uid not in seen:
+                seen.add(succ.uid)
+                work.append(succ)
+    return seen
+
+
+class CppcheckLike(BaselineTool):
+    """The Cppcheck regime; see the module docstring."""
+
+    name = "cppcheck-like"
+
+    def _run(self, program: Program) -> List[ToolFinding]:
+        findings: List[ToolFinding] = []
+        for func in program.functions():
+            findings.extend(self._check_npd(func))
+            findings.extend(self._check_uva(func))
+            findings.extend(self._check_ml(func))
+        return findings
+
+    def _check_npd(self, func: Function) -> List[ToolFinding]:
+        findings = []
+        seen: Set[Tuple[str, int]] = set()
+        for ptr_name, null_block, _ in null_tests(func):
+            region = blocks_reachable_from(null_block)
+            for deref_name, inst, block in deref_sites(func):
+                if deref_name != ptr_name or block.uid not in region:
+                    continue
+                key = (ptr_name, inst.uid)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    ToolFinding(
+                        BugKind.NPD,
+                        inst.loc.filename,
+                        inst.loc.line,
+                        f"possible null dereference of '{ptr_name}' (checked against NULL)",
+                        func.name,
+                    )
+                )
+        return findings
+
+    def _check_uva(self, func: Function) -> List[ToolFinding]:
+        """Linear-order (block-list order) use-before-def — crude like the
+        real tool's value-flow flags; produces false positives when the
+        initializing path is not textually first."""
+        findings = []
+        defined: Set[str] = set()
+        declared: Dict[str, DeclLocal] = {}
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, DeclLocal):
+                    declared[inst.var.name] = inst
+                elif isinstance(inst, Move):
+                    if isinstance(inst.src, Var) and inst.src.name in declared and inst.src.name not in defined:
+                        findings.append(self._uva_finding(inst, inst.src.name, func))
+                        defined.add(inst.src.name)
+                    defined.add(inst.dst.name)
+                elif isinstance(inst, BinOp):
+                    for operand in (inst.lhs, inst.rhs):
+                        if isinstance(operand, Var) and operand.name in declared and operand.name not in defined:
+                            findings.append(self._uva_finding(inst, operand.name, func))
+                            defined.add(operand.name)
+                    defined.add(inst.dst.name)
+                elif isinstance(inst, Call):
+                    for arg in inst.args:
+                        if isinstance(arg, Var) and arg.name in declared and arg.name not in defined:
+                            findings.append(self._uva_finding(inst, arg.name, func))
+                            defined.add(arg.name)
+                    if inst.dst is not None:
+                        defined.add(inst.dst.name)
+                else:
+                    dst = inst.defined_var()
+                    if dst is not None:
+                        defined.add(dst.name)
+        return findings
+
+    def _uva_finding(self, inst, name: str, func: Function) -> ToolFinding:
+        short = name.split(".")[-1]
+        return ToolFinding(
+            BugKind.UVA,
+            inst.loc.filename,
+            inst.loc.line,
+            f"variable '{short}' may be used uninitialized",
+            func.name,
+        )
+
+    def _check_ml(self, func: Function) -> List[ToolFinding]:
+        # Direct-copy closure per name: Cppcheck's value flow follows plain
+        # assignments (but not memory), so MOVE chains share one fate.
+        copies: Dict[str, Set[str]] = {}
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Move) and isinstance(inst.src, Var):
+                    copies.setdefault(inst.src.name, set()).add(inst.dst.name)
+        findings = []
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, Malloc):
+                    continue
+                names: Set[str] = {inst.dst.name}
+                work = [inst.dst.name]
+                while work:
+                    for succ in copies.get(work.pop(), ()):
+                        if succ not in names:
+                            names.add(succ)
+                            work.append(succ)
+                freed = escaped = False
+                for other_block in func.blocks:
+                    for other in other_block.instructions:
+                        if isinstance(other, Free) and other.ptr.name in names:
+                            freed = True
+                        elif isinstance(other, Store) and isinstance(other.src, Var) and other.src.name in names:
+                            escaped = True
+                        elif isinstance(other, Call):
+                            if any(isinstance(a, Var) and a.name in names for a in other.args):
+                                escaped = True
+                        elif isinstance(other, Move) and isinstance(other.src, Var) and other.src.name in names and other.dst.is_global:
+                            escaped = True
+                    term = other_block.terminator
+                    if isinstance(term, Ret) and isinstance(term.value, Var) and term.value.name in names:
+                        escaped = True
+                if not freed and not escaped:
+                    findings.append(
+                        ToolFinding(
+                            BugKind.ML,
+                            inst.loc.filename,
+                            inst.loc.line,
+                            "allocated memory is never freed in this function",
+                            func.name,
+                        )
+                    )
+        return findings

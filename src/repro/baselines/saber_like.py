@@ -1,0 +1,47 @@
+"""Saber-regime baseline: Andersen points-to → value-flow graph →
+source-sink leak reachability; memory leaks only (§6).
+
+The memory budget models the paper's observation that Saber "consumes too
+much memory when checking [the Linux kernel] and finally aborts" — the
+points-to solver raises once its set-entry budget is exceeded, and the
+tool reports ``status="oom"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir import Program
+from ..pointsto import AndersenPointsTo, MemoryBudgetExceeded
+from ..typestate import BugKind
+from ..vfg import SaberLeakDetector, ValueFlowGraph
+from .base import BaselineTool, ToolFinding, _OOMSignal
+
+#: Default points-to budget: comfortably above the IoT-profile corpora
+#: (~1-5k set entries at scale 1.0), well below the Linux-profile one
+#: (~80k — the shared-pool convergence grows quadratically with module
+#: count; see repro.corpus.patterns.filler_pool).
+DEFAULT_PTS_BUDGET = 30_000
+
+
+class SaberLike(BaselineTool):
+    """The Saber regime; see the module docstring."""
+
+    name = "saber-like"
+    supported_kinds = (BugKind.ML,)
+
+    def __init__(self, max_pts_entries: Optional[int] = DEFAULT_PTS_BUDGET):
+        self.max_pts_entries = max_pts_entries
+
+    def _run(self, program: Program) -> List[ToolFinding]:
+        try:
+            points_to = AndersenPointsTo(program, self.max_pts_entries).solve()
+            vfg = ValueFlowGraph(program, points_to)
+            detector = SaberLeakDetector(program, vfg)
+            leaks = detector.detect()
+        except MemoryBudgetExceeded as exc:
+            raise _OOMSignal(str(exc))
+        return [
+            ToolFinding(BugKind.ML, leak.file, leak.line, leak.message, leak.function)
+            for leak in leaks
+        ]

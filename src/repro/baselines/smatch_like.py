@@ -1,0 +1,233 @@
+"""Smatch-regime baseline: intra-procedural, flow-sensitive dataflow with
+per-variable states, edge refinement at branches, *joins at merge points*
+(path-insensitive), no aliasing, no SMT validation (§6).
+
+The merge-point joins are what separate this from PATA: information from
+one branch leaks into the other after the join, producing both false
+positives (impossible state combinations) and false negatives (lost
+null-on-one-path facts get widened to MAYBE and suppressed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg import predecessors, reverse_postorder
+from ..ir import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    DeclLocal,
+    Free,
+    Function,
+    Gep,
+    Load,
+    Malloc,
+    MemSet,
+    Move,
+    PointerType,
+    Program,
+    Ret,
+    Store,
+    Var,
+    is_null_const,
+)
+from ..typestate import BugKind
+from .base import BaselineTool, ToolFinding
+
+# Null lattice: TOP (unknown) < {NULL, NONNULL} < MAYBE.
+_TOP, _NULL, _NONNULL, _MAYBE = "top", "null", "nonnull", "maybe"
+# Init lattice: TOP < {UNINIT, INIT} < MAYBE_UNINIT.
+_UNINIT, _INIT, _MAYBE_UNINIT = "uninit", "init", "maybe-uninit"
+
+
+def _join(a: str, b: str, maybe: str) -> str:
+    if a == _TOP:
+        return b
+    if b == _TOP or a == b:
+        return a
+    return maybe
+
+
+class SmatchLike(BaselineTool):
+    """The Smatch regime; see the module docstring."""
+
+    name = "smatch-like"
+
+    def _run(self, program: Program) -> List[ToolFinding]:
+        findings: List[ToolFinding] = []
+        for func in program.functions():
+            findings.extend(_FunctionAnalysis(func).run())
+        return findings
+
+
+class _FunctionAnalysis:
+    def __init__(self, func: Function):
+        self.func = func
+        self.findings: List[ToolFinding] = []
+        self._reported: Set[Tuple[str, int]] = set()
+        self._cmp_defs: Dict[str, BinOp] = {}
+
+    def run(self) -> List[ToolFinding]:
+        if self.func.is_declaration:
+            return []
+        order = reverse_postorder(self.func)
+        preds = predecessors(self.func)
+        branch_facts = self._edge_facts()
+        # state per block: (null_states, init_states, live_allocs)
+        in_states: Dict[int, Tuple[dict, dict, frozenset]] = {}
+        out_states: Dict[int, Tuple[dict, dict, frozenset]] = {}
+        for round_no in range(6):
+            changed = False
+            for block in order:
+                null_s: Dict[str, str] = {}
+                init_s: Dict[str, str] = {}
+                allocs: Optional[Set[str]] = None
+                for pred in preds[block]:
+                    pstate = out_states.get(pred.uid)
+                    if pstate is None:
+                        continue
+                    pn, pi, pa = pstate
+                    pn = dict(pn)
+                    fact = branch_facts.get((pred.uid, block.uid))
+                    if fact is not None:
+                        pn[fact[0]] = fact[1]
+                    for name, value in pn.items():
+                        null_s[name] = _join(null_s.get(name, _TOP), value, _MAYBE)
+                    for name, value in pi.items():
+                        init_s[name] = _join(init_s.get(name, _TOP), value, _MAYBE_UNINIT)
+                    allocs = set(pa) if allocs is None else (allocs | set(pa))
+                state = (null_s, init_s, allocs or set())
+                in_states[block.uid] = state
+                out = self._transfer(block, state, report=(round_no == 5))
+                if out_states.get(block.uid) != out:
+                    out_states[block.uid] = out
+                    changed = True
+            if not changed and round_no >= 1:
+                # One extra reporting pass over the fixpoint.
+                for block in order:
+                    self._transfer(block, in_states[block.uid], report=True)
+                return self.findings
+        for block in order:
+            if block.uid in in_states:
+                self._transfer(block, in_states[block.uid], report=True)
+        return self.findings
+
+    def _edge_facts(self) -> Dict[Tuple[int, int], Tuple[str, str]]:
+        """(pred uid, succ uid) -> (var, refined null state)."""
+        facts: Dict[Tuple[int, int], Tuple[str, str]] = {}
+        for block in self.func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, BinOp) and inst.is_comparison:
+                    self._cmp_defs[inst.dst.name] = inst
+            term = block.terminator
+            if not isinstance(term, Branch) or not isinstance(term.cond, Var):
+                continue
+            cmp = self._cmp_defs.get(term.cond.name)
+            if cmp is None:
+                continue
+            lhs, rhs, op = cmp.lhs, cmp.rhs, cmp.op
+            if isinstance(rhs, Var) and not isinstance(lhs, Var):
+                lhs, rhs = rhs, lhs
+            if not isinstance(lhs, Var):
+                continue
+            if not (is_null_const(rhs) or (isinstance(lhs.type, PointerType) and getattr(rhs, "value", None) == 0)):
+                continue
+            if op == "eq":
+                facts[(block.uid, term.then_block.uid)] = (lhs.name, _NULL)
+                facts[(block.uid, term.else_block.uid)] = (lhs.name, _NONNULL)
+            elif op == "ne":
+                facts[(block.uid, term.then_block.uid)] = (lhs.name, _NONNULL)
+                facts[(block.uid, term.else_block.uid)] = (lhs.name, _NULL)
+        return facts
+
+    def _transfer(self, block, state, report: bool):
+        null_s = dict(state[0])
+        init_s = dict(state[1])
+        allocs = set(state[2])
+        for inst in block.instructions:
+            if isinstance(inst, Move):
+                if is_null_const(inst.src):
+                    null_s[inst.dst.name] = _NULL
+                elif isinstance(inst.src, Var):
+                    null_s[inst.dst.name] = null_s.get(inst.src.name, _TOP)
+                    init_s[inst.dst.name] = _INIT
+                    self._check_uva(inst, inst.src, init_s, report)
+                else:
+                    null_s[inst.dst.name] = _NONNULL
+                    init_s[inst.dst.name] = _INIT
+            elif isinstance(inst, (Load, Store, Gep)):
+                ptr = inst.ptr if not isinstance(inst, Gep) else inst.base
+                self._check_npd(inst, ptr.name, null_s, report)
+                dst = inst.defined_var()
+                if dst is not None:
+                    null_s[dst.name] = _TOP
+                    init_s[dst.name] = _INIT
+            elif isinstance(inst, DeclLocal):
+                init_s[inst.var.name] = _UNINIT
+            elif isinstance(inst, BinOp):
+                for operand in (inst.lhs, inst.rhs):
+                    if isinstance(operand, Var):
+                        self._check_uva(inst, operand, init_s, report)
+                init_s[inst.dst.name] = _INIT
+            elif isinstance(inst, Malloc):
+                allocs.add(inst.dst.name)
+                null_s[inst.dst.name] = _MAYBE if inst.may_fail else _NONNULL
+                init_s[inst.dst.name] = _INIT
+            elif isinstance(inst, Alloc):
+                null_s[inst.dst.name] = _NONNULL
+            elif isinstance(inst, Free):
+                allocs.discard(inst.ptr.name)
+            elif isinstance(inst, Call):
+                for arg in inst.args:
+                    if isinstance(arg, Var):
+                        self._check_uva(inst, arg, init_s, report)
+                        allocs.discard(arg.name)  # callee may take ownership
+                if inst.dst is not None:
+                    null_s[inst.dst.name] = _TOP
+                    init_s[inst.dst.name] = _INIT
+            elif isinstance(inst, (Store, MemSet)):
+                pass
+        term = block.terminator
+        if isinstance(term, Ret) and report:
+            returned = term.value.name if isinstance(term.value, Var) else None
+            for name in sorted(allocs):
+                if name == returned:
+                    continue
+                if not self._stored_anywhere(name):
+                    self._report(
+                        BugKind.ML, term,
+                        f"'{name.split('.')[-1]}' allocated but not freed before return",
+                    )
+        if isinstance(term, Ret) and isinstance(term.value, Var) and report:
+            self._check_uva(term, term.value, init_s, report)
+        return (null_s, init_s, frozenset(allocs))
+
+    def _stored_anywhere(self, name: str) -> bool:
+        for block in self.func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Store) and isinstance(inst.src, Var) and inst.src.name == name:
+                    return True
+                if isinstance(inst, Move) and isinstance(inst.src, Var) and inst.src.name == name and inst.dst.is_global:
+                    return True
+        return False
+
+    def _check_npd(self, inst, name: str, null_s: Dict[str, str], report: bool) -> None:
+        if report and null_s.get(name) == _NULL:
+            self._report(BugKind.NPD, inst, f"'{name.split('.')[-1]}' is NULL when dereferenced")
+            null_s[name] = _MAYBE
+
+    def _check_uva(self, inst, var: Var, init_s: Dict[str, str], report: bool) -> None:
+        if report and init_s.get(var.name) in (_UNINIT, _MAYBE_UNINIT):
+            self._report(BugKind.UVA, inst, f"'{var.name.split('.')[-1]}' may be used uninitialized")
+            init_s[var.name] = _INIT
+
+    def _report(self, kind: BugKind, inst, message: str) -> None:
+        key = (message, inst.loc.line)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(
+            ToolFinding(kind, inst.loc.filename, inst.loc.line, message, self.func.name)
+        )

@@ -1,0 +1,21 @@
+"""Control-flow utilities: CFG traversal, dominators, call graph, paths."""
+
+from .graph import (
+    back_edges,
+    block_instructions,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from .dominators import dominates, dominators, immediate_dominators
+from .callgraph import CallGraph, mark_interface_functions
+from .paths import BlockPath, PathStep, count_paths, enumerate_paths
+
+__all__ = [
+    "back_edges", "block_instructions", "predecessors", "reachable_blocks",
+    "reverse_postorder", "successors",
+    "dominates", "dominators", "immediate_dominators",
+    "CallGraph", "mark_interface_functions",
+    "BlockPath", "PathStep", "count_paths", "enumerate_paths",
+]

@@ -1,0 +1,135 @@
+"""Call graph construction and analysis-entry discovery.
+
+PATA starts path exploration at *functions without explicit callers*
+(Fig. 6, AnalyzeCode): module-interface functions registered through
+function-pointer fields (Fig. 1) and any function never called directly.
+This module builds the name-resolved direct call graph over a
+:class:`~repro.ir.Program` and computes those entry points.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Set
+
+from ..ir import Call, Function, Program
+
+
+class CallGraph:
+    """Direct (name-resolved) call graph.  Indirect calls are recorded but
+    deliberately unresolved, mirroring PATA's limitation (§7)."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.callees: Dict[str, Set[str]] = defaultdict(set)
+        self.callers: Dict[str, Set[str]] = defaultdict(set)
+        self.indirect_call_sites: int = 0
+        self._build()
+
+    def _build(self) -> None:
+        for func in self.program.functions():
+            for inst in func.instructions():
+                if isinstance(inst, Call):
+                    self.callees[func.name].add(inst.callee)
+                    self.callers[inst.callee].add(func.name)
+                elif type(inst).__name__ == "CallIndirect":
+                    self.indirect_call_sites += 1
+
+    def callees_of(self, name: str) -> Set[str]:
+        return self.callees.get(name, set())
+
+    def callers_of(self, name: str) -> Set[str]:
+        return self.callers.get(name, set())
+
+    def entry_functions(self) -> List[Function]:
+        """Functions PATA analyzes top-down: interface functions plus any
+        defined function with no direct caller in the program."""
+        entries: List[Function] = []
+        for func in self.program.functions():
+            if func.is_interface or not self.callers.get(func.name):
+                entries.append(func)
+        return entries
+
+    def transitive_callees(self, name: str, limit: int = 10000) -> Set[str]:
+        seen: Set[str] = set()
+        work = [name]
+        while work and len(seen) < limit:
+            current = work.pop()
+            for callee in self.callees.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return seen
+
+    def recursive_functions(self) -> Set[str]:
+        """Functions that participate in a call cycle (incl. self-recursion).
+
+        Tarjan SCC over the direct call graph; any function inside a
+        multi-node SCC, or with a self edge, is recursive.
+        """
+        graph = self.callees
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        result: Set[str] = set()
+
+        def strongconnect(node: str) -> None:
+            work = [(node, iter(sorted(graph.get(node, ()))))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(graph.get(succ, ())))))
+                        advanced = True
+                        break
+                    elif succ in on_stack:
+                        lowlink[current] = min(lowlink[current], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        result.update(component)
+                    elif component and component[0] in graph.get(component[0], ()):
+                        result.add(component[0])
+
+        for node in list(graph):
+            if node not in index:
+                strongconnect(node)
+        return result
+
+
+def mark_interface_functions(program: Program) -> int:
+    """Resolve registrations across modules: ``.probe = fn`` in one file may
+    register a function defined in another.  Returns how many functions are
+    marked as interfaces afterwards."""
+    count = 0
+    for reg in program.registrations():
+        func = program.lookup(reg.function)
+        if func is not None:
+            func.is_interface = True
+    for func in program.functions():
+        if func.is_interface:
+            count += 1
+    return count

@@ -1,0 +1,68 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+Used by the flow-sensitive baselines: a null check *dominating* a use is
+how path-insensitive tools decide a pointer was validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ir import BasicBlock, Function
+from .graph import predecessors, reverse_postorder
+
+
+def immediate_dominators(func: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """idom map; the entry maps to None.  Unreachable blocks are absent."""
+    order = reverse_postorder(func)
+    if not order:
+        return {}
+    index = {block: i for i, block in enumerate(order)}
+    preds = predecessors(func)
+    entry = order[0]
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+    def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+        while b1 is not b2:
+            while index[b1] > index[b2]:
+                b1 = idom[b1]
+            while index[b2] > index[b1]:
+                b2 = idom[b2]
+        return b1
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order[1:]:
+            candidates = [p for p in preds[block] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(other, new_idom)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block, dom in idom.items():
+        result[block] = None if block is entry else dom
+    return result
+
+
+def dominators(func: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Full dominator sets derived from the idom tree (block includes itself)."""
+    idom = immediate_dominators(func)
+    result: Dict[BasicBlock, Set[BasicBlock]] = {}
+    for block in idom:
+        doms = {block}
+        current = idom[block]
+        while current is not None:
+            doms.add(current)
+            current = idom[current]
+        result[block] = doms
+    return result
+
+
+def dominates(doms: Dict[BasicBlock, Set[BasicBlock]], a: BasicBlock, b: BasicBlock) -> bool:
+    """True when ``a`` dominates ``b`` (given precomputed sets)."""
+    return a in doms.get(b, set())

@@ -1,0 +1,100 @@
+"""CFG utilities over IR functions: predecessors, reachability, traversal."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Set
+
+from ..ir import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> List[BasicBlock]:
+    """Successor blocks of ``block`` (empty for returns)."""
+    return list(block.successors())
+
+
+def predecessors(func: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Predecessor lists for every block of ``func``."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(func: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry."""
+    if func.is_declaration:
+        return set()
+    seen: Set[BasicBlock] = set()
+    work = deque([func.entry])
+    while work:
+        block = work.popleft()
+        if block in seen:
+            continue
+        seen.add(block)
+        work.extend(block.successors())
+    return seen
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    """Blocks in reverse post-order (a topological order ignoring back
+    edges) — the canonical iteration order for forward dataflow."""
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        seen.add(block)
+        while stack:
+            current, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if not func.is_declaration:
+        visit(func.entry)
+    order.reverse()
+    return order
+
+
+def back_edges(func: Function) -> Set[tuple]:
+    """(source, target) pairs whose target is an ancestor in the DFS tree —
+    i.e. loop back edges in a reducible CFG."""
+    color: Dict[BasicBlock, int] = {}
+    edges: Set[tuple] = set()
+
+    def dfs(root: BasicBlock) -> None:
+        stack = [(root, iter(root.successors()))]
+        color[root] = 1
+        while stack:
+            block, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if color.get(succ, 0) == 1:
+                    edges.add((block, succ))
+                elif color.get(succ, 0) == 0:
+                    color[succ] = 1
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                color[block] = 2
+                stack.pop()
+
+    if not func.is_declaration:
+        dfs(func.entry)
+    return edges
+
+
+def block_instructions(func: Function) -> Iterator:
+    """Iterate instructions of all blocks in block order."""
+    for block in func.blocks:
+        yield from block.instructions

@@ -1,0 +1,82 @@
+"""Intra-procedural control-flow path enumeration.
+
+PATA's main engine walks paths inter-procedurally (``repro.core.analyzer``);
+this module provides the *intra*-procedural enumeration used by the
+path-sensitive baselines (CSA-like) and by tests, with the same loop policy
+as the paper: each loop body is unrolled at most once per path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..ir import BasicBlock, Branch, Function, Jump, Ret, Unreachable
+
+
+@dataclass
+class PathStep:
+    """One block on a path plus how its terminator was resolved.
+
+    ``branch_taken`` is None for jumps/returns, True/False for branches.
+    """
+
+    block: BasicBlock
+    branch_taken: Optional[bool] = None
+
+
+@dataclass
+class BlockPath:
+    steps: List[PathStep] = field(default_factory=list)
+
+    def blocks(self) -> List[BasicBlock]:
+        return [s.block for s in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def enumerate_paths(
+    func: Function,
+    max_paths: int = 4096,
+    max_block_visits: int = 2,
+) -> Iterator[BlockPath]:
+    """Yield complete (entry→return) block paths of ``func``.
+
+    ``max_block_visits`` bounds per-path revisits of one block — 2 allows a
+    loop header to be seen again after one body iteration, which is the
+    paper's "unroll each loop once".  Paths that exceed the budget are cut
+    (dropped), matching PATA's soundness-loss-by-unrolling behaviour.
+    """
+    if func.is_declaration:
+        return
+    emitted = 0
+    stack: List[Tuple[List[PathStep], dict]] = [([PathStep(func.entry)], {func.entry.uid: 1})]
+    while stack and emitted < max_paths:
+        steps, visits = stack.pop()
+        block = steps[-1].block
+        term = block.terminator
+        if term is None or isinstance(term, (Ret, Unreachable)):
+            yield BlockPath(steps)
+            emitted += 1
+            continue
+        if isinstance(term, Jump):
+            nexts = [(term.target, None)]
+        elif isinstance(term, Branch):
+            nexts = [(term.else_block, False), (term.then_block, True)]
+        else:  # pragma: no cover - verifier rejects unknown terminators
+            continue
+        for target, taken in nexts:
+            if visits.get(target.uid, 0) >= max_block_visits:
+                continue
+            new_steps = list(steps)
+            new_steps[-1] = PathStep(block, taken)
+            new_steps.append(PathStep(target))
+            new_visits = dict(visits)
+            new_visits[target.uid] = new_visits.get(target.uid, 0) + 1
+            stack.append((new_steps, new_visits))
+
+
+def count_paths(func: Function, max_paths: int = 4096) -> int:
+    """Number of complete paths (bounded by ``max_paths``)."""
+    return sum(1 for _ in enumerate_paths(func, max_paths))

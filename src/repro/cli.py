@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-pata check FILE.c ...      analyze mini-C sources with PATA
+    repro-pata corpus --os linux     generate a synthetic OS tree
+    repro-pata eval table5           regenerate one of the paper's tables
+    repro-pata compare --os zephyr   one OS row of Table 8 vs the baselines
+
+Also reachable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from . import PATA, AnalysisConfig, __version__
+from .baselines import all_baselines
+from .corpus import PROFILES_BY_NAME, generate, match_findings
+from .evaluation import (
+    EvaluationHarness,
+    PRIMARY_KINDS,
+    fig11_distribution,
+    render_table,
+    table4_os_info,
+    table5_analysis,
+    table6_sensitivity,
+    table7_generality,
+    table8_comparison,
+)
+from .lang import compile_program
+
+_EVAL_TARGETS = {
+    "table4": table4_os_info,
+    "table5": table5_analysis,
+    "table6": table6_sensitivity,
+    "table7": table7_generality,
+    "table8": table8_comparison,
+    "fig11": fig11_distribution,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pata",
+        description="PATA: path-sensitive and alias-aware typestate analysis (ASPLOS'22 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="analyze mini-C source files")
+    check.add_argument("files", nargs="+", help="mini-C source files")
+    check.add_argument("--all-checkers", action="store_true",
+                       help="enable double-lock / underflow / div-zero checkers too")
+    check.add_argument("--no-validate", action="store_true",
+                       help="skip stage-2 path validation (report all possible bugs)")
+    check.add_argument("--na", action="store_true",
+                       help="run the PATA-NA ablation (no alias relationships)")
+    check.add_argument("--json", action="store_true", help="machine-readable output")
+    check.add_argument("--max-paths", type=int, default=None,
+                       help="path budget per entry function")
+    check.add_argument("--confirm", action="store_true",
+                       help="re-run each report in the concrete interpreter "
+                            "over adversarial inputs and tag confirmed bugs")
+
+    lint = sub.add_parser("lint", help="source-level diagnostics (no compilation)")
+    lint.add_argument("files", nargs="+", help="mini-C source files")
+
+    corpus = sub.add_parser("corpus", help="generate a synthetic OS corpus")
+    corpus.add_argument("--os", choices=sorted(PROFILES_BY_NAME), required=True)
+    corpus.add_argument("--scale", type=float, default=1.0)
+    corpus.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the tree (plus ground_truth.json) here")
+    corpus.add_argument("--stats", action="store_true", help="print corpus statistics only")
+
+    evaluate = sub.add_parser("eval", help="regenerate a paper table/figure")
+    evaluate.add_argument("target", choices=sorted(_EVAL_TARGETS) + ["all"])
+    evaluate.add_argument("--scale", type=float, default=1.0)
+    evaluate.add_argument("--markdown", type=pathlib.Path, default=None,
+                          help="with target 'all': write a full markdown report here")
+
+    compare = sub.add_parser("compare", help="PATA vs the seven baselines on one OS")
+    compare.add_argument("--os", choices=sorted(PROFILES_BY_NAME), default="zephyr")
+    compare.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def cmd_check(args) -> int:
+    """``check``: analyze mini-C files with PATA; exit 1 when bugs found."""
+    sources = []
+    for name in args.files:
+        path = pathlib.Path(name)
+        if not path.exists():
+            print(f"error: no such file: {name}", file=sys.stderr)
+            return 2
+        sources.append((str(path), path.read_text()))
+    config = AnalysisConfig(validate_paths=not args.no_validate)
+    if args.max_paths is not None:
+        config.max_paths_per_entry = args.max_paths
+    if args.na:
+        config = config.for_pata_na()
+    pata = PATA.with_all_checkers(config=config) if args.all_checkers else PATA(config=config)
+    result = pata.analyze_sources(sources)
+
+    confirmations = {}
+    if args.confirm and result.reports:
+        from .interp import DynamicConfirmer
+        from .lang import compile_program as _compile
+
+        program = _compile(sources)
+        confirmer = DynamicConfirmer(program)
+        for report, confirmation in zip(result.reports, confirmer.confirm_all(result.reports)):
+            confirmations[id(report)] = confirmation
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "bugs": [
+                {
+                    "kind": r.kind.short,
+                    "checker": r.checker,
+                    "file": r.sink_file,
+                    "line": r.sink_line,
+                    "source_file": r.source_file,
+                    "source_line": r.source_line,
+                    "message": r.message,
+                    "entry_function": r.entry_function,
+                    **(
+                        {
+                            "confirmed": confirmations[id(r)].confirmed,
+                            "witness": confirmations[id(r)].witness,
+                        }
+                        if id(r) in confirmations
+                        else {}
+                    ),
+                }
+                for r in result.reports
+            ],
+            "stats": {
+                "paths": result.stats.explored_paths,
+                "entries": result.stats.entry_functions,
+                "dropped_false": result.stats.dropped_false_bugs,
+                "dropped_repeated": result.stats.dropped_repeated_bugs,
+                "time_seconds": result.stats.time_seconds,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in result.reports:
+            print(report.render())
+            confirmation = confirmations.get(id(report))
+            if confirmation is not None:
+                if confirmation.confirmed:
+                    print(f"  CONFIRMED at runtime with {confirmation.witness}")
+                else:
+                    print(f"  not reproduced in {confirmation.runs} interpreter runs")
+            print()
+        print(f"{len(result.reports)} bug(s); {result.summary()}")
+    return 1 if result.reports else 0
+
+
+def cmd_lint(args) -> int:
+    """``lint``: source diagnostics without compilation; exit 1 on findings."""
+    from .lang.sema import check_source
+
+    total = 0
+    for name in args.files:
+        path = pathlib.Path(name)
+        if not path.exists():
+            print(f"error: no such file: {name}", file=sys.stderr)
+            return 2
+        for diagnostic in check_source(path.read_text(), str(path)):
+            print(diagnostic)
+            total += 1
+    print(f"{total} diagnostic(s)")
+    return 1 if total else 0
+
+
+def cmd_corpus(args) -> int:
+    """``corpus``: generate a synthetic OS tree (optionally to disk)."""
+    profile = PROFILES_BY_NAME[args.os].scaled(args.scale)
+    corpus = generate(profile)
+    print(f"{profile.name} {profile.version_label}: {len(corpus.files)} files, "
+          f"{corpus.total_lines():,} LOC, {len(corpus.ground_truth)} injected bugs, "
+          f"{len(corpus.bait_regions)} bait regions")
+    if args.stats or args.out is None:
+        by_kind = {}
+        for gt in corpus.ground_truth:
+            by_kind[gt.kind.short] = by_kind.get(gt.kind.short, 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            print(f"  {kind:4s} {count}")
+        if args.out is None:
+            return 0
+    out: pathlib.Path = args.out
+    for f in corpus.files:
+        target = out / f.path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(f.source)
+    truth = [
+        {
+            "uid": g.uid, "kind": g.kind.short, "path": g.path,
+            "line_start": g.line_start, "line_end": g.line_end,
+            "category": g.category, "pattern": g.pattern,
+        }
+        for g in corpus.ground_truth
+    ]
+    (out / "ground_truth.json").write_text(json.dumps(truth, indent=2))
+    print(f"wrote tree + ground_truth.json under {out}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    """``eval``: regenerate paper tables/figures (or a markdown report)."""
+    harness = EvaluationHarness(scale=args.scale)
+    if args.markdown is not None and args.target == "all":
+        from .evaluation import generate_markdown_report
+
+        report = generate_markdown_report(harness)
+        args.markdown.write_text(report)
+        print(f"wrote {args.markdown}")
+        return 0
+    targets = sorted(_EVAL_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        _, text = _EVAL_TARGETS[name](harness)
+        print(text)
+        print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``compare``: one Table-8 row — PATA vs the baselines on one OS."""
+    profile = PROFILES_BY_NAME[args.os].scaled(args.scale)
+    corpus = generate(profile)
+    compiled = compile_program(corpus.compiled_sources())
+    everything = compile_program(corpus.all_sources())
+    rows = []
+    for tool in all_baselines():
+        source_based = tool.name in ("cppcheck-like", "coccinelle-like")
+        result = tool.analyze(everything if source_based else compiled)
+        if result.status != "ok":
+            rows.append([tool.name, result.status.upper(), "-", "-"])
+            continue
+        match = match_findings(
+            [(f.kind, f.file, f.line) for f in result.findings],
+            corpus, tool.name, restrict_kinds=PRIMARY_KINDS,
+        )
+        rows.append([tool.name, match.found, match.real, f"{match.false_positive_rate:.0%}"])
+    pata_result = PATA().analyze(compiled)
+    match = match_findings(
+        [(r.kind, r.sink_file, r.sink_line) for r in pata_result.reports],
+        corpus, "pata", restrict_kinds=PRIMARY_KINDS,
+    )
+    rows.append(["PATA", match.found, match.real, f"{match.false_positive_rate:.0%}"])
+    print(render_table(["Tool", "Found", "Real", "FP rate"], rows,
+                       title=f"{args.os} corpus, scale {args.scale}"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "check": cmd_check,
+        "lint": cmd_lint,
+        "corpus": cmd_corpus,
+        "eval": cmd_eval,
+        "compare": cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into `head`/a closed pager: exit quietly, as
+        # well-behaved CLI tools do.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

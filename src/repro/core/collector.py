@@ -1,0 +1,158 @@
+"""Information collector — phase P1 of the PATA architecture (Fig. 10).
+
+Scans every compiled module and records per-function facts in a database
+used by the later phases:
+
+* definition position & signature (for cross-file call resolution);
+* interface registrations (→ analysis entry points, Fig. 1);
+* whether a function may return a negative constant or zero on some path
+  (precomputed for the underflow / div-zero checkers of §5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cfg import CallGraph, mark_interface_functions
+from ..ir import Const, Function, Move, Program, Ret, Var
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    filename: str
+    line: int
+    is_static: bool
+    is_interface: bool
+    num_params: int
+    num_blocks: int
+    num_instructions: int
+    may_return_negative: bool = False
+    may_return_zero: bool = False
+
+
+class InformationCollector:
+    """Builds the function database over a whole program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        mark_interface_functions(program)
+        self.callgraph = CallGraph(program)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._collect()
+        self._close_return_facts()
+
+    def _collect(self) -> None:
+        for func in self.program.functions():
+            neg, zero = _direct_return_constants(func)
+            self.functions[func.name] = FunctionInfo(
+                name=func.name,
+                filename=func.filename,
+                line=func.line,
+                is_static=func.is_static,
+                is_interface=func.is_interface,
+                num_params=len(func.params),
+                num_blocks=len(func.blocks),
+                num_instructions=func.instruction_count(),
+                may_return_negative=neg,
+                may_return_zero=zero,
+            )
+
+    def _close_return_facts(self, rounds: int = 3) -> None:
+        """Propagate may-return facts through direct tail-ish returns
+        (``return helper(...)``) a few rounds."""
+        for _ in range(rounds):
+            changed = False
+            for func in self.program.functions():
+                info = self.functions[func.name]
+                for block in func.blocks:
+                    term = block.terminator
+                    if not isinstance(term, Ret) or not isinstance(term.value, Var):
+                        continue
+                    # return of a call result: find the defining call in block
+                    for inst in reversed(block.instructions):
+                        if getattr(inst, "dst", None) == term.value and hasattr(inst, "callee"):
+                            callee = self.functions.get(inst.callee)
+                            if callee is None:
+                                break
+                            if callee.may_return_negative and not info.may_return_negative:
+                                info.may_return_negative = True
+                                changed = True
+                            if callee.may_return_zero and not info.may_return_zero:
+                                info.may_return_zero = True
+                                changed = True
+                            break
+            if not changed:
+                break
+
+    # -- indirect-call resolution (§7 extension) -------------------------------
+
+    def indirect_targets(self, struct_name: Optional[str], field: str) -> List[str]:
+        """Candidate targets of an indirect call through ``field`` of
+        ``struct_name`` — a type-based resolution in the spirit of
+        multi-layer type analysis: functions registered to exactly that
+        (struct, field) slot, falling back to same-field registrations
+        when the struct type is unknown."""
+        exact: List[str] = []
+        by_field: List[str] = []
+        for reg in self.program.registrations():
+            if reg.field != field:
+                continue
+            by_field.append(reg.function)
+            if struct_name is not None and reg.struct_type is not None and reg.struct_type.name == struct_name:
+                exact.append(reg.function)
+        chosen = exact if exact else (by_field if struct_name is None else exact)
+        # Preserve registration order, drop duplicates.
+        seen = set()
+        out = []
+        for name in chosen:
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+        return out
+
+    # -- queries ------------------------------------------------------------
+
+    def entry_functions(self) -> List[Function]:
+        """PATA's analysis roots (AnalyzeCode, Fig. 6 line 1)."""
+        return self.callgraph.entry_functions()
+
+    def lookup(self, name: str) -> Optional[FunctionInfo]:
+        return self.functions.get(name)
+
+    def is_defined(self, name: str) -> bool:
+        return name in self.functions
+
+    def may_return_negative(self, name: str) -> bool:
+        info = self.functions.get(name)
+        return bool(info and info.may_return_negative)
+
+    def may_return_zero(self, name: str) -> bool:
+        info = self.functions.get(name)
+        return bool(info and info.may_return_zero)
+
+    def database_size(self) -> int:
+        return len(self.functions)
+
+
+def _direct_return_constants(func: Function) -> tuple:
+    """(may_return_negative, may_return_zero) from Ret of constants and
+    constant moves flowing straight into the returned variable."""
+    neg = zero = False
+    const_defs: Dict[str, int] = {}
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Move) and isinstance(inst.src, Const):
+                const_defs[inst.dst.name] = inst.src.value
+        term = block.terminator
+        if isinstance(term, Ret) and term.value is not None:
+            value = None
+            if isinstance(term.value, Const):
+                value = term.value.value
+            elif isinstance(term.value, Var):
+                value = const_defs.get(term.value.name)
+            if value is not None:
+                neg = neg or value < 0
+                zero = zero or value == 0
+    return neg, zero

@@ -1,0 +1,57 @@
+"""Analysis configuration and budgets.
+
+PATA explores control-flow paths exhaustively in principle; in practice
+(P2 of §4) it bounds loops/recursion (unrolled once) and merges callee
+exit paths with identical externally visible effects.  The knobs below
+control those budgets; the defaults are tuned so the bundled corpora
+analyze in seconds while exercising every mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class AnalysisConfig:
+    #: track alias relationships (False reproduces PATA-NA, Table 6)
+    alias_aware: bool = True
+    #: run stage-2 path validation (False leaves all possible bugs)
+    validate_paths: bool = True
+    #: complete paths explored per entry function
+    max_paths_per_entry: int = 2000
+    #: instruction executions per entry function (hard stop)
+    max_steps_per_entry: int = 400_000
+    #: maximum inlined call depth
+    max_call_depth: int = 16
+    #: per-path revisits of one basic block (2 = paper's unroll-once)
+    max_block_visits: int = 2
+    #: merge callee exit paths with identical externally visible effects
+    #: (§4 P2 "combines the information of its code paths")
+    merge_callee_exits: bool = True
+    #: distinct callee exit states continued per call site (return merging)
+    max_callee_exits_per_call: int = 48
+    #: functions may appear at most this many times on the call stack
+    #: (2 = one recursive re-entry, the paper's unroll-once for recursion)
+    max_recursion_occurrences: int = 1
+    #: wall-clock guard per entry function, seconds (None = off)
+    entry_time_limit: Optional[float] = None
+    #: run the semantics-preserving IR cleanup passes (constant folding,
+    #: jump threading, unreachable-block removal) before analysis
+    optimize_ir: bool = False
+    #: resolve function-pointer calls through interface registrations —
+    #: the paper's §7 future work ("introduce existing function-pointer
+    #: analysis"), off by default to match PATA as published
+    resolve_function_pointers: bool = False
+    #: candidate targets explored per indirect call site when resolving
+    max_indirect_targets: int = 4
+    #: solver budgets (stage 2)
+    solver_max_search_nodes: int = 20000
+
+    def for_pata_na(self) -> "AnalysisConfig":
+        """The ablation of Table 6: no alias relationships in typestate
+        tracking or path validation."""
+        clone = AnalysisConfig(**vars(self))
+        clone.alias_aware = False
+        return clone

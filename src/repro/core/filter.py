@@ -1,0 +1,70 @@
+"""Bug filter — phase P3 (Fig. 10): deduplication + alias-aware path
+validation (§3.3).
+
+Repeated bugs (identical problematic-instruction pairs) are already
+dropped on the fly by the engine; this stage translates each surviving
+possible bug's recorded path into SMT-lite constraints (Table 3, one
+symbol per alias set) and drops the bug when the conjunction is
+definitely unsatisfiable.  UNKNOWN verdicts keep the bug — only a proven
+contradiction may silence a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..smt import SolveResult, Solver, translate_trace
+from ..typestate import PossibleBug
+from .report import BugReport
+
+
+@dataclass
+class FilterStats:
+    validated: int = 0
+    dropped_false: int = 0
+    constraints_aware: int = 0
+    constraints_unaware: int = 0
+    unknown_verdicts: int = 0
+
+
+@dataclass
+class FilterResult:
+    reports: List[BugReport] = field(default_factory=list)
+    stats: FilterStats = field(default_factory=FilterStats)
+
+
+class BugFilter:
+    """Stage-2 driver: translates each possible bug's path and keeps only satisfiable ones."""
+
+    def __init__(
+        self,
+        validate_paths: bool = True,
+        solver_max_search_nodes: int = 20000,
+        alias_aware: bool = True,
+    ):
+        self.validate_paths = validate_paths
+        self.alias_aware = alias_aware
+        self.solver = Solver(max_search_nodes=solver_max_search_nodes)
+
+    def run(self, possible_bugs: List[PossibleBug]) -> FilterResult:
+        result = FilterResult()
+        for bug in possible_bugs:
+            verdict, model = self._validate(bug, result.stats)
+            if verdict:
+                result.reports.append(BugReport.from_possible(bug, model))
+            else:
+                result.stats.dropped_false += 1
+        return result
+
+    def _validate(self, bug: PossibleBug, stats: FilterStats) -> Tuple[bool, Optional[dict]]:
+        if not self.validate_paths or not bug.trace:
+            return True, None
+        stats.validated += 1
+        translation = translate_trace(bug.trace, bug.extra_requirement, alias_aware=self.alias_aware)
+        stats.constraints_aware += translation.aware_constraints
+        stats.constraints_unaware += translation.unaware_constraints
+        solution = self.solver.solve(translation.atoms)
+        if solution.result is SolveResult.UNKNOWN:
+            stats.unknown_verdicts += 1
+        return solution.feasible, solution.model

@@ -1,0 +1,112 @@
+"""The PATA framework facade (Fig. 10): compile → collect → analyze →
+filter → report.
+
+Typical use::
+
+    from repro import PATA, compile_program
+
+    program = compile_program([("drv.c", source)])
+    result = PATA().analyze(program)
+    for report in result.reports:
+        print(report.render())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from ..ir import Function, Program
+from ..lang import compile_program
+from ..typestate import Checker, all_checkers, default_checkers
+from .analyzer import PathExplorer
+from .collector import InformationCollector
+from .config import AnalysisConfig
+from .filter import BugFilter
+from .report import AnalysisResult, AnalysisStats
+
+
+class PATA:
+    """Path-sensitive and Alias-aware Typestate Analysis.
+
+    ``checkers`` defaults to the paper's three primary checkers (NPD, UVA,
+    ML, §5.1); pass ``PATA.with_all_checkers()`` for the §5.5 set, or any
+    custom :class:`~repro.typestate.Checker` list.
+    """
+
+    def __init__(
+        self,
+        checkers: Optional[List[Checker]] = None,
+        config: Optional[AnalysisConfig] = None,
+    ):
+        self.config = config or AnalysisConfig()
+        self._checkers = checkers
+
+    @classmethod
+    def with_all_checkers(cls, config: Optional[AnalysisConfig] = None) -> "PATA":
+        """PATA with the six shipped checkers; the collector wires the
+        may-return-negative/zero facts in at analysis time."""
+        instance = cls(checkers=None, config=config)
+        instance._use_all = True
+        return instance
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def analyze(self, program: Program, entries: Optional[List[Function]] = None) -> AnalysisResult:
+        started = time.monotonic()
+        if self.config.optimize_ir:
+            from ..ir import optimize_program
+
+            optimize_program(program)
+        collector = InformationCollector(program)
+        checkers = self._resolve_checkers(collector)
+        explorer = PathExplorer(
+            program,
+            self.config,
+            checkers,
+            indirect_resolver=(
+                collector.indirect_targets if self.config.resolve_function_pointers else None
+            ),
+        )
+        stats = AnalysisStats(
+            analyzed_files=len(program.modules),
+            analyzed_lines=program.total_source_lines(),
+        )
+        entry_list = entries if entries is not None else collector.entry_functions()
+        stats.entry_functions = len(entry_list)
+        for entry in entry_list:
+            explorer.explore(entry)
+            stats.explored_paths += explorer.paths
+            stats.executed_steps += explorer.steps
+            if explorer.budget_exhausted:
+                stats.budget_exhausted_entries += 1
+        stats.typestates_aware = explorer.store.aware_updates
+        stats.typestates_unaware = explorer.store.unaware_updates
+        stats.dropped_repeated_bugs = explorer.repeated_bugs
+
+        bug_filter = BugFilter(
+            self.config.validate_paths,
+            self.config.solver_max_search_nodes,
+            alias_aware=self.config.alias_aware,
+        )
+        filtered = bug_filter.run(explorer.possible_bugs)
+        stats.dropped_false_bugs = filtered.stats.dropped_false
+        stats.validated_paths = filtered.stats.validated
+        stats.smt_constraints_aware = filtered.stats.constraints_aware
+        stats.smt_constraints_unaware = filtered.stats.constraints_unaware
+        stats.time_seconds = time.monotonic() - started
+        return AnalysisResult(reports=filtered.reports, stats=stats)
+
+    def analyze_sources(self, sources: Iterable[Tuple[str, str]]) -> AnalysisResult:
+        """Compile ``(filename, mini-C source)`` pairs and analyze them."""
+        return self.analyze(compile_program(sources))
+
+    def _resolve_checkers(self, collector: InformationCollector) -> List[Checker]:
+        if self._checkers is not None:
+            return self._checkers
+        if getattr(self, "_use_all", False):
+            return all_checkers(
+                may_return_negative=collector.may_return_negative,
+                may_return_zero=collector.may_return_zero,
+            )
+        return default_checkers()

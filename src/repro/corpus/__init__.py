@@ -1,0 +1,27 @@
+"""Synthetic OS corpora with exact ground truth (the Table 4 workloads)."""
+
+from .spec import (
+    BaitRegion,
+    GeneratedFile,
+    GeneratedOS,
+    GroundTruthBug,
+    OSProfile,
+    Requirement,
+)
+from .generator import generate
+from .oses import ALL_PROFILES, LINUX, PROFILES_BY_NAME, RIOT, TENCENTOS, ZEPHYR
+from .metrics import (
+    CONFIRM_PERCENT,
+    MatchResult,
+    is_confirmed,
+    match_findings,
+    reachable_truth,
+)
+
+__all__ = [
+    "BaitRegion", "GeneratedFile", "GeneratedOS", "GroundTruthBug",
+    "OSProfile", "Requirement", "generate",
+    "ALL_PROFILES", "LINUX", "PROFILES_BY_NAME", "RIOT", "TENCENTOS", "ZEPHYR",
+    "CONFIRM_PERCENT", "MatchResult", "is_confirmed", "match_findings",
+    "reachable_truth",
+]

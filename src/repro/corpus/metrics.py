@@ -1,0 +1,126 @@
+"""Ground-truth matching: classify tool findings as real or false.
+
+A finding is *real* when a ground-truth bug of the same kind covers its
+(file, line); multiple findings on one ground-truth bug count as one real
+bug (the paper counts distinct bugs).  Everything else is a false
+positive — findings inside bait regions are false by construction, and
+so are findings in clean code.
+
+"Confirmed" bugs (Table 5's third bug row) are modeled as a
+deterministic ~36% subset of the real found bugs (206/574 in the paper),
+selected by hashing the bug uid so the subset is stable across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..typestate import BugKind
+from .spec import BaitRegion, GeneratedOS, GroundTruthBug
+
+#: (kind, path, line) — the normalized shape of a finding
+Finding = Tuple[BugKind, str, int]
+
+CONFIRM_PERCENT = 36
+
+
+@dataclass
+class MatchResult:
+    tool: str = ""
+    os_name: str = ""
+    found: int = 0
+    real: int = 0
+    confirmed: int = 0
+    false_positives: int = 0
+    found_by_kind: Dict[BugKind, int] = field(default_factory=dict)
+    real_by_kind: Dict[BugKind, int] = field(default_factory=dict)
+    confirmed_by_kind: Dict[BugKind, int] = field(default_factory=dict)
+    matched_uids: Set[str] = field(default_factory=set)
+    real_by_category: Dict[str, int] = field(default_factory=dict)
+    real_by_requirement: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positives / self.found if self.found else 0.0
+
+    def kind_triple(self, kinds: Sequence[BugKind]) -> str:
+        return "/".join(str(self.found_by_kind.get(k, 0)) for k in kinds)
+
+
+def is_confirmed(uid: str) -> bool:
+    """Stable hash-based membership in the modeled confirmed subset."""
+    digest = hashlib.sha1(uid.encode()).digest()
+    return digest[0] % 100 < CONFIRM_PERCENT
+
+
+def match_findings(
+    findings: Iterable[Finding],
+    corpus: GeneratedOS,
+    tool: str = "",
+    restrict_kinds: Optional[Sequence[BugKind]] = None,
+) -> MatchResult:
+    """Classify ``findings`` against the corpus ground truth.
+
+    ``restrict_kinds`` drops findings of kinds outside the measured set
+    (e.g. when only NPD/UVA/ML are benchmarked).
+    """
+    result = MatchResult(tool=tool, os_name=corpus.profile.name)
+    truth = corpus.ground_truth
+    matched: Dict[str, GroundTruthBug] = {}
+    fp_keys: Set[Tuple[BugKind, str, int]] = set()
+
+    for kind, path, line in findings:
+        if restrict_kinds is not None and kind not in restrict_kinds:
+            continue
+        gt = _lookup(truth, kind, path, line)
+        if gt is not None:
+            matched[gt.uid] = gt
+            continue
+        fp_keys.add((kind, path, line))
+
+    for uid, gt in matched.items():
+        result.matched_uids.add(uid)
+        result.real += 1
+        result.real_by_kind[gt.kind] = result.real_by_kind.get(gt.kind, 0) + 1
+        result.found_by_kind[gt.kind] = result.found_by_kind.get(gt.kind, 0) + 1
+        result.real_by_category[gt.category] = result.real_by_category.get(gt.category, 0) + 1
+        for flag in ("interprocedural", "aliasing", "path_sensitive"):
+            if getattr(gt.requires, flag):
+                result.real_by_requirement[flag] = result.real_by_requirement.get(flag, 0) + 1
+        if is_confirmed(uid):
+            result.confirmed += 1
+            result.confirmed_by_kind[gt.kind] = result.confirmed_by_kind.get(gt.kind, 0) + 1
+
+    for kind, path, line in fp_keys:
+        result.false_positives += 1
+        result.found_by_kind[kind] = result.found_by_kind.get(kind, 0) + 1
+
+    result.found = result.real + result.false_positives
+    return result
+
+
+def _lookup(truth: List[GroundTruthBug], kind: BugKind, path: str, line: int) -> Optional[GroundTruthBug]:
+    for gt in truth:
+        if gt.covers(kind, path, line):
+            return gt
+    return None
+
+
+def reachable_truth(
+    corpus: GeneratedOS,
+    kinds: Sequence[BugKind],
+    compiled_only: bool = True,
+) -> List[GroundTruthBug]:
+    """Ground-truth bugs a compile-based tool could possibly find: right
+    kinds, and (optionally) inside compiled files."""
+    compiled_paths = {f.path for f in corpus.compiled_files()}
+    out = []
+    for gt in corpus.ground_truth:
+        if gt.kind not in kinds:
+            continue
+        if compiled_only and gt.path not in compiled_paths:
+            continue
+        out.append(gt)
+    return out

@@ -1,0 +1,1018 @@
+"""Bug / bait / filler pattern library for the corpus generator.
+
+Each pattern emits a self-contained mini-C snippet (structs + functions,
+names suffixed with a unique id) plus ground-truth annotations with line
+offsets relative to the snippet.  The patterns are modeled on the paper's
+case studies:
+
+* Fig. 1  — interface function whose parameter aliases a stored field;
+* Fig. 3  — check in one function, dereference in a callee via a struct
+  field alias;
+* Fig. 12(a-d) — MCDE driver NPD, Zephyr sendto NPD, RIOT syscall ML,
+  TencentOS pthread UVA;
+* Fig. 9  — the contradictory-constraints false bug that path validation
+  must drop;
+* §5.5    — double-lock, array-index-underflow, division-by-zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..typestate import BugKind
+from .spec import Requirement
+
+_ADJ = ["mx", "sun", "omap", "bcm", "rt", "qca", "tegra", "imx", "ath", "rk", "exy", "mtk"]
+_NOUN = ["dma", "phy", "mac", "uart", "spi", "i2c", "gpio", "pwm", "adc", "wdt", "rtc", "emc"]
+
+
+def _devname(rng: random.Random) -> str:
+    return f"{rng.choice(_ADJ)}_{rng.choice(_NOUN)}"
+
+
+@dataclass
+class Snippet:
+    lines: List[str] = field(default_factory=list)
+    #: (kind, rel_start, rel_end, requirement)
+    bugs: List[Tuple[BugKind, int, int, Requirement]] = field(default_factory=list)
+    #: (kind or None, rel_start, rel_end)
+    baits: List[Tuple[Optional[BugKind], int, int]] = field(default_factory=list)
+    pattern: str = ""
+
+    def add(self, line: str = "") -> int:
+        self.lines.append(line)
+        return len(self.lines) - 1
+
+    def extend(self, text: str) -> Tuple[int, int]:
+        start = len(self.lines)
+        for line in text.strip("\n").split("\n"):
+            self.lines.append(line)
+        return start, len(self.lines) - 1
+
+    def bug(self, kind: BugKind, start: int, end: int, **req) -> None:
+        self.bugs.append((kind, start, end, Requirement(**req)))
+
+    def bait(self, kind: Optional[BugKind], start: int, end: int) -> None:
+        self.baits.append((kind, start, end))
+
+
+PatternFn = Callable[[str, random.Random], Snippet]
+
+
+# ===========================================================================
+# Real bugs
+# ===========================================================================
+
+
+def npd_interface_alias(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 1: ``dev->plat_dev = pdev; if (!dev->plat_dev) use(pdev)``.
+    The probe function is only reachable through a driver-ops struct, so
+    points-to-based tools see an empty set for ``pdev``."""
+    s = Snippet(pattern="npd_interface_alias")
+    dev = _devname(rng)
+    s.extend(f"""
+struct pd_{uid} {{ int irq; int id; }};
+struct ctx_{uid} {{ struct pd_{uid} *plat_dev; int state; }};
+static struct ctx_{uid} g_ctx_{uid};
+
+static int {dev}_probe_{uid}(struct pd_{uid} *pdev) {{
+    struct ctx_{uid} *dev = &g_ctx_{uid};
+    dev->plat_dev = pdev;""")
+    start, end = s.extend(f"""
+    if (!dev->plat_dev) {{
+        int code = pdev->irq;
+        report_error(code);
+        return -19;
+    }}""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, path_sensitive=True)
+    s.extend(f"""
+    dev->state = 1;
+    return 0;
+}}
+
+struct drv_{uid} {{ int (*probe)(struct pd_{uid} *p); }};
+static struct drv_{uid} {dev}_driver_{uid} = {{ .probe = {dev}_probe_{uid} }};""")
+    return s
+
+
+def npd_callee_field_alias(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 3: null check of ``model->user_data`` in one function; a callee
+    re-loads the same field and dereferences."""
+    s = Snippet(pattern="npd_callee_field_alias")
+    dev = _devname(rng)
+    s.extend(f"""
+struct srv_{uid} {{ int frnd; int relay; }};
+struct model_{uid} {{ struct srv_{uid} *user_data; int id; }};
+
+static void send_status_{uid}(struct model_{uid} *model) {{
+    struct srv_{uid} *cfg = model->user_data;""")
+    start, end = s.extend(f"""
+    int val = cfg->frnd;
+    emit_status(val);""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, interprocedural=True, path_sensitive=True)
+    s.extend(f"""
+}}
+
+static void {dev}_set_{uid}(struct model_{uid} *model) {{
+    struct srv_{uid} *cfg = model->user_data;
+    if (!cfg) {{
+        log_warn();
+        goto send_{uid};
+    }}
+    cfg->relay = 1;
+send_{uid}:
+    send_status_{uid}(model);
+}}
+
+struct mops_{uid} {{ void (*set)(struct model_{uid} *m); }};
+static struct mops_{uid} ops_{uid} = {{ .set = {dev}_set_{uid} }};""")
+    return s
+
+
+def npd_error_path_local(uid: str, rng: random.Random) -> Snippet:
+    """Intra-procedural dereference inside the NULL branch (dev_err(&pdev->dev)
+    style) — the easy pattern every tool should find."""
+    s = Snippet(pattern="npd_error_path_local")
+    dev = _devname(rng)
+    s.extend(f"""
+struct res_{uid} {{ int base; int size; }};
+
+int {dev}_map_{uid}(struct res_{uid} *res) {{""")
+    start, end = s.extend(f"""
+    if (!res) {{
+        int lost = res->size;
+        report_error(lost);
+        return -22;
+    }}""")
+    s.bug(BugKind.NPD, start, end, path_sensitive=True)
+    s.extend(f"""
+    return res->base;
+}}""")
+    return s
+
+
+def npd_callee_deref_after_check(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 12(a): caller checks ``d->mdsi`` but still calls a helper that
+    dereferences it unconditionally."""
+    s = Snippet(pattern="npd_callee_deref_after_check")
+    dev = _devname(rng)
+    s.extend(f"""
+struct dsi_{uid} {{ int lanes; int mode_flags; }};
+struct host_{uid} {{ struct dsi_{uid} *mdsi; int val; }};
+
+static void {dev}_start_{uid}(struct host_{uid} *d) {{""")
+    start, end = s.extend(f"""
+    if (d->mdsi->lanes == 2)
+        d->val = d->val | 4;""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, interprocedural=True, path_sensitive=True)
+    s.extend(f"""
+}}
+
+static int {dev}_bind_{uid}(struct host_{uid} *d) {{
+    if (d->mdsi)
+        d->val = 1;
+    {dev}_start_{uid}(d);
+    return 0;
+}}
+
+struct comp_{uid} {{ int (*bind)(struct host_{uid} *d); }};
+static struct comp_{uid} comp_ops_{uid} = {{ .bind = {dev}_bind_{uid} }};""")
+    return s
+
+
+def npd_sendto_cast_alias(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 12(b): pointer may be NULL past a compound check, is cast to
+    another type (alias through MOVE) and dereferenced."""
+    s = Snippet(pattern="npd_sendto_cast_alias")
+    s.extend(f"""
+struct addr_{uid} {{ int family; int ifindex; }};
+struct msg_{uid} {{ int len; }};
+
+int ctx_sendto_{uid}(struct addr_{uid} *dst_addr, struct msg_{uid} *msghdr) {{
+    if (!dst_addr && !msghdr)
+        return -89;
+    struct addr_{uid} *ll_addr = dst_addr;""")
+    start, end = s.extend(f"""
+    if (ll_addr->ifindex < 0)
+        return -6;""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, path_sensitive=True)
+    s.extend(f"""
+    return ll_addr->family;
+}}
+
+struct sock_ops_{uid} {{ int (*sendto)(struct addr_{uid} *a, struct msg_{uid} *m); }};
+static struct sock_ops_{uid} sops_{uid} = {{ .sendto = ctx_sendto_{uid} }};""")
+    return s
+
+
+def uva_heap_field_callee(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 12(d): kmalloc'd control block; a field is read (through an
+    alias, in a callee) before anything initializes it."""
+    s = Snippet(pattern="uva_heap_field_callee")
+    dev = _devname(rng)
+    s.extend(f"""
+struct tcb_{uid} {{ int type; int prio; }};
+
+static int verify_{uid}(struct tcb_{uid} *obj) {{""")
+    start, end = s.extend(f"""
+    return obj->type == 7;""")
+    s.bug(BugKind.UVA, start, end, aliasing=True, interprocedural=True)
+    s.extend(f"""
+}}
+
+int {dev}_create_{uid}(int prio) {{
+    struct tcb_{uid} *ctl = kmalloc(sizeof(struct tcb_{uid}));
+    if (!ctl)
+        return -12;
+    int rc = verify_{uid}(ctl);
+    ctl->prio = prio;
+    kfree(ctl);
+    return rc;
+}}""")
+    return s
+
+
+def uva_scalar_feasible(uid: str, rng: random.Random) -> Snippet:
+    """A scalar initialized on only one branch and used afterwards — the
+    uninitialized path is feasible (no correlation saves it)."""
+    s = Snippet(pattern="uva_scalar_feasible")
+    dev = _devname(rng)
+    s.extend(f"""
+int {dev}_speed_{uid}(int mode, int cfg) {{
+    int rate;
+    if (mode == 3)
+        rate = cfg * 2;""")
+    start, end = s.extend(f"""
+    return rate + 1;""")
+    s.bug(BugKind.UVA, start, end, path_sensitive=True)
+    s.extend("}")
+    return s
+
+
+def ml_error_path(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 12(c): allocation leaked on an error return."""
+    s = Snippet(pattern="ml_error_path")
+    dev = _devname(rng)
+    s.extend(f"""
+int make_msg_{uid}(int size) {{
+    char *message = malloc(size);
+    if (message == NULL)
+        return -1;
+    int n = format_into_{uid}(size);""")
+    start, end = s.extend(f"""
+    if (n < 0)
+        return -5;""")
+    s.bug(BugKind.ML, start, end, path_sensitive=True)
+    s.extend(f"""
+    consume_buffer(message);
+    free(message);
+    return 0;
+}}
+
+static int format_into_{uid}(int size) {{
+    if (size > 64)
+        return -1;
+    return size;
+}}""")
+    return s
+
+
+def ml_callee_alloc(uid: str, rng: random.Random) -> Snippet:
+    """The allocation happens in a helper; the caller drops the result on
+    an error path — needs inter-procedural reasoning."""
+    s = Snippet(pattern="ml_callee_alloc")
+    dev = _devname(rng)
+    s.extend(f"""
+static char *grab_{uid}(int n) {{
+    char *p = kmalloc(n);
+    return p;
+}}
+
+int {dev}_setup_{uid}(int n, int flags) {{
+    char *buf = grab_{uid}(n);
+    if (!buf)
+        return -12;""")
+    start, end = s.extend(f"""
+    if (flags & 8)
+        return -22;""")
+    s.bug(BugKind.ML, start, end, interprocedural=True, path_sensitive=True)
+    s.extend(f"""
+    consume_buffer(buf);
+    kfree(buf);
+    return 0;
+}}""")
+    return s
+
+
+def ml_never_freed(uid: str, rng: random.Random) -> Snippet:
+    """A scratch allocation that is used directly and dropped on every
+    path — the whole-function leak that even path-insensitive tools
+    (Cppcheck, Infer, Saber) can see."""
+    s = Snippet(pattern="ml_never_freed")
+    dev = _devname(rng)
+    s.extend(f"""
+int {dev}_scratch_{uid}(int n) {{
+    int *scratch = kmalloc(n * 4);
+    if (!scratch)
+        return -12;
+    *scratch = n;
+    int out = *scratch + 1;""")
+    start, end = s.extend(f"""
+    return out;""")
+    s.bug(BugKind.ML, start, end)
+    s.extend("}")
+    return s
+
+
+def dl_double_lock(uid: str, rng: random.Random) -> Snippet:
+    """§5.5 double lock: a retry path re-acquires without releasing."""
+    s = Snippet(pattern="dl_double_lock")
+    dev = _devname(rng)
+    s.extend(f"""
+struct state_{uid} {{ int lock; int busy; }};
+static struct state_{uid} st_{uid};
+
+int {dev}_claim_{uid}(int tries) {{
+    struct state_{uid} *s = &st_{uid};
+    spin_lock(&s->lock);
+    if (s->busy) {{""")
+    start, end = s.extend(f"""
+        spin_lock(&s->lock);""")
+    s.bug(BugKind.DOUBLE_LOCK, start, end, aliasing=True, path_sensitive=True)
+    s.extend(f"""
+        s->busy = 0;
+    }}
+    spin_unlock(&s->lock);
+    return 0;
+}}""")
+    return s
+
+
+def aiu_unchecked_index(uid: str, rng: random.Random) -> Snippet:
+    """§5.5 underflow: lookup may return -1, used as an index unchecked."""
+    s = Snippet(pattern="aiu_unchecked_index")
+    dev = _devname(rng)
+    s.extend(f"""
+static int slots_{uid}[16];
+
+static int find_slot_{uid}(int key) {{
+    if (key > 15)
+        return -1;
+    return key;
+}}
+
+int {dev}_get_{uid}(int key) {{
+    int idx = find_slot_{uid}(key);""")
+    start, end = s.extend(f"""
+    return slots_{uid}[idx];""")
+    s.bug(BugKind.ARRAY_UNDERFLOW, start, end, interprocedural=True, path_sensitive=True)
+    s.extend("}")
+    return s
+
+
+def dbz_div_by_ret(uid: str, rng: random.Random) -> Snippet:
+    """§5.5 division by zero: a count that can be zero divides a total."""
+    s = Snippet(pattern="dbz_div_by_ret")
+    dev = _devname(rng)
+    s.extend(f"""
+static int count_active_{uid}(int mask) {{
+    if (mask == 0)
+        return 0;
+    return mask & 15;
+}}
+
+int {dev}_avg_{uid}(int total, int mask) {{
+    int cnt = count_active_{uid}(mask);""")
+    start, end = s.extend(f"""
+    return total / cnt;""")
+    s.bug(BugKind.DIV_BY_ZERO, start, end, interprocedural=True, path_sensitive=True)
+    s.extend("}")
+    return s
+
+
+def npd_easy_uncompiled(uid: str, rng: random.Random) -> Snippet:
+    """An easy intra-procedural NPD destined for *non-compiled* files:
+    Cppcheck/Coccinelle (source-based) find it, PATA cannot (Table 8's
+    "25 real bugs found by Cppcheck ... missed by PATA")."""
+    s = Snippet(pattern="npd_easy_uncompiled")
+    dev = _devname(rng)
+    s.extend(f"""
+struct opt_{uid} {{ int flag; int val; }};
+
+int {dev}_opt_{uid}(struct opt_{uid} *o) {{""")
+    start, end = s.extend(f"""
+    if (o == NULL) {{
+        int f = o->flag;
+        return f;
+    }}""")
+    s.bug(BugKind.NPD, start, end, path_sensitive=True)
+    s.extend(f"""
+    return o->val;
+}}""")
+    return s
+
+
+def npd_double_field_hop(uid: str, rng: random.Random) -> Snippet:
+    """Two field hops: the nullable pointer sits one level down
+    (``dev->port->ring`` style), stressing field-sensitive aliasing."""
+    s = Snippet(pattern="npd_double_field_hop")
+    dev = _devname(rng)
+    s.extend(f"""
+struct ring_d_{uid} {{ int head; int tail; }};
+struct port_{uid} {{ struct ring_d_{uid} *ring; int index; }};
+
+int {dev}_drain_{uid}(struct port_{uid} *port) {{
+    struct ring_d_{uid} *r = port->ring;
+    if (r == NULL) {{""")
+    start, end = s.extend(f"""
+        int lost = port->ring->head;
+        report_error(lost);""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, path_sensitive=True)
+    s.extend(f"""
+        return -5;
+    }}
+    r->tail = r->head;
+    return 0;
+}}
+
+struct pops_{uid} {{ int (*drain)(struct port_{uid} *p); }};
+static struct pops_{uid} pops_v_{uid} = {{ .drain = {dev}_drain_{uid} }};""")
+    return s
+
+
+def uva_partial_memset(uid: str, rng: random.Random) -> Snippet:
+    """The init helper is only called on one branch; the other path reads
+    the raw allocation — inter-procedural, path-sensitive UVA."""
+    s = Snippet(pattern="uva_partial_memset")
+    dev = _devname(rng)
+    s.extend(f"""
+struct st_{uid} {{ int mode; int count; }};
+
+static void reset_{uid}(struct st_{uid} *st) {{
+    memset(st, 0, sizeof(struct st_{uid}));
+}}
+
+int {dev}_open_{uid}(int fresh) {{
+    struct st_{uid} *st = kmalloc(sizeof(struct st_{uid}));
+    if (!st)
+        return -12;
+    if (fresh)
+        reset_{uid}(st);""")
+    start, end = s.extend(f"""
+    int mode = st->mode;""")
+    s.bug(BugKind.UVA, start, end, interprocedural=True, path_sensitive=True)
+    s.extend(f"""
+    kfree(st);
+    return mode;
+}}""")
+    return s
+
+
+def ml_overwritten_pointer(uid: str, rng: random.Random) -> Snippet:
+    """The only reference is overwritten by a second allocation — the
+    first object is unreachable and never freed."""
+    s = Snippet(pattern="ml_overwritten_pointer")
+    dev = _devname(rng)
+    s.extend(f"""
+int {dev}_grow_{uid}(int n) {{
+    char *buf = kmalloc(n);
+    if (!buf)
+        return -12;""")
+    # The leak is caused by the overwrite but reported at the returns the
+    # orphaned object is still live at — annotate through the function end.
+    start, end = s.extend(f"""
+    buf = kmalloc(n * 2);
+    if (!buf)
+        return -12;
+    consume_buffer(buf);
+    kfree(buf);
+    return 0;
+}}""")
+    s.bug(BugKind.ML, start, end, path_sensitive=True)
+    return s
+
+
+def dl_unlock_twice_goto(uid: str, rng: random.Random) -> Snippet:
+    """Double unlock through converging error paths (goto out after an
+    explicit unlock)."""
+    s = Snippet(pattern="dl_unlock_twice_goto")
+    dev = _devname(rng)
+    s.extend(f"""
+struct gd_{uid} {{ int lock; int users; }};
+static struct gd_{uid} gd_{uid}_state;
+
+int {dev}_detach_{uid}(int force) {{
+    struct gd_{uid} *g = &gd_{uid}_state;
+    spin_lock(&g->lock);
+    if (g->users > 0 && force == 0) {{
+        spin_unlock(&g->lock);
+        goto out_{uid};
+    }}
+    g->users = 0;
+    spin_unlock(&g->lock);
+out_{uid}:""")
+    start, end = s.extend(f"""
+    spin_unlock(&g->lock);""")
+    s.bug(BugKind.DOUBLE_LOCK, start, end, aliasing=True, path_sensitive=True)
+    s.extend(f"""
+    return 0;
+}}""")
+    return s
+
+
+def aiu_subtraction_index(uid: str, rng: random.Random) -> Snippet:
+    """Index computed by subtraction without a lower-bound check."""
+    s = Snippet(pattern="aiu_subtraction_index")
+    dev = _devname(rng)
+    s.extend(f"""
+static int window_{uid}[32];
+
+int {dev}_lag_{uid}(int head, int delay) {{
+    int pos = head - delay;""")
+    start, end = s.extend(f"""
+    return window_{uid}[pos];""")
+    s.bug(BugKind.ARRAY_UNDERFLOW, start, end, path_sensitive=True)
+    s.extend("}")
+    return s
+
+
+def dbz_ratio_of_counts(uid: str, rng: random.Random) -> Snippet:
+    """Division by a difference the zero case of which is reachable."""
+    s = Snippet(pattern="dbz_ratio_of_counts")
+    dev = _devname(rng)
+    s.extend(f"""
+static int active_{uid}(int total, int idle) {{
+    if (idle > total)
+        return 0;
+    return total - idle;
+}}
+
+int {dev}_load_{uid}(int work, int total, int idle) {{
+    int busy = active_{uid}(total, idle);""")
+    start, end = s.extend(f"""
+    return work / busy;""")
+    s.bug(BugKind.DIV_BY_ZERO, start, end, interprocedural=True, path_sensitive=True)
+    s.extend("}")
+    return s
+
+
+# ===========================================================================
+# Extension patterns (not injected by default): exercised only when the
+# §7 function-pointer extension is enabled.
+# ===========================================================================
+
+
+def npd_indirect_dispatch(uid: str, rng: random.Random) -> Snippet:
+    """A NULL pointer flows into its dereference only through a
+    function-pointer call; published PATA misses it (§7 limitation),
+    the ``resolve_function_pointers`` extension finds it."""
+    s = Snippet(pattern="npd_indirect_dispatch")
+    dev = _devname(rng)
+    s.extend(f"""
+struct pkt_{uid} {{ int len; int proto; }};
+struct hops_{uid} {{ int (*consume)(struct pkt_{uid} *p); }};
+
+static int raw_consume_{uid}(struct pkt_{uid} *p) {{""")
+    start, end = s.extend(f"""
+    return p->len;""")
+    s.bug(BugKind.NPD, start, end, aliasing=True, interprocedural=True, path_sensitive=True)
+    s.extend(f"""
+}}
+static struct hops_{uid} raw_ops_{uid} = {{ .consume = raw_consume_{uid} }};
+
+int {dev}_rx_{uid}(struct hops_{uid} *ops, struct pkt_{uid} *p) {{
+    if (!p)
+        return ops->consume(p);
+    return p->proto;
+}}
+struct rxreg_{uid} {{ int (*rx)(struct hops_{uid} *o, struct pkt_{uid} *p); }};
+static struct rxreg_{uid} rxr_{uid} = {{ .rx = {dev}_rx_{uid} }};""")
+    return s
+
+
+EXTENSION_PATTERNS: List[PatternFn] = [npd_indirect_dispatch]
+
+
+# ===========================================================================
+# Bait: infeasible-path false bugs that stage 2 must drop
+# ===========================================================================
+
+
+def bait_contradictory_fields(uid: str, rng: random.Random) -> Snippet:
+    """Fig. 9: ``if (q==NULL) p->f = 0; ... if (t->f != 0) use q`` — the
+    "bug" path needs p->f==0 and t->f!=0 with t==p: infeasible."""
+    s = Snippet(pattern="bait_contradictory_fields")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+struct fb_{uid} {{ int f; }};
+
+int {dev}_sync_{uid}(struct fb_{uid} *p, struct fb_{uid} *q) {{
+    if (q == NULL)
+        p->f = 0;
+    struct fb_{uid} *t = p;
+    if (t->f != 0) {{
+        int v = q->f;
+        return v;
+    }}
+    return 0;
+}}
+
+struct fb_ops_{uid} {{ int (*sync)(struct fb_{uid} *p, struct fb_{uid} *q); }};
+static struct fb_ops_{uid} fb_ops_v_{uid} = {{ .sync = {dev}_sync_{uid} }};""")
+    s.bait(BugKind.NPD, start, end)
+    return s
+
+
+def bait_flag_guard(uid: str, rng: random.Random) -> Snippet:
+    """Correlated flag: ``ok`` is 1 exactly when p was non-NULL; the
+    guarded dereference is safe, but path-insensitive tools can't see it."""
+    s = Snippet(pattern="bait_flag_guard")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+struct buf_{uid} {{ int len; }};
+
+int {dev}_emit_{uid}(struct buf_{uid} *p) {{
+    int ok = 0;
+    if (p != NULL)
+        ok = 1;
+    accounting_tick();
+    if (ok) {{
+        int n = p->len;
+        return n;
+    }}
+    return 0;
+}}""")
+    s.bait(BugKind.NPD, start, end)
+    return s
+
+
+def bait_uva_correlated(uid: str, rng: random.Random) -> Snippet:
+    """The same condition guards init and use: never uninitialized."""
+    s = Snippet(pattern="bait_uva_correlated")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+int {dev}_scale_{uid}(int mode, int raw) {{
+    int cooked;
+    if (mode > 2)
+        cooked = raw * 3;
+    accounting_tick();
+    if (mode > 2)
+        return cooked;
+    return raw;
+}}""")
+    s.bait(BugKind.UVA, start, end)
+    return s
+
+
+def bait_ml_conditional_free(uid: str, rng: random.Random) -> Snippet:
+    """Correct allocate/free pairing across branches — linear-scan ML
+    checkers misread it."""
+    s = Snippet(pattern="bait_ml_conditional_free")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+int {dev}_stage_{uid}(int n) {{
+    char *tmp = kmalloc(n);
+    if (!tmp)
+        return -12;
+    if (n > 128) {{
+        kfree(tmp);
+        return -7;
+    }}
+    consume_buffer(tmp);
+    kfree(tmp);
+    return 0;
+}}""")
+    s.bait(BugKind.ML, start, end)
+    return s
+
+
+def bait_checked_return(uid: str, rng: random.Random) -> Snippet:
+    """``if (!p) return``; the later dereference is safe."""
+    s = Snippet(pattern="bait_checked_return")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+struct cfgv_{uid} {{ int mode; }};
+
+int {dev}_mode_{uid}(struct cfgv_{uid} *c) {{
+    if (!c)
+        return -22;
+    log_debug();
+    return c->mode;
+}}""")
+    s.bait(BugKind.NPD, start, end)
+    return s
+
+
+def bait_loop_init(uid: str, rng: random.Random) -> Snippet:
+    """§5.2 FP source: initialization on the *second* loop iteration.
+    PATA unrolls loops once, so it keeps a false UVA that feasibility
+    checking cannot discharge (the loop-exit branch is havocked)."""
+    s = Snippet(pattern="bait_loop_init")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+int {dev}_warm_{uid}(int base) {{
+    int seed;
+    for (int i = 0; i < 4; i++) {{
+        if (i == 1)
+            seed = base + i;
+        accounting_tick();
+    }}
+    return seed;
+}}""")
+    s.bait(BugKind.UVA, start, end)
+    return s
+
+
+def bait_array_index_alias(uid: str, rng: random.Random) -> Snippet:
+    """§5.2 FP source: ``array[j]`` initialized, ``array[i+1]`` read with
+    ``j == i+1`` — distinct access paths in PATA's array-insensitive
+    aliasing, so the read looks uninitialized."""
+    s = Snippet(pattern="bait_array_index_alias")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+int {dev}_slot_{uid}(int i) {{
+    int table[8];
+    int j = i + 1;
+    table[j] = 42;
+    return table[i + 1];
+}}""")
+    s.bait(BugKind.UVA, start, end)
+    return s
+
+
+def bait_loop_guarded_null(uid: str, rng: random.Random) -> Snippet:
+    """§5.2 FP source: the pointer is re-validated inside every loop
+    iteration; with one unroll the re-check of the second iteration is
+    havocked and a stale NULL fact can survive in some tools."""
+    s = Snippet(pattern="bait_loop_guarded_null")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+struct cell_{uid} {{ struct cell_{uid} *next; int v; }};
+
+int {dev}_sum_{uid}(struct cell_{uid} *head) {{
+    int sum = 0;
+    struct cell_{uid} *cur = head;
+    while (cur != NULL) {{
+        sum = sum + cur->v;
+        cur = cur->next;
+    }}
+    if (head == NULL)
+        return 0;
+    return sum + head->v;
+}}""")
+    s.bait(BugKind.NPD, start, end)
+    return s
+
+
+# ===========================================================================
+# Clean fillers (no ground truth, no bait: realistic bulk)
+# ===========================================================================
+
+
+def filler_ops(uid: str, rng: random.Random) -> Snippet:
+    """Filler: register-file read/update helpers."""
+    s = Snippet(pattern="filler_ops")
+    dev = _devname(rng)
+    n = rng.randint(2, 5)
+    s.extend(f"""
+struct regs_{uid} {{ int ctrl; int status; int mask; }};
+static struct regs_{uid} hw_{uid};
+
+static int {dev}_read_{uid}(int off) {{
+    struct regs_{uid} *r = &hw_{uid};
+    if (off == 0)
+        return r->ctrl;
+    if (off == 1)
+        return r->status;
+    return r->mask;
+}}
+
+int {dev}_update_{uid}(int off, int val) {{
+    struct regs_{uid} *r = &hw_{uid};
+    int old = {dev}_read_{uid}(off);
+    if (val == old)
+        return 0;
+    r->ctrl = val;
+    for (int i = 0; i < {n}; i++)
+        r->status = r->status + 1;
+    return old;
+}}""")
+    return s
+
+
+def filler_list(uid: str, rng: random.Random) -> Snippet:
+    """Filler: singly linked list walkers."""
+    s = Snippet(pattern="filler_list")
+    dev = _devname(rng)
+    s.extend(f"""
+struct node_{uid} {{ struct node_{uid} *next; int key; }};
+static struct node_{uid} *head_{uid};
+
+int {dev}_count_{uid}(int limit) {{
+    struct node_{uid} *cur = head_{uid};
+    int count = 0;
+    while (cur != NULL) {{
+        count = count + 1;
+        if (count >= limit)
+            break;
+        cur = cur->next;
+    }}
+    return count;
+}}
+
+int {dev}_find_{uid}(int key) {{
+    struct node_{uid} *cur = head_{uid};
+    while (cur != NULL) {{
+        if (cur->key == key)
+            return 1;
+        cur = cur->next;
+    }}
+    return 0;
+}}""")
+    return s
+
+
+def filler_locked_update(uid: str, rng: random.Random) -> Snippet:
+    """Filler: correctly locked accounting updates."""
+    s = Snippet(pattern="filler_locked_update")
+    dev = _devname(rng)
+    s.extend(f"""
+struct acct_{uid} {{ int lock; int packets; int bytes; }};
+static struct acct_{uid} acct_{uid}_state;
+
+void {dev}_account_{uid}(int nbytes) {{
+    struct acct_{uid} *a = &acct_{uid}_state;
+    spin_lock(&a->lock);
+    a->packets = a->packets + 1;
+    a->bytes = a->bytes + nbytes;
+    spin_unlock(&a->lock);
+}}
+
+int {dev}_stats_{uid}(int which) {{
+    struct acct_{uid} *a = &acct_{uid}_state;
+    int out;
+    spin_lock(&a->lock);
+    if (which == 0)
+        out = a->packets;
+    else
+        out = a->bytes;
+    spin_unlock(&a->lock);
+    return out;
+}}""")
+    return s
+
+
+def filler_parser(uid: str, rng: random.Random) -> Snippet:
+    """Filler: a token parser with a switch and a loop."""
+    s = Snippet(pattern="filler_parser")
+    dev = _devname(rng)
+    s.extend(f"""
+int {dev}_parse_{uid}(int token, int depth) {{
+    int result = 0;
+    switch (token) {{
+    case 1:
+        result = depth + 1;
+        break;
+    case 2:
+        result = depth * 2;
+        break;
+    default:
+        result = depth;
+        break;
+    }}
+    if (result > 100)
+        result = 100;
+    return result;
+}}
+
+int {dev}_scan_{uid}(int start, int len) {{
+    int sum = 0;
+    for (int i = start; i < start + len; i++) {{
+        int piece = {dev}_parse_{uid}(i % 3, i);
+        sum = sum + piece;
+    }}
+    return sum;
+}}""")
+    return s
+
+
+def filler_ring(uid: str, rng: random.Random) -> Snippet:
+    """Filler: a fixed-size ring buffer."""
+    s = Snippet(pattern="filler_ring")
+    dev = _devname(rng)
+    size = rng.choice([8, 16, 32])
+    s.extend(f"""
+struct ring_{uid} {{ int data[{size}]; int head; int tail; }};
+static struct ring_{uid} rb_{uid};
+
+int {dev}_push_{uid}(int value) {{
+    struct ring_{uid} *r = &rb_{uid};
+    int next = (r->head + 1) % {size};
+    if (next == r->tail)
+        return -105;
+    r->data[r->head] = value;
+    r->head = next;
+    return 0;
+}}
+
+int {dev}_pop_{uid}(void) {{
+    struct ring_{uid} *r = &rb_{uid};
+    if (r->head == r->tail)
+        return -11;
+    int value = r->data[r->tail];
+    r->tail = (r->tail + 1) % {size};
+    return value;
+}}""")
+    return s
+
+
+def filler_pool(uid: str, rng: random.Random) -> Snippet:
+    """Modules publishing and consuming heap objects through the
+    OS-wide shared pool ``g_pool_head`` (same global in every file).
+
+    This is what makes whole-OS points-to analysis explode: every
+    module's allocations flow into one points-to set that every module's
+    readers then pull back, so Andersen's set entries grow ~quadratically
+    with the number of modules — the Saber/SVF OOM of §6."""
+    s = Snippet(pattern="filler_pool")
+    dev = _devname(rng)
+    s.extend(f"""
+struct pool_ent {{ struct pool_ent *next; int tag; int payload; }};
+
+int {dev}_publish_{uid}(int tag) {{
+    struct pool_ent *ent = kzalloc(sizeof(struct pool_ent));
+    if (!ent)
+        return -12;
+    ent->tag = tag;
+    ent->next = g_pool_head;
+    g_pool_head = ent;
+    return 0;
+}}
+
+int {dev}_consume_{uid}(int tag) {{
+    struct pool_ent *cur = g_pool_head;
+    while (cur != NULL) {{
+        if (cur->tag == tag)
+            return cur->payload;
+        cur = cur->next;
+    }}
+    return -2;
+}}""")
+    return s
+
+
+# ===========================================================================
+# Registry
+# ===========================================================================
+
+BUG_PATTERNS: Dict[str, List[PatternFn]] = {
+    "NPD": [
+        npd_interface_alias,
+        npd_callee_field_alias,
+        npd_error_path_local,
+        npd_callee_deref_after_check,
+        npd_sendto_cast_alias,
+        npd_double_field_hop,
+    ],
+    "UVA": [uva_heap_field_callee, uva_scalar_feasible, uva_partial_memset],
+    "ML": [ml_error_path, ml_callee_alloc, ml_never_freed, ml_overwritten_pointer],
+    "DL": [dl_double_lock, dl_unlock_twice_goto],
+    "AIU": [aiu_unchecked_index, aiu_subtraction_index],
+    "DBZ": [dbz_div_by_ret, dbz_ratio_of_counts],
+}
+
+BAIT_PATTERNS: List[PatternFn] = [
+    bait_contradictory_fields,
+    bait_flag_guard,
+    bait_uva_correlated,
+    bait_ml_conditional_free,
+    bait_checked_return,
+    bait_loop_init,
+    bait_array_index_alias,
+    bait_loop_guarded_null,
+]
+
+FILLER_PATTERNS: List[PatternFn] = [
+    filler_ops,
+    filler_list,
+    filler_locked_update,
+    filler_parser,
+    filler_ring,
+    filler_pool,
+]
+
+UNCOMPILED_BUG_PATTERNS: List[PatternFn] = [npd_easy_uncompiled]
+
+#: external helpers the snippets call; declared once per file
+COMMON_DECLS = """\
+struct pool_ent;
+struct pool_ent *g_pool_head;
+void report_error(int code);
+void emit_status(int val);
+void log_warn(void);
+void log_debug(void);
+void accounting_tick(void);
+void consume_buffer(char *buf);
+"""

@@ -1,0 +1,135 @@
+"""Corpus specification: OS profiles, generated files, ground truth.
+
+The evaluation corpora are *generated* mini-C OS trees (the paper's Linux/
+Zephyr/RIOT/TencentOS-tiny stand-ins — see DESIGN.md §2 for why this
+substitution preserves the evaluation's shape).  Every injected bug and
+every injected false-bug bait region is recorded as ground truth, so the
+harness can classify tool findings as real or false positives exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..typestate import BugKind
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """What a tool must be able to do to find an injected bug.  Used for
+    result *analysis* only — never leaked to the tools."""
+
+    interprocedural: bool = False
+    aliasing: bool = False
+    path_sensitive: bool = False
+
+
+@dataclass
+class GroundTruthBug:
+    """One injected real bug.  A finding of ``kind`` inside
+    [line_start, line_end] of ``path`` matches it."""
+
+    uid: str
+    kind: BugKind
+    path: str
+    line_start: int
+    line_end: int
+    requires: Requirement = field(default_factory=Requirement)
+    category: str = "drivers"
+    pattern: str = ""
+
+    def covers(self, kind: BugKind, path: str, line: int) -> bool:
+        return kind is self.kind and path == self.path and self.line_start <= line <= self.line_end
+
+
+@dataclass
+class BaitRegion:
+    """An injected *infeasible* or otherwise safe region that naive tools
+    flag; any finding inside it is a false positive by construction."""
+
+    uid: str
+    kind: Optional[BugKind]  # None = any kind counts as FP here
+    path: str
+    line_start: int
+    line_end: int
+    pattern: str = ""
+
+    def covers(self, kind: BugKind, path: str, line: int) -> bool:
+        if self.path != path or not (self.line_start <= line <= self.line_end):
+            return False
+        return self.kind is None or kind is self.kind
+
+
+@dataclass
+class GeneratedFile:
+    path: str
+    source: str
+    category: str
+    compiled: bool = True  # False = excluded from PATA's kernel config
+
+    @property
+    def line_count(self) -> int:
+        return self.source.count("\n") + 1
+
+
+@dataclass
+class OSProfile:
+    """Shape of one generated OS tree."""
+
+    name: str
+    version_label: str
+    seed: int
+    #: (directory, category, file share) — categories drive Fig. 11
+    layout: List[Tuple[str, str, float]]
+    total_files: int
+    snippets_per_file: Tuple[int, int] = (4, 8)
+    #: per-category real-bug injection rate (bugs per file, on average)
+    bug_rate: Dict[str, float] = field(default_factory=dict)
+    #: bait (false-bug) injection rate per file
+    bait_rate: float = 0.5
+    #: fraction of files not enabled by the compilation config (PATA and
+    #: the compile-based tools do not see them; Cppcheck/Coccinelle do)
+    excluded_fraction: float = 0.0
+    #: share of NPD / UVA / ML / DL / AIU / DBZ among injected bugs
+    kind_mix: Dict[str, float] = field(
+        default_factory=lambda: {"NPD": 0.62, "UVA": 0.18, "ML": 0.08, "DL": 0.04, "AIU": 0.05, "DBZ": 0.03}
+    )
+
+    def scaled(self, factor: float) -> "OSProfile":
+        clone = OSProfile(
+            name=self.name,
+            version_label=self.version_label,
+            seed=self.seed,
+            layout=list(self.layout),
+            total_files=max(2, int(self.total_files * factor)),
+            snippets_per_file=self.snippets_per_file,
+            bug_rate=dict(self.bug_rate),
+            bait_rate=self.bait_rate,
+            excluded_fraction=self.excluded_fraction,
+            kind_mix=dict(self.kind_mix),
+        )
+        return clone
+
+
+@dataclass
+class GeneratedOS:
+    profile: OSProfile
+    files: List[GeneratedFile] = field(default_factory=list)
+    ground_truth: List[GroundTruthBug] = field(default_factory=list)
+    bait_regions: List[BaitRegion] = field(default_factory=list)
+
+    def compiled_files(self) -> List[GeneratedFile]:
+        return [f for f in self.files if f.compiled]
+
+    def all_sources(self) -> List[Tuple[str, str]]:
+        return [(f.path, f.source) for f in self.files]
+
+    def compiled_sources(self) -> List[Tuple[str, str]]:
+        return [(f.path, f.source) for f in self.files if f.compiled]
+
+    def total_lines(self) -> int:
+        return sum(f.line_count for f in self.files)
+
+    def compiled_lines(self) -> int:
+        return sum(f.line_count for f in self.files if f.compiled)

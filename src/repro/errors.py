@@ -1,0 +1,54 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: a verifier or builder invariant was violated."""
+
+
+class LexError(ReproError):
+    """Invalid token in mini-C source."""
+
+    def __init__(self, message, filename="<input>", line=0, column=0):
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Syntactically invalid mini-C source."""
+
+    def __init__(self, message, filename="<input>", line=0, column=0):
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+
+class SemaError(ReproError):
+    """Semantically invalid mini-C source (unknown name, bad field, ...)."""
+
+    def __init__(self, message, filename="<input>", line=0):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+class AnalysisError(ReproError):
+    """Internal failure inside an analysis pass."""
+
+
+class BudgetExceeded(ReproError):
+    """An analysis budget (paths, depth, time) was exhausted.
+
+    Raised internally and always caught by the analysis drivers; exposed so
+    tests can assert budget behaviour.
+    """
+
+
+class SolverError(ReproError):
+    """The SMT-lite solver was given a malformed constraint system."""

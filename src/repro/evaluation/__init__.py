@@ -1,0 +1,22 @@
+"""Evaluation harness regenerating the paper's tables and figures."""
+
+from .harness import EXTENDED_KINDS, EvaluationHarness, OSRun, PRIMARY_KINDS, render_table
+from .report import generate_markdown_report
+from .tables import (
+    fig11_distribution,
+    table4_os_info,
+    table5_analysis,
+    table6_sensitivity,
+    table7_generality,
+    table8_comparison,
+    unique_real_bugs_vs_tools,
+)
+
+__all__ = [
+    "EXTENDED_KINDS", "EvaluationHarness", "OSRun", "PRIMARY_KINDS",
+    "render_table",
+    "generate_markdown_report",
+    "fig11_distribution", "table4_os_info", "table5_analysis",
+    "table6_sensitivity", "table7_generality", "table8_comparison",
+    "unique_real_bugs_vs_tools",
+]

@@ -1,0 +1,150 @@
+"""Evaluation harness: runs PATA and the baselines over the generated
+corpora and produces the paper's tables and figures (see DESIGN.md §5 for
+the experiment index).
+
+Everything is deterministic given the profiles' seeds.  ``scale`` shrinks
+the corpora uniformly so the full suite runs in CI-sized time budgets;
+the benchmark targets use scale=1.0.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import PATA, AnalysisConfig
+from ..baselines import (
+    BaselineTool,
+    CSALike,
+    CoccinelleLike,
+    CppcheckLike,
+    InferLike,
+    PataNA,
+    SVFNull,
+    SaberLike,
+    ToolResult,
+)
+from ..corpus import (
+    ALL_PROFILES,
+    GeneratedOS,
+    MatchResult,
+    OSProfile,
+    generate,
+    match_findings,
+    reachable_truth,
+)
+from ..ir import Program
+from ..lang import compile_program
+from ..typestate import BugKind
+
+PRIMARY_KINDS = (BugKind.NPD, BugKind.UVA, BugKind.ML)
+EXTENDED_KINDS = (BugKind.DOUBLE_LOCK, BugKind.ARRAY_UNDERFLOW, BugKind.DIV_BY_ZERO)
+
+
+@dataclass
+class OSRun:
+    """Everything measured for one OS corpus."""
+
+    corpus: GeneratedOS
+    program: Program            # compiled (config-enabled) files only
+    full_program: Program       # every file (for source-based tools)
+    pata_result: object = None
+    pata_match: Optional[MatchResult] = None
+    pata_time: float = 0.0
+    tool_results: Dict[str, ToolResult] = field(default_factory=dict)
+    tool_matches: Dict[str, MatchResult] = field(default_factory=dict)
+
+
+class EvaluationHarness:
+    """Caches corpora, compiled programs and tool runs per OS profile; see the module docstring."""
+
+    def __init__(self, scale: float = 1.0, profiles: Optional[Sequence[OSProfile]] = None,
+                 config: Optional[AnalysisConfig] = None):
+        self.scale = scale
+        self.profiles = list(profiles) if profiles is not None else list(ALL_PROFILES)
+        self.config = config or AnalysisConfig()
+        self._runs: Dict[str, OSRun] = {}
+
+    # -- corpus / program caching --------------------------------------------------
+
+    def run_for(self, profile: OSProfile) -> OSRun:
+        if profile.name in self._runs:
+            return self._runs[profile.name]
+        corpus = generate(profile.scaled(self.scale))
+        program = compile_program(corpus.compiled_sources())
+        full_program = compile_program(corpus.all_sources())
+        run = OSRun(corpus=corpus, program=program, full_program=full_program)
+        self._runs[profile.name] = run
+        return run
+
+    # -- PATA ------------------------------------------------------------------------
+
+    def run_pata(self, profile: OSProfile, all_checkers: bool = False,
+                 kinds: Sequence[BugKind] = PRIMARY_KINDS) -> OSRun:
+        run = self.run_for(profile)
+        started = time.monotonic()
+        pata = PATA.with_all_checkers(config=self.config) if all_checkers else PATA(config=self.config)
+        result = pata.analyze(run.program)
+        run.pata_time = time.monotonic() - started
+        run.pata_result = result
+        findings = [(r.kind, r.sink_file, r.sink_line) for r in result.reports]
+        run.pata_match = match_findings(findings, run.corpus, "pata", restrict_kinds=kinds)
+        return run
+
+    # -- baselines ---------------------------------------------------------------------
+
+    def run_tool(self, profile: OSProfile, tool: BaselineTool,
+                 kinds: Sequence[BugKind] = PRIMARY_KINDS,
+                 source_based: bool = False) -> Tuple[ToolResult, MatchResult]:
+        """``source_based`` tools see every file (no compilation step)."""
+        run = self.run_for(profile)
+        program = run.full_program if source_based else run.program
+        result = tool.analyze(program)
+        findings = [(f.kind, f.file, f.line) for f in result.findings]
+        match = match_findings(findings, run.corpus, tool.name, restrict_kinds=kinds)
+        run.tool_results[tool.name] = result
+        run.tool_matches[tool.name] = match
+        return result, match
+
+
+# -----------------------------------------------------------------------------
+# Rendering helpers
+# -----------------------------------------------------------------------------
+
+
+def render_table(headers: List[str], rows: List[List[str]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def kind_triple(match: MatchResult, counts: Dict[BugKind, int], kinds=PRIMARY_KINDS) -> str:
+    """Format per-kind counts as ``a/b/c``."""
+    return "/".join(str(counts.get(k, 0)) for k in kinds)
+
+
+def format_found(match: MatchResult, kinds=PRIMARY_KINDS) -> str:
+    """Format a match's found counts as ``N (a/b/c)``."""
+    return f"{match.found} ({kind_triple(match, match.found_by_kind, kinds)})"
+
+
+def format_real(match: MatchResult, kinds=PRIMARY_KINDS) -> str:
+    """Format a match's real counts as ``N (a/b/c)``."""
+    return f"{match.real} ({kind_triple(match, match.real_by_kind, kinds)})"
+
+
+def format_confirmed(match: MatchResult, kinds=PRIMARY_KINDS) -> str:
+    """Format a match's confirmed counts as ``N (a/b/c)``."""
+    return f"{match.confirmed} ({kind_triple(match, match.confirmed_by_kind, kinds)})"

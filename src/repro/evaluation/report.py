@@ -1,0 +1,74 @@
+"""One-shot markdown evaluation report.
+
+``generate_markdown_report`` runs every table/figure of the paper's
+evaluation over one harness and renders a self-contained markdown
+document — the programmatic cousin of EXPERIMENTS.md, with whatever
+scale/profile set the caller chose.  Exposed on the CLI as
+``repro-pata eval all --markdown report.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .. import __version__
+from .harness import EvaluationHarness
+from .tables import (
+    fig11_distribution,
+    table4_os_info,
+    table5_analysis,
+    table6_sensitivity,
+    table7_generality,
+    table8_comparison,
+    unique_real_bugs_vs_tools,
+)
+
+_SECTIONS = (
+    ("Table 4 — checked OSes", table4_os_info),
+    ("Table 5 — PATA analysis results", table5_analysis),
+    ("Figure 11 — bug distribution", fig11_distribution),
+    ("Table 6 — sensitivity (PATA vs PATA-NA)", table6_sensitivity),
+    ("Table 7 — additional checkers", table7_generality),
+    ("Table 8 — tool comparison", table8_comparison),
+)
+
+
+def generate_markdown_report(
+    harness: Optional[EvaluationHarness] = None,
+    scale: float = 1.0,
+) -> str:
+    """Run the full evaluation and return the markdown report text."""
+    if harness is None:
+        harness = EvaluationHarness(scale=scale)
+    started = time.monotonic()
+    lines: List[str] = [
+        "# PATA reproduction — evaluation report",
+        "",
+        f"- library version: `{__version__}`",
+        f"- corpus scale: `{harness.scale}`",
+        f"- profiles: {', '.join(p.name for p in harness.profiles)}",
+        "",
+        "Shapes (not absolute numbers) are comparable to the paper; see",
+        "EXPERIMENTS.md for the per-claim mapping.",
+    ]
+    table8_data = None
+    for title, fn in _SECTIONS:
+        data, text = fn(harness)
+        if fn is table8_comparison:
+            table8_data = data
+        lines += ["", f"## {title}", "", "```", text, "```"]
+    if table8_data is not None:
+        pata_only, missed = unique_real_bugs_vs_tools(table8_data)
+        lines += [
+            "",
+            "## Headline deltas",
+            "",
+            f"- real bugs unique to PATA across all OSes: **{pata_only}** "
+            f"(paper: 328)",
+            f"- real bugs PATA missed that some baseline found: **{missed}** "
+            f"(paper: 27; ours all live in config-excluded files)",
+        ]
+    elapsed = time.monotonic() - started
+    lines += ["", f"_Generated in {elapsed:.1f}s._", ""]
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Concrete IR interpreter + dynamic confirmation of static reports."""
+
+from .faults import (
+    DivisionByZeroFault,
+    DoubleFreeFault,
+    DoubleLockFault,
+    Fault,
+    InterpreterError,
+    NegativeIndexFault,
+    NullDereferenceFault,
+    StepLimitExceeded,
+    UninitializedReadFault,
+    UseAfterFreeFault,
+)
+from .machine import Loc, Machine, UNDEF, run_entry
+from .confirm import Confirmation, DynamicConfirmer
+
+__all__ = [
+    "DivisionByZeroFault", "DoubleFreeFault", "DoubleLockFault", "Fault",
+    "InterpreterError", "NegativeIndexFault", "NullDereferenceFault",
+    "StepLimitExceeded", "UninitializedReadFault", "UseAfterFreeFault",
+    "Loc", "Machine", "UNDEF", "run_entry",
+    "Confirmation", "DynamicConfirmer",
+]

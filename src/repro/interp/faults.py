@@ -1,0 +1,74 @@
+"""Runtime faults raised by the IR interpreter.
+
+Each fault maps to one of the bug kinds PATA detects statically, so a
+static report can be *dynamically confirmed* by observing the matching
+fault at the matching location (see :mod:`repro.interp.confirm`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import SourceLoc
+from ..typestate import BugKind
+
+
+class Fault(Exception):
+    """Base class of runtime faults."""
+
+    kind: Optional[BugKind] = None
+
+    def __init__(self, message: str, loc: Optional[SourceLoc] = None):
+        super().__init__(f"{loc}: {message}" if loc is not None else message)
+        self.message = message
+        self.loc = loc
+
+
+class NullDereferenceFault(Fault):
+    """A NULL pointer was dereferenced."""
+
+    kind = BugKind.NPD
+
+
+class UninitializedReadFault(Fault):
+    """An uninitialized cell or local was read."""
+
+    kind = BugKind.UVA
+
+
+class UseAfterFreeFault(Fault):
+    """A freed object was accessed."""
+
+    kind = None  # no static kind in the default checker set
+
+
+class DoubleFreeFault(Fault):
+    """An object was freed twice."""
+
+    kind = None
+
+
+class DivisionByZeroFault(Fault):
+    """Integer division or modulo by zero."""
+
+    kind = BugKind.DIV_BY_ZERO
+
+
+class NegativeIndexFault(Fault):
+    """An array was indexed with a negative value."""
+
+    kind = BugKind.ARRAY_UNDERFLOW
+
+
+class DoubleLockFault(Fault):
+    """A lock was acquired while held, or released while free."""
+
+    kind = BugKind.DOUBLE_LOCK
+
+
+class StepLimitExceeded(Fault):
+    """The interpreter's fuel ran out (infinite loop guard)."""
+
+
+class InterpreterError(Fault):
+    """Malformed program state (an interpreter bug, not a program bug)."""

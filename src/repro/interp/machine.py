@@ -1,0 +1,453 @@
+"""A concrete interpreter for the repro IR.
+
+Executes mini-C programs directly on their IR, with a fault model aligned
+to PATA's bug kinds: dereferencing NULL, reading uninitialized memory or
+locals, dividing by zero, negative array indexes, double lock/unlock,
+use-after-free and double-free all raise typed :mod:`faults`.
+
+The interpreter serves three purposes in this repository:
+
+* **dynamic confirmation** of static reports (:mod:`repro.interp.confirm`)
+  — the honest analogue of the paper's "confirmed by OS developers" row;
+* **corpus validation** — injected bugs demonstrably fire at runtime;
+* a reference semantics for the lowering (differential tests).
+
+Semantics notes: objects are field dictionaries (nested structs use
+dotted labels); static storage is zero-initialized as in C, stack and
+non-zeroing heap allocations are not; external functions return values
+chosen by a caller-provided oracle (default 0).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    DeclLocal,
+    Free,
+    Function,
+    Gep,
+    Jump,
+    Load,
+    LockOp,
+    Malloc,
+    MemSet,
+    Move,
+    Program,
+    Ret,
+    Store,
+    UnOp,
+    Unreachable,
+    Value,
+    Var,
+)
+from .faults import (
+    DivisionByZeroFault,
+    DoubleFreeFault,
+    DoubleLockFault,
+    Fault,
+    InterpreterError,
+    NegativeIndexFault,
+    NullDereferenceFault,
+    StepLimitExceeded,
+    UninitializedReadFault,
+    UseAfterFreeFault,
+)
+
+
+class _Undef:
+    """The value of an uninitialized cell; faults on use."""
+
+    def __repr__(self) -> str:
+        return "<undef>"
+
+
+UNDEF = _Undef()
+
+_obj_ids = itertools.count(1)
+
+
+@dataclass
+class HeapObject:
+    oid: int
+    kind: str  # "heap" | "stack" | "global" | "opaque"
+    zeroed: bool
+    alloc_loc: Any = None
+    fields: Dict[str, Any] = dataclass_field(default_factory=dict)
+    freed: bool = False
+    lock_depth: int = 0
+
+    def __hash__(self):
+        return self.oid
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A pointer value: object + (possibly dotted) field label.
+
+    ``label=None`` addresses the object's root cell (scalar objects)."""
+
+    obj: HeapObject
+    label: Optional[str] = None
+
+    def sub(self, field_label: str) -> "Loc":
+        combined = field_label if self.label is None else f"{self.label}.{field_label}"
+        return Loc(self.obj, combined)
+
+    def __repr__(self) -> str:
+        suffix = f".{self.label}" if self.label else ""
+        return f"&obj{self.obj.oid}{suffix}"
+
+
+RuntimeValue = Union[int, Loc, _Undef]
+
+
+class Machine:
+    """One interpreter instance over a program.
+
+    ``externals`` maps external function names to ``fn(args) -> value``;
+    unlisted externals return 0.  ``allocator_policy(site_uid) -> bool``
+    decides whether a fallible allocation succeeds (default: always).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        externals: Optional[Dict[str, Callable]] = None,
+        fuel: int = 200_000,
+        allocator_policy: Optional[Callable[[int], bool]] = None,
+        max_call_depth: int = 64,
+    ):
+        self.program = program
+        self.externals = dict(externals or {})
+        self.fuel = fuel
+        self.allocator_policy = allocator_policy or (lambda site: True)
+        self.max_call_depth = max_call_depth
+        self.globals_obj = HeapObject(next(_obj_ids), "global", zeroed=True)
+        #: storage objects of global aggregates, by variable name
+        self._global_aggregates: Dict[str, HeapObject] = {}
+        self.heap_objects: List[HeapObject] = []
+        self._opaque: Dict[int, HeapObject] = {}
+        self._steps = 0
+        self._depth = 0
+
+    # -- object helpers -------------------------------------------------------
+
+    def new_object(self, kind: str, zeroed: bool, loc=None) -> HeapObject:
+        obj = HeapObject(next(_obj_ids), kind, zeroed, alloc_loc=loc)
+        if kind == "heap":
+            self.heap_objects.append(obj)
+        return obj
+
+    def make_argument_object(self, zeroed: bool = True) -> Loc:
+        """A fresh object suitable as a pointer argument to an entry call."""
+        return Loc(self.new_object("stack", zeroed))
+
+    def _read_cell(self, loc: Loc, at) -> RuntimeValue:
+        obj = loc.obj
+        if obj.freed:
+            raise UseAfterFreeFault(f"read of freed object obj{obj.oid}", at)
+        key = loc.label if loc.label is not None else "$cell"
+        if key not in obj.fields:
+            if obj.zeroed:
+                return 0
+            raise UninitializedReadFault(f"read of uninitialized {loc!r}", at)
+        value = obj.fields[key]
+        if value is UNDEF:
+            raise UninitializedReadFault(f"read of uninitialized {loc!r}", at)
+        return value
+
+    def _write_cell(self, loc: Loc, value: RuntimeValue, at) -> None:
+        obj = loc.obj
+        if obj.freed:
+            raise UseAfterFreeFault(f"write to freed object obj{obj.oid}", at)
+        key = loc.label if loc.label is not None else "$cell"
+        obj.fields[key] = value
+
+    def _as_loc(self, value: RuntimeValue, at) -> Loc:
+        if isinstance(value, Loc):
+            return value
+        if value is UNDEF:
+            raise UninitializedReadFault("uninitialized pointer dereferenced", at)
+        if value == 0:
+            raise NullDereferenceFault("NULL pointer dereferenced", at)
+        # Integer constants used as pointers (string literals, MMIO-ish
+        # magic values) get a lazily created opaque zeroed buffer.
+        obj = self._opaque.get(value)
+        if obj is None:
+            obj = self.new_object("opaque", zeroed=True)
+            self._opaque[value] = obj
+        return Loc(obj)
+
+    # -- entry points ------------------------------------------------------------
+
+    def call(self, func: Union[str, Function], args: Sequence[RuntimeValue] = ()) -> RuntimeValue:
+        """Invoke ``func`` with concrete arguments and run to completion."""
+        if isinstance(func, str):
+            resolved = self.program.lookup(func)
+            if resolved is None:
+                raise InterpreterError(f"unknown function {func!r}")
+            func = resolved
+        return self._call_function(func, list(args), at=None)
+
+    def leaked_objects(self, returned: RuntimeValue = None) -> List[HeapObject]:
+        """Heap objects neither freed nor reachable from the returned value
+        or any global — the dynamic analogue of a memory leak."""
+        reachable: set = set()
+        work: List[HeapObject] = [self.globals_obj]
+        if isinstance(returned, Loc):
+            work.append(returned.obj)
+        while work:
+            obj = work.pop()
+            if obj.oid in reachable:
+                continue
+            reachable.add(obj.oid)
+            for value in obj.fields.values():
+                if isinstance(value, Loc):
+                    work.append(value.obj)
+        return [o for o in self.heap_objects if not o.freed and o.oid not in reachable]
+
+    # -- execution ---------------------------------------------------------------
+
+    def _call_function(self, func: Function, args: List[RuntimeValue], at) -> RuntimeValue:
+        if func.is_declaration:
+            return self._call_external(func.name, args, at)
+        if self._depth >= self.max_call_depth:
+            raise StepLimitExceeded("call depth exceeded", at)
+        self._depth += 1
+        try:
+            env: Dict[str, RuntimeValue] = {}
+            for param, value in zip(func.params, args):
+                env[param.name] = value
+            for param in func.params[len(args):]:
+                env[param.name] = 0
+            block = func.entry
+            while True:
+                for inst in block.instructions:
+                    self._step(inst, env)
+                term = block.terminator
+                self._burn(term)
+                if isinstance(term, Ret):
+                    if term.value is None:
+                        return 0
+                    result = self._operand(term.value, env, term)
+                    if result is UNDEF:
+                        raise UninitializedReadFault("uninitialized value returned", term.loc)
+                    return result
+                if isinstance(term, Jump):
+                    block = term.target
+                elif isinstance(term, Branch):
+                    cond = self._operand(term.cond, env, term)
+                    if cond is UNDEF:
+                        raise UninitializedReadFault("branch on uninitialized value", term.loc)
+                    truthy = (cond != 0) if isinstance(cond, int) else True  # a Loc is non-NULL
+                    block = term.then_block if truthy else term.else_block
+                elif isinstance(term, Unreachable):
+                    raise InterpreterError("reached 'unreachable'", term.loc)
+                else:
+                    raise InterpreterError(f"unknown terminator {term!r}", term.loc)
+        finally:
+            self._depth -= 1
+
+    def _burn(self, inst) -> None:
+        self._steps += 1
+        if self._steps > self.fuel:
+            raise StepLimitExceeded("instruction fuel exhausted", getattr(inst, "loc", None))
+
+    def _operand(self, value: Value, env: Dict[str, RuntimeValue], inst) -> RuntimeValue:
+        if isinstance(value, Const):
+            return value.value
+        assert isinstance(value, Var)
+        if value.is_global:
+            if value.is_aggregate:
+                obj = self._global_aggregates.get(value.name)
+                if obj is None:
+                    obj = self.new_object("global", zeroed=True)
+                    self._global_aggregates[value.name] = obj
+                return Loc(obj)
+            key = value.name
+            if key not in self.globals_obj.fields:
+                return 0  # static storage is zero-initialized
+            return self.globals_obj.fields[key]
+        if value.name not in env:
+            raise InterpreterError(f"use of unbound variable {value.name}", inst.loc)
+        return env[value.name]
+
+    def _assign(self, var: Var, value: RuntimeValue, env: Dict[str, RuntimeValue]) -> None:
+        if var.is_global:
+            self.globals_obj.fields[var.name] = value
+        else:
+            env[var.name] = value
+
+    # -- instruction dispatch -------------------------------------------------------
+
+    def _step(self, inst, env: Dict[str, RuntimeValue]) -> None:
+        self._burn(inst)
+        if isinstance(inst, Move):
+            self._assign(inst.dst, self._operand(inst.src, env, inst), env)
+        elif isinstance(inst, DeclLocal):
+            env[inst.var.name] = UNDEF
+        elif isinstance(inst, Load):
+            loc = self._as_loc(self._operand(inst.ptr, env, inst), inst.loc)
+            self._assign(inst.dst, self._read_cell(loc, inst.loc), env)
+        elif isinstance(inst, Store):
+            loc = self._as_loc(self._operand(inst.ptr, env, inst), inst.loc)
+            self._write_cell(loc, self._operand(inst.src, env, inst), inst.loc)
+        elif isinstance(inst, Gep):
+            base = self._as_loc(self._operand(inst.base, env, inst), inst.loc)
+            label = inst.field
+            if inst.index is not None:
+                index = self._operand(inst.index, env, inst)
+                if index is UNDEF:
+                    raise UninitializedReadFault("uninitialized array index", inst.loc)
+                if isinstance(index, int) and index < 0:
+                    raise NegativeIndexFault(f"array index {index} is negative", inst.loc)
+                label = f"[{index}]"
+            self._assign(inst.dst, base.sub(label), env)
+        elif isinstance(inst, AddrOf):
+            target = inst.var
+            if target.is_global:
+                self._assign(inst.dst, Loc(self.globals_obj, target.name), env)
+            else:
+                raise InterpreterError(f"address of register variable {target.name}", inst.loc)
+        elif isinstance(inst, BinOp):
+            self._assign(inst.dst, self._binop(inst, env), env)
+        elif isinstance(inst, UnOp):
+            value = self._use(inst.src, env, inst)
+            self._assign(inst.dst, -value if inst.op == "neg" else ~value, env)
+        elif isinstance(inst, Alloc):
+            obj = self.new_object("stack", zeroed=inst.zeroed, loc=inst.loc)
+            self._assign(inst.dst, Loc(obj), env)
+        elif isinstance(inst, Malloc):
+            if inst.may_fail and not self.allocator_policy(inst.uid):
+                self._assign(inst.dst, 0, env)
+            else:
+                obj = self.new_object("heap", zeroed=inst.zeroed, loc=inst.loc)
+                self._assign(inst.dst, Loc(obj), env)
+        elif isinstance(inst, Free):
+            value = self._operand(inst.ptr, env, inst)
+            if isinstance(value, Loc):
+                if value.obj.freed:
+                    raise DoubleFreeFault(f"double free of obj{value.obj.oid}", inst.loc)
+                value.obj.freed = True
+            elif isinstance(value, int) and value != 0:
+                raise InterpreterError("free of a non-pointer value", inst.loc)
+            # free(NULL) is a no-op, as in C.
+        elif isinstance(inst, MemSet):
+            loc = self._as_loc(self._operand(inst.ptr, env, inst), inst.loc)
+            loc.obj.zeroed = True
+            loc.obj.fields.clear()
+        elif isinstance(inst, LockOp):
+            loc = self._as_loc(self._operand(inst.lock, env, inst), inst.loc)
+            if inst.acquire:
+                if loc.obj.lock_depth > 0:
+                    raise DoubleLockFault("lock acquired twice", inst.loc)
+                loc.obj.lock_depth = 1
+            else:
+                if loc.obj.lock_depth == 0:
+                    raise DoubleLockFault("lock released while not held", inst.loc)
+                loc.obj.lock_depth = 0
+        elif isinstance(inst, Call):
+            target = self.program.lookup(inst.callee)
+            args = [self._operand(a, env, inst) for a in inst.args]
+            if target is not None:
+                result = self._call_function(target, args, inst.loc)
+            else:
+                result = self._call_external(inst.callee, args, inst.loc)
+            if inst.dst is not None:
+                self._assign(inst.dst, result, env)
+        elif isinstance(inst, CallIndirect):
+            fn_value = self._operand(inst.fn, env, inst)
+            args = [self._operand(a, env, inst) for a in inst.args]
+            result = self._call_function_pointer(fn_value, args, inst.loc)
+            if inst.dst is not None:
+                self._assign(inst.dst, result, env)
+        else:
+            raise InterpreterError(f"unhandled instruction {inst!r}", inst.loc)
+
+    def _use(self, value: Value, env, inst) -> int:
+        resolved = self._operand(value, env, inst)
+        if resolved is UNDEF:
+            raise UninitializedReadFault("use of uninitialized value", inst.loc)
+        if isinstance(resolved, Loc):
+            # Pointers in arithmetic degrade to a non-zero token.
+            return 1
+        return resolved
+
+    def _binop(self, inst: BinOp, env) -> RuntimeValue:
+        lhs = self._operand(inst.lhs, env, inst)
+        rhs = self._operand(inst.rhs, env, inst)
+        if lhs is UNDEF or rhs is UNDEF:
+            raise UninitializedReadFault("use of uninitialized value", inst.loc)
+        op = inst.op
+        if op in ("eq", "ne"):
+            equal = lhs == rhs
+            return int(equal) if op == "eq" else int(not equal)
+        lhs_int = 1 if isinstance(lhs, Loc) else lhs
+        rhs_int = 1 if isinstance(rhs, Loc) else rhs
+        if op in ("div", "mod") and rhs_int == 0:
+            raise DivisionByZeroFault("division by zero", inst.loc)
+        table = {
+            "add": lambda a, b: a + b,
+            "sub": lambda a, b: a - b,
+            "mul": lambda a, b: a * b,
+            "div": lambda a, b: int(a / b) if b else 0,
+            "mod": lambda a, b: a - int(a / b) * b,
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: a ^ b,
+            "shl": lambda a, b: a << (b & 63),
+            "shr": lambda a, b: a >> (b & 63),
+            "lt": lambda a, b: int(a < b),
+            "le": lambda a, b: int(a <= b),
+            "gt": lambda a, b: int(a > b),
+            "ge": lambda a, b: int(a >= b),
+            "land": lambda a, b: int(bool(a) and bool(b)),
+            "lor": lambda a, b: int(bool(a) or bool(b)),
+        }
+        if op == "add" and isinstance(lhs, Loc):
+            return lhs  # pointer arithmetic keeps the base object
+        return table[op](lhs_int, rhs_int)
+
+    def _call_external(self, name: str, args, at) -> RuntimeValue:
+        handler = self.externals.get(name)
+        if handler is not None:
+            return handler(args)
+        return 0
+
+    def _call_function_pointer(self, fn_value, args, at) -> RuntimeValue:
+        """Indirect calls: a Loc into the globals object whose cell holds a
+        function name (set up when registrations are materialized) resolves;
+        anything else is a no-op returning 0 (the static analyses' view)."""
+        if isinstance(fn_value, str):
+            func = self.program.lookup(fn_value)
+            if func is not None:
+                return self._call_function(func, args, at)
+        return 0
+
+
+def run_entry(
+    program: Program,
+    func_name: str,
+    args: Sequence[RuntimeValue] = (),
+    **machine_kwargs,
+) -> Tuple[Optional[RuntimeValue], Optional[Fault], List[HeapObject]]:
+    """Convenience wrapper: run one entry, catching faults.
+
+    Returns (return value | None, fault | None, leaked heap objects).
+    """
+    machine = Machine(program, **machine_kwargs)
+    try:
+        result = machine.call(func_name, args)
+    except Fault as fault:
+        return None, fault, machine.leaked_objects()
+    return result, None, machine.leaked_objects(result)

@@ -1,0 +1,213 @@
+"""Basic blocks, functions and modules of the repro IR."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from .instructions import Branch, Instruction, Jump, Ret, Terminator, Unreachable
+from .types import FunctionType, StructType, Type, VOID
+from .values import SourceLoc, UNKNOWN_LOC, Var
+
+_block_ids = itertools.count(1)
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.uid = next(_block_ids)
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"block {self.name} already terminated")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def set_terminator(self, term: Terminator) -> Terminator:
+        if self.terminator is not None:
+            raise IRError(f"block {self.name} already terminated")
+        term.parent = self
+        self.terminator = term
+        return term
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return self.terminator.successors() if self.terminator else ()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function:
+    """An IR function: parameters, blocks, and source metadata.
+
+    ``is_interface`` marks module-interface functions — functions registered
+    through a function-pointer field of a driver/ops struct and therefore
+    having no explicit caller in the OS code (§1, D1).  These are PATA's
+    analysis entry points alongside truly caller-less functions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Var],
+        return_type: Type = VOID,
+        filename: str = "<ir>",
+        line: int = 0,
+        is_static: bool = False,
+        variadic: bool = False,
+    ):
+        self.name = name
+        self.params: List[Var] = list(params)
+        self.return_type = return_type
+        self.filename = filename
+        self.line = line
+        self.is_static = is_static
+        self.variadic = variadic
+        self.is_interface = False
+        self.blocks: List[BasicBlock] = []
+        self._block_names: Dict[str, BasicBlock] = {}
+
+    @property
+    def type(self) -> FunctionType:
+        return FunctionType(self.return_type, tuple(p.type for p in self.params), self.variadic)
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def add_block(self, name: str) -> BasicBlock:
+        unique = name
+        counter = 1
+        while unique in self._block_names:
+            counter += 1
+            unique = f"{name}.{counter}"
+        block = BasicBlock(unique, parent=self)
+        self.blocks.append(block)
+        self._block_names[unique] = block
+        return block
+
+    def get_block(self, name: str) -> BasicBlock:
+        return self._block_names[name]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class InterfaceRegistration:
+    """Records ``.field = function`` inside a static struct initializer —
+    the pattern of Fig. 1 (``.probe = s5p_mfc_probe``)."""
+
+    def __init__(self, struct_var: str, struct_type: Optional[StructType], field: str, function: str, loc: SourceLoc = UNKNOWN_LOC):
+        self.struct_var = struct_var
+        self.struct_type = struct_type
+        self.field = field
+        self.function = function
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"<.{self.field} = {self.function} in {self.struct_var}>"
+
+
+class Module:
+    """A translation unit: struct types, globals, functions, registrations."""
+
+    def __init__(self, name: str = "<module>"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, Var] = {}
+        self.structs: Dict[str, StructType] = {}
+        self.registrations: List[InterfaceRegistration] = []
+        self.source_lines: int = 0
+
+    def add_function(self, func: Function) -> Function:
+        existing = self.functions.get(func.name)
+        if existing is not None and not existing.is_declaration and not func.is_declaration:
+            raise IRError(f"duplicate definition of function {func.name}")
+        if existing is None or existing.is_declaration:
+            self.functions[func.name] = func
+        return self.functions[func.name]
+
+    def add_global(self, var: Var) -> Var:
+        self.globals[var.name] = var
+        return var
+
+    def get_struct(self, name: str) -> StructType:
+        if name not in self.structs:
+            self.structs[name] = StructType(name)
+        return self.structs[name]
+
+    def add_registration(self, reg: InterfaceRegistration) -> None:
+        self.registrations.append(reg)
+        func = self.functions.get(reg.function)
+        if func is not None:
+            func.is_interface = True
+
+    def defined_functions(self) -> Iterator[Function]:
+        return (f for f in self.functions.values() if not f.is_declaration)
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self.functions)} functions)>"
+
+
+class Program:
+    """A whole analyzed codebase: several modules linked by name.
+
+    This is the unit PATA's information collector (§4, P1) works over: it
+    resolves cross-module calls by function name and aggregates interface
+    registrations.
+    """
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None):
+        self.modules: List[Module] = list(modules or [])
+
+    def add_module(self, module: Module) -> Module:
+        self.modules.append(module)
+        return module
+
+    def functions(self) -> Iterator[Function]:
+        for module in self.modules:
+            yield from module.defined_functions()
+
+    def lookup(self, name: str) -> Optional[Function]:
+        for module in self.modules:
+            func = module.functions.get(name)
+            if func is not None and not func.is_declaration:
+                return func
+        return None
+
+    def registrations(self) -> Iterator[InterfaceRegistration]:
+        for module in self.modules:
+            yield from module.registrations
+
+    def total_source_lines(self) -> int:
+        return sum(m.source_lines for m in self.modules)
+
+    def __repr__(self) -> str:
+        return f"<Program ({len(self.modules)} modules)>"

@@ -1,0 +1,483 @@
+"""Instruction set of the repro IR.
+
+The set mirrors the LLVM subset PATA consumes (§3.1 of the paper): MOVE,
+STORE, LOAD and GEP drive the alias analysis; CALL/RET provide
+inter-procedural MOVEs; ALLOC/MALLOC/FREE are the allocation events the
+typestate checkers watch; BINOP/UNOP feed branch conditions into the SMT
+translation (Table 3).  Control flow lives in block *terminators*
+(:class:`Jump`, :class:`Branch`, :class:`Ret`), not in the instruction list.
+
+Every instruction records a :class:`~repro.ir.values.SourceLoc` so bug
+reports point at mini-C source lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from .values import Const, SourceLoc, UNKNOWN_LOC, Value, Var
+
+# Binary operators.  Comparison operators produce an i32 0/1 value; the
+# lowering always routes branch conditions through a comparison.
+ARITH_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr")
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+LOGIC_OPS = ("land", "lor")  # only produced for non-short-circuit contexts
+BIN_OPS = ARITH_OPS + CMP_OPS + LOGIC_OPS
+
+_ids = itertools.count(1)
+
+
+class Instruction:
+    """Base class for non-terminator instructions.
+
+    ``uid`` is a process-unique id used for path membership checks and
+    bug deduplication keys.
+    """
+
+    __slots__ = ("uid", "loc", "parent")
+
+    def __init__(self, loc: SourceLoc = UNKNOWN_LOC):
+        self.uid = next(_ids)
+        self.loc = loc
+        self.parent = None  # set by BasicBlock.append
+
+    def operands(self) -> Tuple[Value, ...]:
+        return ()
+
+    def defined_var(self) -> Optional[Var]:
+        """The virtual register this instruction defines, if any."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{self}>"
+
+
+class Move(Instruction):
+    """``dst = src`` — the MOVE of Fig. 5."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Var, src: Value, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.dst = dst
+        self.src = src
+
+    def operands(self):
+        return (self.src,)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = {self.src}"
+
+
+class Load(Instruction):
+    """``dst = *ptr`` — the LOAD of Fig. 5."""
+
+    __slots__ = ("dst", "ptr")
+
+    def __init__(self, dst: Var, ptr: Var, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.dst = dst
+        self.ptr = ptr
+
+    def operands(self):
+        return (self.ptr,)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = *{self.ptr}"
+
+
+class Store(Instruction):
+    """``*ptr = src`` — the STORE of Fig. 5."""
+
+    __slots__ = ("ptr", "src")
+
+    def __init__(self, ptr: Var, src: Value, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.ptr = ptr
+        self.src = src
+
+    def operands(self):
+        return (self.ptr, self.src)
+
+    def __str__(self):
+        return f"*{self.ptr} = {self.src}"
+
+
+class Gep(Instruction):
+    """``dst = &base->field`` — the GEP of Fig. 5 (field-sensitive).
+
+    Array accesses are encoded as GEPs whose field label is ``[k]`` for a
+    constant index k and ``[v]`` for a non-constant index variable ``v``
+    (PATA is array-insensitive for non-constant indexes, §5.2).
+    ``index`` carries the index operand for the array-underflow checker.
+    """
+
+    __slots__ = ("dst", "base", "field", "index")
+
+    def __init__(
+        self,
+        dst: Var,
+        base: Var,
+        field: str,
+        index: Optional[Value] = None,
+        loc: SourceLoc = UNKNOWN_LOC,
+    ):
+        super().__init__(loc)
+        self.dst = dst
+        self.base = base
+        self.field = field
+        self.index = index
+
+    def operands(self):
+        return (self.base,) if self.index is None else (self.base, self.index)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = &{self.base}->{self.field}"
+
+
+class AddrOf(Instruction):
+    """``dst = &var`` — address of a local/global.
+
+    For the alias graph this behaves like ``*dst = var`` (a STORE edge)
+    without emitting a store event to the checkers.
+    """
+
+    __slots__ = ("dst", "var")
+
+    def __init__(self, dst: Var, var: Var, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.dst = dst
+        self.var = var
+
+    def operands(self):
+        return (self.var,)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = &{self.var}"
+
+
+class BinOp(Instruction):
+    """``dst = lhs op rhs``."""
+
+    __slots__ = ("dst", "op", "lhs", "rhs")
+
+    def __init__(self, dst: Var, op: str, lhs: Value, rhs: Value, loc: SourceLoc = UNKNOWN_LOC):
+        if op not in BIN_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(loc)
+        self.dst = dst
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self):
+        return (self.lhs, self.rhs)
+
+    def defined_var(self):
+        return self.dst
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in CMP_OPS
+
+    def __str__(self):
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+class UnOp(Instruction):
+    """``dst = op src`` with op in {neg, not, lnot}."""
+
+    __slots__ = ("dst", "op", "src")
+
+    def __init__(self, dst: Var, op: str, src: Value, loc: SourceLoc = UNKNOWN_LOC):
+        if op not in ("neg", "not", "lnot"):
+            raise ValueError(f"unknown unary op {op!r}")
+        super().__init__(loc)
+        self.dst = dst
+        self.op = op
+        self.src = src
+
+    def operands(self):
+        return (self.src,)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+class Call(Instruction):
+    """``dst = callee(args...)`` — direct call by function name.
+
+    Indirect (function-pointer) calls use :class:`CallIndirect`; PATA does
+    not follow those (§7), but they still appear in the IR so that the
+    unsoundness is the analysis' choice, not the IR's.
+    """
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(
+        self,
+        dst: Optional[Var],
+        callee: str,
+        args: Sequence[Value],
+        loc: SourceLoc = UNKNOWN_LOC,
+    ):
+        super().__init__(loc)
+        self.dst = dst
+        self.callee = callee
+        self.args: List[Value] = list(args)
+
+    def operands(self):
+        return tuple(self.args)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+class CallIndirect(Instruction):
+    """``dst = (*fn)(args...)`` — call through a function pointer."""
+
+    __slots__ = ("dst", "fn", "args")
+
+    def __init__(
+        self,
+        dst: Optional[Var],
+        fn: Var,
+        args: Sequence[Value],
+        loc: SourceLoc = UNKNOWN_LOC,
+    ):
+        super().__init__(loc)
+        self.dst = dst
+        self.fn = fn
+        self.args: List[Value] = list(args)
+
+    def operands(self):
+        return (self.fn, *self.args)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}icall (*{self.fn})({args})"
+
+
+class Alloc(Instruction):
+    """``dst = alloca ty`` — address of a fresh *uninitialized* stack slot.
+
+    Emitted for address-taken locals and for aggregate locals; scalar
+    locals stay in registers.  The UVA checker treats this as the
+    ``alloc`` event of Table 2.
+    """
+
+    __slots__ = ("dst", "allocated_type", "zeroed")
+
+    def __init__(self, dst: Var, allocated_type, zeroed: bool = False, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.dst = dst
+        self.allocated_type = allocated_type
+        self.zeroed = zeroed
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        z = " zeroed" if self.zeroed else ""
+        return f"{self.dst} = alloca {self.allocated_type}{z}"
+
+
+class DeclLocal(Instruction):
+    """Marks the declaration of an *uninitialized scalar local* kept in a
+    register.  Emits no runtime effect; it is the ``alloc`` event of the
+    UVA FSM (Table 2) for register-allocated locals."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: Var, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.var = var
+
+    def __str__(self):
+        return f"decl {self.var}"
+
+
+class Malloc(Instruction):
+    """``dst = malloc(size)`` — heap allocation.
+
+    ``zeroed`` is True for calloc/kzalloc-style allocators (the object is
+    initialized); ``may_fail`` is True when the allocator can return NULL.
+    """
+
+    __slots__ = ("dst", "size", "zeroed", "may_fail", "allocator")
+
+    def __init__(
+        self,
+        dst: Var,
+        size: Value,
+        zeroed: bool = False,
+        may_fail: bool = True,
+        allocator: str = "malloc",
+        loc: SourceLoc = UNKNOWN_LOC,
+    ):
+        super().__init__(loc)
+        self.dst = dst
+        self.size = size
+        self.zeroed = zeroed
+        self.may_fail = may_fail
+        self.allocator = allocator
+
+    def operands(self):
+        return (self.size,)
+
+    def defined_var(self):
+        return self.dst
+
+    def __str__(self):
+        return f"{self.dst} = {self.allocator}({self.size})"
+
+
+class Free(Instruction):
+    """``free(ptr)``."""
+
+    __slots__ = ("ptr", "deallocator")
+
+    def __init__(self, ptr: Var, deallocator: str = "free", loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.ptr = ptr
+        self.deallocator = deallocator
+
+    def operands(self):
+        return (self.ptr,)
+
+    def __str__(self):
+        return f"{self.deallocator}({self.ptr})"
+
+
+class MemSet(Instruction):
+    """``memset(ptr, value, size)`` — initializes the pointed-to region."""
+
+    __slots__ = ("ptr", "value", "size")
+
+    def __init__(self, ptr: Var, value: Value, size: Value, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.ptr = ptr
+        self.value = value
+        self.size = size
+
+    def operands(self):
+        return (self.ptr, self.value, self.size)
+
+    def __str__(self):
+        return f"memset({self.ptr}, {self.value}, {self.size})"
+
+
+class LockOp(Instruction):
+    """``lock(l)`` / ``unlock(l)`` for the double-lock checker (§5.5)."""
+
+    __slots__ = ("lock", "acquire", "api")
+
+    def __init__(self, lock: Var, acquire: bool, api: str = "spin_lock", loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.lock = lock
+        self.acquire = acquire
+        self.api = api
+
+    def operands(self):
+        return (self.lock,)
+
+    def __str__(self):
+        return f"{self.api}({self.lock})"
+
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+
+class Terminator:
+    """Base class of block terminators."""
+
+    __slots__ = ("uid", "loc", "parent")
+
+    def __init__(self, loc: SourceLoc = UNKNOWN_LOC):
+        self.uid = next(_ids)
+        self.loc = loc
+        self.parent = None
+
+    def successors(self) -> Tuple["BasicBlock", ...]:  # noqa: F821
+        return ()
+
+
+class Jump(Terminator):
+    """Unconditional branch to ``target``."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+    def __str__(self):
+        return f"br {self.target.name}"
+
+
+class Branch(Terminator):
+    """Conditional branch on an i32 condition (non-zero = taken)."""
+
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(self, cond: Value, then_block, else_block, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def successors(self):
+        return (self.then_block, self.else_block)
+
+    def __str__(self):
+        return f"br {self.cond}, {self.then_block.name}, {self.else_block.name}"
+
+
+class Ret(Terminator):
+    """Return from the function, optionally with a value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Value] = None, loc: SourceLoc = UNKNOWN_LOC):
+        super().__init__(loc)
+        self.value = value
+
+    def __str__(self):
+        return f"ret {self.value}" if self.value is not None else "ret void"
+
+
+class Unreachable(Terminator):
+    """Marks a block no execution may reach (verifier aid)."""
+
+    def __str__(self):
+        return "unreachable"

@@ -1,0 +1,46 @@
+"""Textual rendering of IR modules/functions, for debugging and tests."""
+
+from __future__ import annotations
+
+from .function import BasicBlock, Function, Module
+
+
+def format_block(block: BasicBlock) -> str:
+    """Render one basic block as text."""
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {inst}")
+    if block.terminator is not None:
+        lines.append(f"  {block.terminator}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    """Render a function definition (or declaration) as text."""
+    params = ", ".join(f"{p.type} {p}" for p in func.params)
+    flags = []
+    if func.is_static:
+        flags.append("static")
+    if func.is_interface:
+        flags.append("interface")
+    prefix = (" ".join(flags) + " ") if flags else ""
+    header = f"{prefix}define {func.return_type} @{func.name}({params}) {{"
+    if func.is_declaration:
+        return f"{prefix}declare {func.return_type} @{func.name}({params})"
+    body = "\n".join(format_block(b) for b in func.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module: structs, globals, registrations, functions."""
+    parts = [f"; module {module.name}"]
+    for struct in module.structs.values():
+        fields = "; ".join(f"{ty} {name}" for name, ty in struct.fields.items())
+        parts.append(f"{struct} {{ {fields} }}")
+    for g in module.globals.values():
+        parts.append(f"global {g.type} {g.name}")
+    for reg in module.registrations:
+        parts.append(f"; register {reg}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

@@ -1,0 +1,88 @@
+"""Values (operands) of the repro IR: virtual registers and constants.
+
+PATA's alias analysis identifies *variables*; in the IR a variable is a
+:class:`Var` — either a source-level local/parameter/global or a compiler
+temporary introduced by lowering.  Constants carry a Python int payload;
+the null pointer is the pointer-typed constant 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .types import IntType, PointerType, Type, VOID_PTR
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A source position attached to instructions for bug reports."""
+
+    filename: str = "<ir>"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}"
+
+
+UNKNOWN_LOC = SourceLoc()
+
+
+class Value:
+    """Base class for IR operands."""
+
+    type: Type
+
+
+@dataclass(frozen=True)
+class Var(Value):
+    """A named virtual register.
+
+    ``name`` is unique within a function (the builder enforces this), and
+    globals are prefixed with ``@``.  ``source_name`` preserves the name the
+    user wrote, for readable reports; temporaries have ``source_name=None``.
+    """
+
+    name: str
+    type: Type = field(default_factory=lambda: IntType(32))
+    source_name: Optional[str] = None
+    is_global: bool = False
+    #: True for global aggregates (structs/arrays): the Var *is* the
+    #: aggregate's address, not a pointer-valued cell.
+    is_aggregate: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+    def display_name(self) -> str:
+        return self.source_name or self.name
+
+
+@dataclass(frozen=True)
+class Const(Value):
+    """An integer (or pointer) constant."""
+
+    value: int
+    type: Type = field(default_factory=lambda: IntType(32))
+
+    def __str__(self) -> str:
+        if self.type.is_pointer() and self.value == 0:
+            return "null"
+        return str(self.value)
+
+    @property
+    def is_null(self) -> bool:
+        return self.type.is_pointer() and self.value == 0
+
+
+NULL = Const(0, VOID_PTR)
+
+
+def const_int(value: int, width: int = 32) -> Const:
+    """An integer constant of the given bit width."""
+    return Const(value, IntType(width))
+
+
+def is_null_const(value: Value) -> bool:
+    """True for the null-pointer constant (any pointer type, payload 0)."""
+    return isinstance(value, Const) and isinstance(value.type, PointerType) and value.value == 0

@@ -1,0 +1,82 @@
+"""IR well-formedness checks.
+
+The verifier enforces the invariants that downstream analyses rely on:
+every reachable block is terminated, branch targets belong to the same
+function, defined variables are unique per instruction (the IR is not SSA
+— source variables may be redefined — but each *temporary* must have a
+single definition), and terminator successors are consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IRError
+from .function import Function, Module, Program
+from .instructions import Branch, Jump, Ret, Unreachable
+
+
+def verify_function(func: Function) -> List[str]:
+    """Return a list of problems (empty when the function is well-formed)."""
+    problems: List[str] = []
+    if func.is_declaration:
+        return problems
+    block_set = set(id(b) for b in func.blocks)
+    temp_defs = {}
+    for block in func.blocks:
+        if block.terminator is None:
+            problems.append(f"{func.name}: block {block.name} lacks a terminator")
+            continue
+        for succ in block.successors():
+            if id(succ) not in block_set:
+                problems.append(
+                    f"{func.name}: block {block.name} branches to foreign block {succ.name}"
+                )
+        term = block.terminator
+        if not isinstance(term, (Branch, Jump, Ret, Unreachable)):
+            problems.append(f"{func.name}: block {block.name} has unknown terminator {term!r}")
+        for inst in block.instructions:
+            dst = inst.defined_var()
+            if dst is not None and dst.name.startswith("%"):
+                prev = temp_defs.get(dst.name)
+                if prev is not None and prev is not inst:
+                    problems.append(
+                        f"{func.name}: temporary {dst.name} defined more than once"
+                    )
+                temp_defs[dst.name] = inst
+    return problems
+
+
+def verify_module(module: Module) -> List[str]:
+    """Verify every function of a module; returns the list of problems."""
+    problems: List[str] = []
+    for func in module.functions.values():
+        problems.extend(verify_function(func))
+    for reg in module.registrations:
+        if reg.function not in module.functions:
+            # Cross-module registrations are resolved at Program level; only
+            # flag registrations that cannot resolve anywhere later.
+            continue
+    return problems
+
+
+def verify_program(program: Program) -> List[str]:
+    """Verify every module of a program; returns the list of problems."""
+    problems: List[str] = []
+    for module in program.modules:
+        problems.extend(verify_module(module))
+    return problems
+
+
+def assert_valid(obj) -> None:
+    """Raise :class:`IRError` when the IR object is malformed."""
+    if isinstance(obj, Function):
+        problems = verify_function(obj)
+    elif isinstance(obj, Module):
+        problems = verify_module(obj)
+    elif isinstance(obj, Program):
+        problems = verify_program(obj)
+    else:
+        raise TypeError(f"cannot verify {type(obj).__name__}")
+    if problems:
+        raise IRError("; ".join(problems))

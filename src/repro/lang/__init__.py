@@ -1,0 +1,28 @@
+"""Mini-C frontend: lexer, parser, AST and lowering to the repro IR.
+
+The one-call entry point is :func:`compile_source`; multi-file programs go
+through :func:`compile_program`.
+"""
+
+from typing import Iterable, Tuple
+
+from ..ir import Module, Program
+from .lexer import Lexer, Token, tokenize
+from .parser import Parser, parse
+from .lower import ALLOCATORS, DEALLOCATORS, LOCK_APIS, compile_source, lower_unit
+from .sema import Diagnostic, SemaChecker, check_source
+
+__all__ = [
+    "Lexer", "Token", "tokenize", "Parser", "parse",
+    "ALLOCATORS", "DEALLOCATORS", "LOCK_APIS",
+    "compile_source", "lower_unit", "compile_program",
+    "Diagnostic", "SemaChecker", "check_source",
+]
+
+
+def compile_program(sources: Iterable[Tuple[str, str]]) -> Program:
+    """Compile ``(filename, source)`` pairs into a linked :class:`Program`."""
+    program = Program()
+    for filename, source in sources:
+        program.add_module(compile_source(source, filename))
+    return program

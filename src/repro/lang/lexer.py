@@ -1,0 +1,185 @@
+"""Lexer for mini-C, the C subset the corpus and examples are written in.
+
+Mini-C covers the constructs PATA's evaluation exercises: structs with
+designated initializers (module-interface registration), pointers, field
+accesses, arrays, control flow including ``goto``, and the kernel-ish
+allocation/locking APIs (recognized later, at lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import LexError
+
+KEYWORDS = {
+    "struct", "union", "enum", "typedef", "static", "extern", "inline",
+    "const", "volatile", "unsigned", "signed", "void", "int", "char",
+    "long", "short", "float", "double", "bool",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "goto", "switch", "case", "default", "sizeof", "NULL",
+}
+
+# Multi-character punctuation, longest first so maximal munch works.
+PUNCT = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'id', 'num', 'char', 'string', 'kw', 'punct', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Streaming tokenizer over one mini-C source buffer."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.filename, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            elif ch == "#":
+                # Preprocessor lines are ignored (the corpus does not rely on
+                # macros; kernel-ish APIs are plain functions in mini-C).
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    if self._peek() == "\\" and self._peek(1) == "\n":
+                        self._advance()
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token("eof", "", self.line, self.column)
+                return
+            start_line, start_col = self.line, self.column
+            ch = self._peek()
+            if ch.isalpha() or ch == "_":
+                text = self._lex_word()
+                kind = "kw" if text in KEYWORDS else "id"
+                yield Token(kind, text, start_line, start_col)
+            elif ch.isdigit():
+                yield Token("num", self._lex_number(), start_line, start_col)
+            elif ch == '"':
+                yield Token("string", self._lex_string(), start_line, start_col)
+            elif ch == "'":
+                yield Token("char", self._lex_char(), start_line, start_col)
+            else:
+                for punct in PUNCT:
+                    if self.source.startswith(punct, self.pos):
+                        self._advance(len(punct))
+                        yield Token("punct", punct, start_line, start_col)
+                        break
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_word(self) -> str:
+        start = self.pos
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        return self.source[start : self.pos]
+
+    def _lex_number(self) -> str:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        # Integer suffixes (UL, LL, u, ...) are consumed and ignored.
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        return self.source[start : self.pos]
+
+    def _lex_string(self) -> str:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                return "".join(chars)
+            if ch == "\\":
+                self._advance()
+                chars.append(self._peek())
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _lex_char(self) -> str:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance()
+            escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", "r": "\r"}
+            ch = escapes.get(self._peek(), self._peek())
+            self._advance()
+        else:
+            ch = self._peek()
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return ch
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``source`` fully, returning the token list ending with EOF."""
+    return list(Lexer(source, filename).tokens())
+
+
+def parse_int_literal(text: str) -> int:
+    """Parse a C integer literal (decimal or 0x hex, suffixes ignored)."""
+    text = text.rstrip("uUlL")
+    return int(text, 16) if text.lower().startswith("0x") else int(text, 10)

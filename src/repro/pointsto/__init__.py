@@ -1,0 +1,6 @@
+"""Points-to analyses: the aliasing substrate of the compared tools (§6)."""
+
+from .andersen import AndersenPointsTo, MemoryBudgetExceeded
+from .flow_sensitive import FlowSensitivePointsTo
+
+__all__ = ["AndersenPointsTo", "MemoryBudgetExceeded", "FlowSensitivePointsTo"]

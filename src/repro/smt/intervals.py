@@ -1,0 +1,77 @@
+"""Integer interval domain used for bound propagation in the solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Practical infinities — beyond any constant the translator produces.
+NEG_INF = -(1 << 63)
+POS_INF = 1 << 63
+
+
+@dataclass
+class Interval:
+    lo: int = NEG_INF
+    hi: int = POS_INF
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def singleton(self) -> Optional[int]:
+        return self.lo if self.lo == self.hi else None
+
+    def tighten_lo(self, value: int) -> bool:
+        """Raise the lower bound; True when something changed."""
+        if value > self.lo:
+            self.lo = value
+            return True
+        return False
+
+    def tighten_hi(self, value: int) -> bool:
+        if value < self.hi:
+            self.hi = value
+            return True
+        return False
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def width(self) -> int:
+        return self.hi - self.lo + 1 if not self.empty else 0
+
+    def copy(self) -> "Interval":
+        return Interval(self.lo, self.hi)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo == NEG_INF else str(self.lo)
+        hi = "+inf" if self.hi == POS_INF else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+def apply_rel(interval: Interval, op: str, bound: int) -> bool:
+    """Tighten ``interval`` by ``x op bound``; True when changed."""
+    if op == "eq":
+        changed = interval.tighten_lo(bound)
+        return interval.tighten_hi(bound) or changed
+    if op == "lt":
+        return interval.tighten_hi(bound - 1)
+    if op == "le":
+        return interval.tighten_hi(bound)
+    if op == "gt":
+        return interval.tighten_lo(bound + 1)
+    if op == "ge":
+        return interval.tighten_lo(bound)
+    if op == "ne":
+        # Only representable at the edges of the interval.
+        changed = False
+        if interval.lo == bound:
+            interval.lo += 1
+            changed = True
+        if interval.hi == bound:
+            interval.hi -= 1
+            changed = True
+        return changed
+    raise ValueError(f"unknown relational operator {op!r}")

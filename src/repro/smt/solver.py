@@ -1,0 +1,360 @@
+"""Conjunction solver for SMT-lite (the Z3 stand-in of this reproduction).
+
+Decides satisfiability of a conjunction of :class:`~repro.smt.terms.Atom`
+over the integers, in four phases:
+
+1. **Equality closure** — ``x == c`` and ``x == y (+ c)`` atoms feed an
+   offset union-find; contradictions are UNSAT immediately.
+2. **Bound propagation** — relational atoms between a symbol class and a
+   constant, and difference atoms between two classes, tighten integer
+   intervals to a fixpoint; an empty interval is UNSAT.
+3. **Disequality check** — ``x != ...`` atoms against pinned values.
+4. **Model search** — a model is constructed greedily from the intervals
+   and verified against *all* atoms (including nonlinear ones the earlier
+   phases ignored).  If greedy fails, a bounded randomized/candidate
+   search runs; if that also fails the result is UNKNOWN.
+
+The caller (the PATA bug filter) treats UNKNOWN as *feasible* — a bug is
+only dropped on a definite UNSAT.  This is the conservative direction:
+it can leave false positives (as the paper reports for complex arithmetic,
+§5.2) but never hides a real bug because the solver gave up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .intervals import Interval, NEG_INF, POS_INF, apply_rel
+from .terms import App, Atom, Num, SWAPPED_REL, Sym, Term, eval_atom, fold
+from .unionfind import OffsetUnionFind
+
+
+class SolveResult(Enum):
+    """Verdict of one conjunction solve: SAT, UNSAT or UNKNOWN."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Solution:
+    result: SolveResult
+    model: Optional[Dict[int, int]] = None
+    reason: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.result is SolveResult.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.result is SolveResult.UNSAT
+
+    @property
+    def feasible(self) -> bool:
+        """How the bug filter reads the verdict: only UNSAT is infeasible."""
+        return self.result is not SolveResult.UNSAT
+
+
+@dataclass
+class _Normalized:
+    """Atoms sorted into the classes the phases consume."""
+
+    pinned: List[Tuple[int, str, int]] = field(default_factory=list)  # (sym, op, const)
+    diffs: List[Tuple[int, str, int, int]] = field(default_factory=list)  # x op y + c
+    complex_atoms: List[Atom] = field(default_factory=list)
+    all_atoms: List[Atom] = field(default_factory=list)
+
+
+class Solver:
+    """One-shot conjunction solver; see module docstring."""
+
+    def __init__(self, max_search_nodes: int = 50000, max_propagation_rounds: int = 64):
+        self.max_search_nodes = max_search_nodes
+        self.max_propagation_rounds = max_propagation_rounds
+
+    # -- public API --------------------------------------------------------------
+
+    def solve(self, atoms: Sequence[Atom]) -> Solution:
+        folded = [Atom(a.op, fold(a.lhs), fold(a.rhs)) for a in atoms]
+        # Trivially decide constant atoms.
+        remaining: List[Atom] = []
+        for atom in folded:
+            if isinstance(atom.lhs, Num) and isinstance(atom.rhs, Num):
+                if eval_atom(atom, {}) is False:
+                    return Solution(SolveResult.UNSAT, reason=f"constant atom {atom} is false")
+            else:
+                remaining.append(atom)
+        if not remaining:
+            return Solution(SolveResult.SAT, model={})
+
+        uf = OffsetUnionFind()
+        norm = self._normalize(remaining, uf)
+        if norm is None:
+            return Solution(SolveResult.UNSAT, reason="equality closure contradiction")
+
+        intervals = self._propagate(norm, uf)
+        if intervals is None:
+            return Solution(SolveResult.UNSAT, reason="empty interval after bound propagation")
+
+        verdict = self._check_disequalities(norm, uf, intervals)
+        if verdict is not None:
+            return verdict
+
+        return self._search_model(norm, uf, intervals)
+
+    # -- phase 1: normalize + equalities --------------------------------------------
+
+    def _normalize(self, atoms: List[Atom], uf: OffsetUnionFind) -> Optional[_Normalized]:
+        norm = _Normalized(all_atoms=atoms)
+        pending = list(atoms)
+        for atom in pending:
+            lhs, rhs = atom.lhs, atom.rhs
+            if isinstance(lhs, Num) and not isinstance(rhs, Num):
+                lhs, rhs = rhs, lhs
+                atom = Atom(SWAPPED_REL[atom.op], lhs, rhs)
+            shape = self._linear_shape(atom)
+            if shape is None:
+                norm.complex_atoms.append(atom)
+                continue
+            kind = shape[0]
+            if kind == "pin":
+                _, sym, op, const = shape
+                if op == "eq":
+                    if not uf.assign(sym, const):
+                        return None
+                else:
+                    norm.pinned.append((sym, op, const))
+            else:  # ("diff", x, op, y, c): x op y + c
+                _, x, op, y, c = shape
+                if op == "eq":
+                    if not uf.union(x, y, c):
+                        return None
+                else:
+                    norm.diffs.append((x, op, y, c))
+        return norm
+
+    @staticmethod
+    def _linear_shape(atom: Atom):
+        """Recognize ``sym op const`` and ``sym op sym (+/- const)``."""
+        lhs, rhs = atom.lhs, atom.rhs
+        if isinstance(lhs, Sym) and isinstance(rhs, Num):
+            return ("pin", lhs.sid, atom.op, rhs.value)
+        if isinstance(lhs, Sym) and isinstance(rhs, Sym):
+            return ("diff", lhs.sid, atom.op, rhs.sid, 0)
+        if (
+            isinstance(lhs, Sym)
+            and isinstance(rhs, App)
+            and rhs.op in ("add", "sub")
+            and len(rhs.args) == 2
+            and isinstance(rhs.args[0], Sym)
+            and isinstance(rhs.args[1], Num)
+        ):
+            delta = rhs.args[1].value if rhs.op == "add" else -rhs.args[1].value
+            return ("diff", lhs.sid, atom.op, rhs.args[0].sid, delta)
+        if (
+            isinstance(rhs, Sym)
+            and isinstance(lhs, App)
+            and lhs.op in ("add", "sub")
+            and len(lhs.args) == 2
+            and isinstance(lhs.args[0], Sym)
+            and isinstance(lhs.args[1], Num)
+        ):
+            delta = lhs.args[1].value if lhs.op == "add" else -lhs.args[1].value
+            # lhs.sym + delta op rhs.sym  <=>  lhs.sym op rhs.sym - delta
+            return ("diff", lhs.args[0].sid, atom.op, rhs.sid, -delta)
+        return None
+
+    # -- phase 2: interval propagation ----------------------------------------------
+
+    def _propagate(self, norm: _Normalized, uf: OffsetUnionFind) -> Optional[Dict[int, Interval]]:
+        intervals: Dict[int, Interval] = {}
+
+        def interval_of(sym: int) -> Tuple[Interval, int]:
+            root, offset = uf.find(sym)
+            if root not in intervals:
+                intervals[root] = Interval()
+                pinned = uf.value_of(root)
+                if pinned is not None:
+                    intervals[root] = Interval(pinned, pinned)
+            return intervals[root], offset
+
+        # Seed with pinned values discovered during equality closure.
+        for sym in uf.known_symbols():
+            interval_of(sym)
+
+        for _ in range(self.max_propagation_rounds):
+            changed = False
+            for sym, op, const in norm.pinned:
+                iv, offset = interval_of(sym)
+                # sym op const, sym = root + offset → root op const - offset
+                changed |= apply_rel(iv, op, const - offset)
+                if iv.empty:
+                    return None
+            for x, op, y, c in norm.diffs:
+                ivx, ox = interval_of(x)
+                ivy, oy = interval_of(y)
+                # x op y + c with x = rx + ox, y = ry + oy:
+                # rx op ry + (c + oy - ox)
+                k = c + oy - ox
+                changed |= self._propagate_diff(ivx, op, ivy, k)
+                if ivx.empty or ivy.empty:
+                    return None
+            if not changed:
+                break
+        return intervals
+
+    @staticmethod
+    def _propagate_diff(ivx: Interval, op: str, ivy: Interval, k: int) -> bool:
+        """Tighten for ``rx op ry + k``; bounds of one side push the other."""
+        changed = False
+        if op in ("lt", "le"):
+            slack = -1 if op == "lt" else 0
+            if ivy.hi < POS_INF:
+                changed |= ivx.tighten_hi(ivy.hi + k + slack)
+            if ivx.lo > NEG_INF:
+                changed |= ivy.tighten_lo(ivx.lo - k - slack)
+        elif op in ("gt", "ge"):
+            slack = 1 if op == "gt" else 0
+            if ivy.lo > NEG_INF:
+                changed |= ivx.tighten_lo(ivy.lo + k + slack)
+            if ivx.hi < POS_INF:
+                changed |= ivy.tighten_hi(ivx.hi - k - slack)
+        elif op == "ne":
+            sx, sy = ivx.singleton, ivy.singleton
+            if sx is not None and sy is None:
+                changed |= apply_rel(ivy, "ne", sx - k)
+            elif sy is not None and sx is None:
+                changed |= apply_rel(ivx, "ne", sy + k)
+        return changed
+
+    # -- phase 3: disequalities ---------------------------------------------------------
+
+    def _check_disequalities(
+        self, norm: _Normalized, uf: OffsetUnionFind, intervals: Dict[int, Interval]
+    ) -> Optional[Solution]:
+        for sym, op, const in norm.pinned:
+            if op != "ne":
+                continue
+            value = uf.value_of(sym)
+            if value is not None and value == const:
+                return Solution(SolveResult.UNSAT, reason=f"x{sym} pinned to {const} but must differ")
+        for x, op, y, c in norm.diffs:
+            if op != "ne":
+                continue
+            diff = uf.difference(x, y)
+            if diff is not None and diff == c:
+                return Solution(SolveResult.UNSAT, reason=f"x{x} - x{y} = {c} contradicts !=")
+            vx, vy = uf.value_of(x), uf.value_of(y)
+            if vx is not None and vy is not None and vx == vy + c:
+                return Solution(SolveResult.UNSAT, reason="both sides pinned equal under !=")
+        return None
+
+    # -- phase 4: model construction --------------------------------------------------
+
+    def _search_model(
+        self, norm: _Normalized, uf: OffsetUnionFind, intervals: Dict[int, Interval]
+    ) -> Solution:
+        symbols: Set[int] = set()
+        for atom in norm.all_atoms:
+            symbols.update(atom.free_symbols())
+        if not symbols:
+            return Solution(SolveResult.SAT, model={})
+
+        roots: Dict[int, List[int]] = {}
+        for sym in symbols:
+            root, _ = uf.find(sym)
+            roots.setdefault(root, []).append(sym)
+
+        candidates = self._candidate_values(norm, uf, intervals, roots)
+        total = 1
+        for values in candidates.values():
+            total *= max(1, len(values))
+            if total > self.max_search_nodes:
+                break
+
+        root_list = sorted(roots)
+        if total <= self.max_search_nodes:
+            for combo in itertools.product(*(candidates[r] for r in root_list)):
+                env = self._env_from_roots(dict(zip(root_list, combo)), symbols, uf)
+                if self._verify(norm.all_atoms, env):
+                    return Solution(SolveResult.SAT, model=env)
+            # The candidate grid is complete only when every root interval
+            # was finite and fully enumerated; we track that below.
+            if all(self._fully_enumerated(intervals.get(r, Interval()), candidates[r]) for r in root_list):
+                return Solution(SolveResult.UNSAT, reason="finite domains exhausted")
+            return Solution(SolveResult.UNKNOWN, reason="candidate search failed")
+        # Greedy single shot: pick the first candidate of each root.
+        env = self._env_from_roots({r: candidates[r][0] for r in root_list}, symbols, uf)
+        if self._verify(norm.all_atoms, env):
+            return Solution(SolveResult.SAT, model=env)
+        return Solution(SolveResult.UNKNOWN, reason="search space too large")
+
+    @staticmethod
+    def _fully_enumerated(interval: Interval, values: List[int]) -> bool:
+        return interval.width() <= len(values) and not interval.empty
+
+    def _candidate_values(self, norm, uf, intervals, roots) -> Dict[int, List[int]]:
+        constants: Set[int] = {0, 1, -1, 2, -2}
+        for atom in norm.all_atoms:
+            for term in (atom.lhs, atom.rhs):
+                constants.update(self._constants_in(term))
+        candidates: Dict[int, List[int]] = {}
+        for root in roots:
+            iv = intervals.get(root, Interval())
+            pinned = uf.value_of(root)
+            if pinned is not None:
+                candidates[root] = [pinned]
+                continue
+            values: List[int] = []
+            if not iv.empty and iv.width() <= 24:
+                values = list(range(iv.lo, iv.hi + 1))
+            else:
+                pool = set()
+                for c in constants:
+                    for delta in (-1, 0, 1):
+                        pool.add(c + delta)
+                if iv.lo > NEG_INF:
+                    pool.update((iv.lo, iv.lo + 1))
+                if iv.hi < POS_INF:
+                    pool.update((iv.hi, iv.hi - 1))
+                values = sorted(v for v in pool if iv.contains(v))
+                if not values:
+                    values = [iv.lo if iv.lo > NEG_INF else (iv.hi if iv.hi < POS_INF else 0)]
+            candidates[root] = values
+        return candidates
+
+    @staticmethod
+    def _constants_in(term: Term) -> Set[int]:
+        if isinstance(term, Num):
+            return {term.value}
+        if isinstance(term, App):
+            out: Set[int] = set()
+            for arg in term.args:
+                out.update(Solver._constants_in(arg))
+            return out
+        return set()
+
+    @staticmethod
+    def _env_from_roots(root_env: Dict[int, int], symbols: Set[int], uf: OffsetUnionFind) -> Dict[int, int]:
+        env: Dict[int, int] = {}
+        for sym in symbols:
+            root, offset = uf.find(sym)
+            env[sym] = root_env.get(root, 0) + offset
+        return env
+
+    @staticmethod
+    def _verify(atoms: List[Atom], env: Dict[int, int]) -> bool:
+        for atom in atoms:
+            if eval_atom(atom, env) is not True:
+                return False
+        return True
+
+
+def solve(atoms: Sequence[Atom], **kwargs) -> Solution:
+    """Convenience one-shot solve."""
+    return Solver(**kwargs).solve(atoms)

@@ -1,0 +1,324 @@
+"""Translation of a recorded bug path into SMT-lite constraints (§3.3).
+
+Implements Table 3 with the alias-aware symbol mapping of Definitions 4/5:
+a fresh :class:`~repro.smt.terms.Sym` is allocated per *alias-graph node*,
+so every variable in one alias set shares one symbol and the explicit
+``R'(p)==R'(q)`` constraints (and the per-field implicit ones) of Fig. 9(b)
+are never materialized.  The translator replays the path on a fresh alias
+graph; strong updates naturally give SSA-style fresh symbols because an
+assigned variable moves to a new node.
+
+The trace consumed here is produced by the engine as a sequence of tagged
+tuples:
+
+- ``("inst", Instruction)`` — a non-branch instruction;
+- ``("branch", Branch, taken)`` — a resolved conditional;
+- ``("param", Var, Value)`` / ``("retval", Var, Value)`` — the MOVEs of
+  call/return boundaries (HandleCALL, Fig. 6);
+- ``("enter", name, frame_id)`` / ``("exit", frame_id)`` — frame markers
+  (ignored here).
+
+For Table 5's accounting the translator also counts what an alias-*unaware*
+translation would have emitted: one explicit equality per MOVE-like step
+plus one implicit equality per materialized field of the source's alias
+class (the Fig. 9 example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alias import AliasGraph
+from ..ir import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    DeclLocal,
+    Gep,
+    Load,
+    Malloc,
+    Move,
+    Store,
+    UnOp,
+    Value,
+    Var,
+)
+from .terms import App, Atom, Num, Sym, Term
+
+
+@dataclass
+class Translation:
+    """Constraints for one path plus the Table 5 counters."""
+
+    atoms: List[Atom] = field(default_factory=list)
+    aware_constraints: int = 0
+    unaware_constraints: int = 0
+    symbols_used: int = 0
+
+
+class PathTranslator:
+    """Replays one trace, building constraints.  Single use."""
+
+    def __init__(self):
+        self.graph = AliasGraph()
+        self.result = Translation()
+        #: comparison definitions: node uid -> (op, lhs term, rhs term)
+        self._cmp_defs: Dict[int, Tuple[str, Term, Term]] = {}
+        #: branches already constrained once (loop re-entries are havocked:
+        #: PATA "fails to check loop conditions for multiple iterations",
+        #: §5.2 — re-encounters of one branch add no constraint)
+        self._seen_branches: set = set()
+        self._symbols: set = set()
+
+    # -- term helpers ------------------------------------------------------------
+
+    def _sym(self, node) -> Sym:
+        self._symbols.add(node.uid)
+        return Sym(node.uid)
+
+    def term_of(self, value: Value) -> Term:
+        if isinstance(value, Const):
+            return Num(value.value)
+        assert isinstance(value, Var)
+        return self._sym(self.graph.node_of(value))
+
+    def _emit(self, atom: Atom) -> None:
+        self.result.atoms.append(atom)
+        self.result.aware_constraints += 1
+        self.result.unaware_constraints += 1
+
+    def _count_move_unaware(self, src: Value) -> None:
+        """An alias-unaware translation emits R'(dst)==R'(src) plus one
+        implicit equality per known field of the source's class."""
+        self.result.unaware_constraints += 1
+        if isinstance(src, Var):
+            node = self.graph.node_of(src)
+            self.result.unaware_constraints += len(node.out)
+
+    # -- step dispatch ------------------------------------------------------------
+
+    def step(self, entry: Tuple) -> None:
+        tag = entry[0]
+        if tag == "inst":
+            self._step_inst(entry[1])
+        elif tag == "branch":
+            self._step_branch(entry[1], entry[2])
+        elif tag in ("param", "retval"):
+            self._step_move_like(entry[1], entry[2])
+        # "enter"/"exit" markers carry no constraints.
+
+    def _step_move_like(self, dst: Var, src: Value) -> None:
+        self._count_move_unaware(src)
+        if isinstance(src, Var):
+            self.graph.handle_move(dst, src)  # same symbol: no constraint
+        else:
+            node = self.graph.detach(dst)
+            self._emit(Atom("eq", self._sym(node), Num(src.value)))
+
+    def _step_inst(self, inst) -> None:
+        if isinstance(inst, Move):
+            self._step_move_like(inst.dst, inst.src)
+        elif isinstance(inst, Load):
+            self._count_move_unaware(inst.ptr)
+            self.graph.handle_load(inst.dst, inst.ptr)
+        elif isinstance(inst, Store):
+            self._count_move_unaware(inst.src)
+            if isinstance(inst.src, Var):
+                self.graph.handle_store(inst.ptr, inst.src)
+            else:
+                node = self.graph.handle_store_fresh(inst.ptr)
+                self._emit(Atom("eq", self._sym(node), Num(inst.src.value)))
+        elif isinstance(inst, Gep):
+            self.result.unaware_constraints += 1
+            self.graph.handle_gep(inst.dst, inst.base, inst.field)
+        elif isinstance(inst, AddrOf):
+            self.result.unaware_constraints += 1
+            node = self.graph.handle_addr_of(inst.dst, inst.var)
+            # An address of a real object is never NULL.
+            self._emit(Atom("ne", self._sym(node), Num(0)))
+        elif isinstance(inst, BinOp):
+            self._step_binop(inst)
+        elif isinstance(inst, UnOp):
+            operand = self.term_of(inst.src)
+            node = self.graph.detach(inst.dst)
+            op = "neg" if inst.op == "neg" else "not"
+            self._emit(Atom("eq", self._sym(node), App(op, (operand,))))
+        elif isinstance(inst, Malloc):
+            node = self.graph.handle_fresh_object(inst.dst)
+            if not inst.may_fail:
+                self._emit(Atom("ne", self._sym(node), Num(0)))
+        elif isinstance(inst, Alloc):
+            node = self.graph.handle_fresh_object(inst.dst)
+            self._emit(Atom("ne", self._sym(node), Num(0)))
+        elif isinstance(inst, DeclLocal):
+            self.graph.detach(inst.var)
+        elif isinstance(inst, (Call, CallIndirect)):
+            if inst.dst is not None:
+                self.graph.detach(inst.dst)  # unknown return value
+        # Free / MemSet / LockOp constrain nothing.
+
+    def _step_binop(self, inst: BinOp) -> None:
+        lhs = self.term_of(inst.lhs)
+        rhs = self.term_of(inst.rhs)
+        node = self.graph.detach(inst.dst)
+        if inst.is_comparison:
+            # The comparison constrains nothing by itself; the branch that
+            # consumes it will (Tstm(brt/brf) of Table 3).
+            self._cmp_defs[node.uid] = (inst.op, lhs, rhs)
+        else:
+            self._emit(Atom("eq", self._sym(node), App(inst.op, (lhs, rhs))))
+
+    def _step_branch(self, branch: Branch, taken: bool) -> None:
+        occurrence_key = (branch.uid, taken)
+        if branch.uid in self._seen_branches:
+            # Loop re-entry: no constraint (havoc), see class docstring.
+            return
+        self._seen_branches.add(branch.uid)
+        cond = branch.cond
+        if isinstance(cond, Const):
+            return
+        node = self.graph.node_of(cond)
+        cmp_def = self._cmp_defs.get(node.uid)
+        if cmp_def is not None:
+            op, lhs, rhs = cmp_def
+            atom = Atom(op, lhs, rhs)
+        else:
+            atom = Atom("ne", self._sym(node), Num(0))
+        self._emit(atom if taken else atom.negated())
+
+    # -- entry point ----------------------------------------------------------------
+
+    def translate(
+        self,
+        trace: Sequence[Tuple],
+        extra_requirement: Optional[Tuple[str, str, int]] = None,
+    ) -> Translation:
+        for entry in trace:
+            self.step(entry)
+        if extra_requirement is not None:
+            op, var_name, const = extra_requirement
+            node = self.graph.node_of_name(var_name)
+            if node is not None:
+                self._emit(Atom(op, self._sym(node), Num(const)))
+            # An unseen variable is unconstrained: requirement trivially
+            # satisfiable, nothing to emit.
+        self.result.symbols_used = len(self._symbols)
+        return self.result
+
+
+class NaPathTranslator:
+    """Alias-*unaware* translation (Fig. 9(b)): one symbol per variable
+    version, explicit ``R'(dst)==R'(src)`` equalities for every MOVE-like
+    step, and no memory tracking — loads produce unconstrained fresh
+    symbols.  Used by PATA-NA (Table 6) and the CSA-like baseline: alias-
+    implied contradictions are invisible, so more infeasible paths
+    survive validation.
+    """
+
+    def __init__(self):
+        self.result = Translation()
+        self._env: Dict[str, Sym] = {}
+        self._counter = 0
+        self._cmp_defs: Dict[str, Tuple[str, Term, Term]] = {}
+        self._seen_branches: set = set()
+
+    def _fresh(self, name: str) -> Sym:
+        self._counter += 1
+        self.result.symbols_used += 1
+        sym = Sym(self._counter, hint=f"{name}#{self._counter}")
+        self._env[name] = sym
+        return sym
+
+    def term_of(self, value: Value) -> Term:
+        if isinstance(value, Const):
+            return Num(value.value)
+        assert isinstance(value, Var)
+        sym = self._env.get(value.name)
+        return sym if sym is not None else self._fresh(value.name)
+
+    def _emit(self, atom: Atom) -> None:
+        self.result.atoms.append(atom)
+        self.result.aware_constraints += 1
+        self.result.unaware_constraints += 1
+
+    def step(self, entry: Tuple) -> None:
+        tag = entry[0]
+        if tag == "branch":
+            branch, taken = entry[1], entry[2]
+            if branch.uid in self._seen_branches:
+                return
+            self._seen_branches.add(branch.uid)
+            cond = branch.cond
+            if isinstance(cond, Const):
+                return
+            cmp_def = self._cmp_defs.get(cond.name)
+            atom = (
+                Atom(cmp_def[0], cmp_def[1], cmp_def[2])
+                if cmp_def is not None
+                else Atom("ne", self.term_of(cond), Num(0))
+            )
+            self._emit(atom if taken else atom.negated())
+            return
+        if tag in ("param", "retval"):
+            dst, src = entry[1], entry[2]
+            src_term = self.term_of(src)
+            self._emit(Atom("eq", self._fresh(dst.name), src_term))
+            return
+        if tag != "inst":
+            return
+        inst = entry[1]
+        if isinstance(inst, Move):
+            src_term = self.term_of(inst.src)
+            self._emit(Atom("eq", self._fresh(inst.dst.name), src_term))
+        elif isinstance(inst, BinOp):
+            lhs = self.term_of(inst.lhs)
+            rhs = self.term_of(inst.rhs)
+            sym = self._fresh(inst.dst.name)
+            if inst.is_comparison:
+                self._cmp_defs[inst.dst.name] = (inst.op, lhs, rhs)
+            else:
+                self._emit(Atom("eq", sym, App(inst.op, (lhs, rhs))))
+        elif isinstance(inst, UnOp):
+            operand = self.term_of(inst.src)
+            op = "neg" if inst.op == "neg" else "not"
+            self._emit(Atom("eq", self._fresh(inst.dst.name), App(op, (operand,))))
+        elif isinstance(inst, Alloc):
+            self._emit(Atom("ne", self._fresh(inst.dst.name), Num(0)))
+        elif isinstance(inst, Malloc):
+            sym = self._fresh(inst.dst.name)
+            if not inst.may_fail:
+                self._emit(Atom("ne", sym, Num(0)))
+        else:
+            dst = inst.defined_var() if hasattr(inst, "defined_var") else None
+            if dst is not None:
+                self._fresh(dst.name)  # unconstrained (memory/unknown)
+
+    def translate(
+        self,
+        trace: Sequence[Tuple],
+        extra_requirement: Optional[Tuple[str, str, int]] = None,
+    ) -> Translation:
+        for entry in trace:
+            self.step(entry)
+        if extra_requirement is not None:
+            op, var_name, const = extra_requirement
+            sym = self._env.get(var_name)
+            if sym is not None:
+                self._emit(Atom(op, sym, Num(const)))
+        return self.result
+
+
+def translate_trace(
+    trace: Sequence[Tuple],
+    extra_requirement: Optional[Tuple[str, str, int]] = None,
+    alias_aware: bool = True,
+) -> Translation:
+    """Translate one recorded path into SMT-lite constraints."""
+    if alias_aware:
+        return PathTranslator().translate(trace, extra_requirement)
+    return NaPathTranslator().translate(trace, extra_requirement)

@@ -1,0 +1,86 @@
+"""Offset union-find (a.k.a. weighted quick-union) for equality reasoning.
+
+Maintains classes of symbols related by ``x = y + c``.  ``find(x)``
+returns ``(root, offset)`` with the invariant ``x = root + offset``.
+Constant equalities pin a class to a value.  Contradictions surface as
+``union``/``assign`` returning False.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class OffsetUnionFind:
+    """Union-find over symbols related by ``x = y + c``; see module docstring."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._offset: Dict[int, int] = {}  # offset to parent
+        self._value: Dict[int, int] = {}  # pinned value of a *root*
+
+    def find(self, x: int) -> Tuple[int, int]:
+        """(root, offset) with x = root + offset; path-compressing."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._offset[x] = 0
+            return x, 0
+        chain = []
+        node = x
+        while self._parent[node] != node:
+            chain.append(node)
+            node = self._parent[node]
+        root = node
+        # Recompute cumulative offsets and compress.
+        total = 0
+        for node in reversed(chain):
+            total += self._offset[node]
+        running = total
+        for node in chain:
+            self._parent[node] = root
+            old = self._offset[node]
+            self._offset[node] = running
+            running -= old
+        return root, self._offset.get(x, 0) if x != root else 0
+
+    def union(self, x: int, y: int, delta: int) -> bool:
+        """Assert x = y + delta.  False on contradiction."""
+        rx, ox = self.find(x)
+        ry, oy = self.find(y)
+        # x = rx + ox, y = ry + oy; want rx + ox = ry + oy + delta.
+        if rx == ry:
+            return ox == oy + delta
+        # Attach rx under ry: rx = ry + (oy + delta - ox).
+        shift = oy + delta - ox
+        self._parent[rx] = ry
+        self._offset[rx] = shift
+        vx = self._value.pop(rx, None)
+        if vx is not None:
+            return self.assign(rx, vx)
+        return True
+
+    def assign(self, x: int, value: int) -> bool:
+        """Assert x == value.  False on contradiction."""
+        root, offset = self.find(x)
+        pinned = self._value.get(root)
+        if pinned is not None:
+            return pinned + offset == value
+        self._value[root] = value - offset
+        return True
+
+    def value_of(self, x: int) -> Optional[int]:
+        root, offset = self.find(x)
+        pinned = self._value.get(root)
+        return None if pinned is None else pinned + offset
+
+    def same_class(self, x: int, y: int) -> bool:
+        return self.find(x)[0] == self.find(y)[0]
+
+    def difference(self, x: int, y: int) -> Optional[int]:
+        """x - y when both are in one class, else None."""
+        rx, ox = self.find(x)
+        ry, oy = self.find(y)
+        return ox - oy if rx == ry else None
+
+    def known_symbols(self):
+        return list(self._parent)

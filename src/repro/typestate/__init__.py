@@ -1,0 +1,69 @@
+"""Alias-aware typestate tracking (§3.2): FSMs, events, manager, checkers."""
+
+from .events import (
+    AllocEvent,
+    AssignConstEvent,
+    AssignNullEvent,
+    BranchCmpEvent,
+    BranchNullEvent,
+    BugKind,
+    CallReturnEvent,
+    DeclLocalEvent,
+    DerefEvent,
+    DivEvent,
+    EscapeEvent,
+    Event,
+    ExternalCallEvent,
+    FreeEvent,
+    IndexEvent,
+    LoadEvent,
+    LockEvent,
+    MemInitEvent,
+    ReturnEvent,
+    StoreEvent,
+    TransferEvent,
+    UseVarEvent,
+)
+from .fsm import (
+    ARRAY_UNDERFLOW_FSM,
+    DIV_ZERO_FSM,
+    DOUBLE_LOCK_FSM,
+    FSM,
+    ML_FSM,
+    NPD_FSM,
+    UVA_FSM,
+    make_fsm,
+)
+from .manager import (
+    Checker,
+    PossibleBug,
+    StateStore,
+    TrackerContext,
+    TypestateManager,
+)
+from .checkers import (
+    ArrayUnderflowChecker,
+    PairedAPIChecker,
+    DivByZeroChecker,
+    DoubleLockChecker,
+    MemoryLeakChecker,
+    NullDereferenceChecker,
+    UninitializedAccessChecker,
+    all_checkers,
+    default_checkers,
+)
+
+__all__ = [
+    "AllocEvent", "AssignConstEvent", "AssignNullEvent", "BranchCmpEvent",
+    "BranchNullEvent", "BugKind", "CallReturnEvent", "DeclLocalEvent",
+    "DerefEvent", "DivEvent", "EscapeEvent", "Event", "ExternalCallEvent", "FreeEvent",
+    "IndexEvent", "LoadEvent", "LockEvent", "MemInitEvent", "ReturnEvent",
+    "StoreEvent", "TransferEvent", "UseVarEvent",
+    "ARRAY_UNDERFLOW_FSM", "DIV_ZERO_FSM", "DOUBLE_LOCK_FSM", "FSM",
+    "ML_FSM", "NPD_FSM", "UVA_FSM", "make_fsm",
+    "Checker", "PossibleBug", "StateStore", "TrackerContext",
+    "TypestateManager",
+    "ArrayUnderflowChecker", "DivByZeroChecker", "DoubleLockChecker", "PairedAPIChecker",
+    "MemoryLeakChecker", "NullDereferenceChecker",
+    "UninitializedAccessChecker", "all_checkers", "default_checkers",
+]

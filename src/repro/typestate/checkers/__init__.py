@@ -1,0 +1,46 @@
+"""The shipped typestate checkers.
+
+``default_checkers()`` returns the paper's three primary checkers (§5.1);
+``all_checkers()`` adds the three of the generality study (§5.5).
+"""
+
+from typing import Callable, List, Optional
+
+from ..manager import Checker
+from .npd import NullDereferenceChecker
+from .uva import UninitializedAccessChecker
+from .ml import MemoryLeakChecker
+from .locks import DoubleLockChecker
+from .underflow import ArrayUnderflowChecker
+from .divzero import DivByZeroChecker
+from .api_pairs import DEFAULT_ACQUIRE_APIS, DEFAULT_RELEASE_APIS, PairedAPIChecker
+
+__all__ = [
+    "NullDereferenceChecker",
+    "UninitializedAccessChecker",
+    "MemoryLeakChecker",
+    "DoubleLockChecker",
+    "ArrayUnderflowChecker",
+    "DivByZeroChecker",
+    "PairedAPIChecker", "DEFAULT_ACQUIRE_APIS", "DEFAULT_RELEASE_APIS",
+    "default_checkers",
+    "all_checkers",
+]
+
+
+def default_checkers() -> List[Checker]:
+    """The paper's three primary checkers: NPD, UVA, ML (§5.1)."""
+    return [NullDereferenceChecker(), UninitializedAccessChecker(), MemoryLeakChecker()]
+
+
+def all_checkers(
+    may_return_negative: Optional[Callable[[str], bool]] = None,
+    may_return_zero: Optional[Callable[[str], bool]] = None,
+) -> List[Checker]:
+    """The six shipped checkers (§5.1 + §5.5); the two callables feed the
+    collector's may-return facts to the underflow/div-zero checkers."""
+    return default_checkers() + [
+        DoubleLockChecker(),
+        ArrayUnderflowChecker(may_return_negative),
+        DivByZeroChecker(may_return_zero),
+    ]

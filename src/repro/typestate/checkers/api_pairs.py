@@ -1,0 +1,155 @@
+"""Paired-API (acquire/release) checker — the §7 "API-rule checking"
+client of the alias analysis.
+
+Many kernel API rules are acquire/release pairs over a resource handle:
+``request_irq``/``free_irq``, ``of_node_get``/``of_node_put``,
+``pci_map``/``pci_unmap`` ...  The checker is parameterized by the API
+names and reports, per alias set of the handle:
+
+* **double acquire** — acquiring an already-held resource;
+* **release without acquire** — releasing a resource this code never
+  acquired twice in a row (the first release is trusted, as in the
+  double-lock checker);
+* **unreleased at return** — an acquired resource still held when the
+  acquiring frame returns (unless the handle escapes).
+
+Alias awareness matters for the same reason as everywhere else: the
+release often happens through a different variable than the acquire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..events import (
+    BugKind,
+    EscapeEvent,
+    Event,
+    ExternalCallEvent,
+    ReturnEvent,
+)
+from ..fsm import make_fsm
+from ..manager import Checker, PossibleBug, TrackerContext
+from ...ir import Var
+
+PAIRED_API_FSM = make_fsm(
+    "FSM_PAIR",
+    initial="S0",
+    error="SPAIR",
+    transitions={
+        ("S0", "acquire"): "SA",
+        ("S0", "release"): "SR",
+        ("SA", "release"): "SR",
+        ("SR", "acquire"): "SA",
+        ("SA", "acquire"): "SPAIR",
+        ("SR", "release"): "SPAIR",
+        ("SA", "ret"): "SPAIR",
+        ("SPAIR", "release"): "SR",
+    },
+)
+
+#: default rule set: (name, handle argument index) pairs
+DEFAULT_ACQUIRE_APIS: Dict[str, int] = {
+    "request_irq": 0,
+    "of_node_get": 0,
+    "clk_enable": 0,
+    "pm_runtime_get": 0,
+    "dma_map_single": 1,
+}
+DEFAULT_RELEASE_APIS: Dict[str, int] = {
+    "free_irq": 0,
+    "of_node_put": 0,
+    "clk_disable": 0,
+    "pm_runtime_put": 0,
+    "dma_unmap_single": 1,
+}
+
+
+class PairedAPIChecker(Checker):
+    """Configurable acquire/release rule checker, driven by the
+    :class:`~repro.typestate.events.ExternalCallEvent` stream: the paired
+    APIs are external functions, so the engine reports every call with
+    its evaluated arguments and the checker matches names/positions."""
+
+    kind = BugKind.DOUBLE_LOCK  # reported in the lock/pairing category
+    fsm = PAIRED_API_FSM
+
+    def __init__(
+        self,
+        acquire_apis: Optional[Dict[str, int]] = None,
+        release_apis: Optional[Dict[str, int]] = None,
+        name: str = "api-pair",
+        report_unreleased: bool = True,
+    ):
+        self.name = name
+        self.acquire_apis = dict(acquire_apis if acquire_apis is not None else DEFAULT_ACQUIRE_APIS)
+        self.release_apis = dict(release_apis if release_apis is not None else DEFAULT_RELEASE_APIS)
+        self.report_unreleased = report_unreleased
+
+    # State values: ("SA"|"SR", acquire_inst, frame_id, escaped).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, ExternalCallEvent):
+            self._handle_call(event, ctx)
+        elif isinstance(event, EscapeEvent):
+            state = ctx.get(self.name, event.ptr)
+            if state is not None and state[0] == "SA" and event.inst is not state[1]:
+                # The acquiring call itself does not "escape" its handle;
+                # any later external call holding it does (conservative
+                # suppression of the unreleased-at-return report).
+                ctx.set(self.name, event.ptr, ("SA", state[1], state[2], True))
+        elif isinstance(event, ReturnEvent) and self.report_unreleased:
+            self._sweep(event, ctx)
+
+    def _handle_call(self, event: ExternalCallEvent, ctx: TrackerContext) -> None:
+        inst = event.inst
+        rules = (
+            ("acquire", self.acquire_apis.get(event.callee)),
+            ("release", self.release_apis.get(event.callee)),
+        )
+        for action, position in rules:
+            if position is None or position >= len(event.args):
+                continue
+            handle = event.args[position]
+            if not isinstance(handle, Var):
+                continue
+            state = ctx.get(self.name, handle, ("S0", None, 0, False))
+            if action == "acquire":
+                if state[0] == "SA":
+                    self._report(
+                        ctx, handle, state[1], inst,
+                        f"'{handle.display_name()}' acquired twice via {event.callee} without release",
+                    )
+                ctx.set(self.name, handle, ("SA", inst, ctx.frame_id, False))
+            else:
+                if state[0] == "SR":
+                    self._report(
+                        ctx, handle, state[1], inst,
+                        f"'{handle.display_name()}' released twice via {event.callee}",
+                    )
+                ctx.set(self.name, handle, ("SR", inst, ctx.frame_id, False))
+
+    def _sweep(self, event: ReturnEvent, ctx: TrackerContext) -> None:
+        for key, state in ctx.store.items_for(self.name):
+            if state[0] != "SA" or state[3] or state[2] != event.frame_id:
+                continue
+            acquire_inst = state[1]
+            self._report(
+                ctx, None, acquire_inst, event.inst,
+                f"resource acquired at {acquire_inst.loc} is never released "
+                f"before returning at {event.inst.loc}",
+            )
+            ctx.set_key(self.name, key, ("SR", state[1], state[2], state[3]))
+
+    def _report(self, ctx: TrackerContext, var, source, sink, message: str) -> None:
+        ctx.report(
+            PossibleBug(
+                kind=self.kind,
+                checker=self.name,
+                subject=var.display_name() if var is not None else "<resource>",
+                source=source if source is not None else sink,
+                sink=sink,
+                message=message,
+                alias_set=ctx.alias_names(var) if var is not None else (),
+            )
+        )

@@ -1,0 +1,83 @@
+"""Division-by-zero checker (§5.5, Table 7).
+
+A divisor is suspicious (SMZ) when zero is possible on the path: assigned
+the constant 0, the ``== 0`` branch of a test was taken, or it came from
+a function known to return 0 on some path.  Dividing while SMZ is a
+possible bug; a constant-zero divisor is definite.  ``!= 0`` proofs move
+the state to SNZ.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    AssignConstEvent,
+    BranchCmpEvent,
+    BugKind,
+    CallReturnEvent,
+    DivEvent,
+    Event,
+)
+from ..fsm import DIV_ZERO_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+from ...ir import Const, Var
+
+
+class DivByZeroChecker(Checker):
+    """Division-by-zero checker; see the module docstring."""
+
+    name = "dbz"
+    kind = BugKind.DIV_BY_ZERO
+    fsm = DIV_ZERO_FSM
+
+    def __init__(self, may_return_zero=None):
+        self.may_return_zero = may_return_zero or (lambda name: False)
+
+    # State values are ("SMZ"|"SNZ", source_inst).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, AssignConstEvent):
+            if event.value == 0:
+                ctx.set(self.name, event.var, ("SMZ", event.inst))
+            elif event.value is not None:
+                ctx.set(self.name, event.var, ("SNZ", None))
+        elif isinstance(event, CallReturnEvent):
+            if self.may_return_zero(event.callee):
+                ctx.set(self.name, event.dst, ("SMZ", event.inst))
+        elif isinstance(event, BranchCmpEvent):
+            if event.rhs == 0:
+                if event.op == "eq":
+                    ctx.set(self.name, event.var, ("SMZ", event.inst))
+                elif event.op in ("ne", "gt", "lt"):
+                    ctx.set(self.name, event.var, ("SNZ", None))
+        elif isinstance(event, DivEvent):
+            self._handle_div(event, ctx)
+
+    def _handle_div(self, event: DivEvent, ctx: TrackerContext) -> None:
+        divisor = event.divisor
+        if isinstance(divisor, Const):
+            if divisor.value == 0:
+                ctx.report(
+                    PossibleBug(
+                        kind=self.kind,
+                        checker=self.name,
+                        subject="0",
+                        source=event.inst,
+                        sink=event.inst,
+                        message="division by constant zero",
+                    )
+                )
+            return
+        assert isinstance(divisor, Var)
+        state = ctx.get(self.name, divisor)
+        if state is not None and state[0] == "SMZ":
+            bug = PossibleBug(
+                kind=self.kind,
+                checker=self.name,
+                subject=divisor.display_name(),
+                source=state[1] if state[1] is not None else event.inst,
+                sink=event.inst,
+                message=f"divisor '{divisor.display_name()}' may be zero",
+            )
+            bug.extra_requirement = ("eq", divisor.name, 0)
+            ctx.report(bug)
+            ctx.set(self.name, divisor, ("SNZ", None))

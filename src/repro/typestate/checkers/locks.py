@@ -1,0 +1,49 @@
+"""Double-lock / double-unlock checker (§5.5, Table 7).
+
+State per lock alias set: S0 (unknown), SL (held), SU (released).
+Acquiring a held lock or releasing a released lock is a possible bug.
+From S0 the first operation is trusted (the caller may own the lock).
+"""
+
+from __future__ import annotations
+
+from ..events import BugKind, Event, LockEvent
+from ..fsm import DOUBLE_LOCK_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+
+
+class DoubleLockChecker(Checker):
+    """Double-lock/unlock checker; see the module docstring."""
+
+    name = "dl"
+    kind = BugKind.DOUBLE_LOCK
+    fsm = DOUBLE_LOCK_FSM
+
+    # State values are ("SL"|"SU", last_op_inst).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if not isinstance(event, LockEvent):
+            return
+        state = ctx.get(self.name, event.lock, ("S0", None))
+        status = state[0]
+        if event.acquire:
+            if status == "SL":
+                self._report(ctx, event, state[1], "acquired twice without release")
+            ctx.set(self.name, event.lock, ("SL", event.inst))
+        else:
+            if status == "SU":
+                self._report(ctx, event, state[1], "released twice without acquire")
+            ctx.set(self.name, event.lock, ("SU", event.inst))
+
+    def _report(self, ctx: TrackerContext, event: LockEvent, source, detail: str) -> None:
+        ctx.report(
+            PossibleBug(
+                kind=self.kind,
+                checker=self.name,
+                subject=event.lock.display_name(),
+                source=source if source is not None else event.inst,
+                sink=event.inst,
+                message=f"lock '{event.lock.display_name()}' {detail}",
+                alias_set=ctx.alias_names(event.lock),
+            )
+        )

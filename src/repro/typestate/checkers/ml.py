@@ -1,0 +1,88 @@
+"""Memory-leak checker (FSM_ML of Table 2).
+
+State per alias set of a heap pointer: SNF (allocated, not freed), SF
+(freed), SML (leak).  The ``ret`` input fires when the *allocating frame*
+returns: an SNF object that never escaped that frame is reported.
+
+Escape handling (engineering refinement over the bare FSM, which would
+flag every allocation at every return): an object is not leak-eligible
+once it (a) is stored through a pointer / into a global, (b) is passed to
+an unanalyzable external function, or (c) is the value being returned.
+The engine emits :class:`EscapeEvent` for these; real leak detectors
+(Saber, SMOKE) apply the same liveness reasoning.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    AllocEvent,
+    BranchNullEvent,
+    BugKind,
+    EscapeEvent,
+    Event,
+    FreeEvent,
+    ReturnEvent,
+    TransferEvent,
+)
+from ..fsm import ML_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+
+
+class MemoryLeakChecker(Checker):
+    """Memory-leak checker (FSM_ML); see the module docstring."""
+
+    name = "ml"
+    kind = BugKind.ML
+    fsm = ML_FSM
+
+    # State values are ("SNF"|"SF", alloc_inst, alloc_frame, escaped).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, AllocEvent):
+            if event.heap:
+                ctx.set(self.name, event.ptr, ("SNF", event.inst, ctx.frame_id, False))
+        elif isinstance(event, FreeEvent):
+            state = ctx.get(self.name, event.ptr)
+            if state is not None:
+                ctx.set(self.name, event.ptr, ("SF", state[1], state[2], state[3]))
+        elif isinstance(event, BranchNullEvent):
+            if event.is_null:
+                # On this path the allocation failed (pointer is NULL):
+                # there is nothing to free, so the tracked object dies.
+                state = ctx.get(self.name, event.ptr)
+                if state is not None and state[0] == "SNF":
+                    ctx.set(self.name, event.ptr, ("SF", state[1], state[2], state[3]))
+        elif isinstance(event, EscapeEvent):
+            state = ctx.get(self.name, event.ptr)
+            if state is not None and state[0] == "SNF":
+                ctx.set(self.name, event.ptr, ("SNF", state[1], state[2], True))
+        elif isinstance(event, TransferEvent):
+            state = ctx.get(self.name, event.ptr)
+            if state is not None and state[0] == "SNF":
+                # Ownership moves to the caller's frame; the "returned"
+                # escape no longer applies — the caller holds the reference.
+                ctx.set(self.name, event.ptr, ("SNF", state[1], event.frame_id, False))
+        elif isinstance(event, ReturnEvent):
+            self._sweep(event, ctx)
+
+    def _sweep(self, event: ReturnEvent, ctx: TrackerContext) -> None:
+        """The FSM's ``ret`` input: allocations owned by the returning frame
+        that are still SNF and never escaped leak here."""
+        for key, state in ctx.store.items_for(self.name):
+            if state[0] != "SNF" or state[3] or state[2] != event.frame_id:
+                continue
+            alloc_inst = state[1]
+            ctx.report(
+                PossibleBug(
+                    kind=self.kind,
+                    checker=self.name,
+                    subject=str(alloc_inst.dst.display_name()) if hasattr(alloc_inst, "dst") else "<heap>",
+                    source=alloc_inst,
+                    sink=event.inst,
+                    message=(
+                        f"memory allocated at {alloc_inst.loc} is never freed "
+                        f"on a path returning at {event.inst.loc}"
+                    ),
+                )
+            )
+            ctx.set_key(self.name, key, ("SF", state[1], state[2], state[3]))

@@ -1,0 +1,64 @@
+"""Null-pointer-dereference checker (FSM_NPD of Table 2).
+
+State per alias set: S0 (unknown), SN (null on this path), SNON
+(proven non-null), SNPD (bug).  A dereference while the alias set is SN
+reports a possible bug; the path validator (§3.3) later decides whether
+the null-establishing path is feasible.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    AssignNullEvent,
+    BranchNullEvent,
+    BugKind,
+    CallReturnEvent,
+    DerefEvent,
+    Event,
+)
+from ..fsm import NPD_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+
+
+class NullDereferenceChecker(Checker):
+    """Null-pointer-dereference checker (FSM_NPD); see the module docstring."""
+
+    name = "npd"
+    kind = BugKind.NPD
+    fsm = NPD_FSM
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, AssignNullEvent):
+            if event.node_key is not None and ctx.alias_aware:
+                ctx.set_key(self.name, event.node_key, ("SN", event.inst))
+            else:
+                ctx.set(self.name, event.ptr, ("SN", event.inst))
+        elif isinstance(event, BranchNullEvent):
+            if event.is_null:
+                ctx.set(self.name, event.ptr, ("SN", event.inst))
+            else:
+                ctx.set(self.name, event.ptr, ("SNON", None))
+        elif isinstance(event, DerefEvent):
+            state = ctx.get(self.name, event.ptr, ("S0", None))
+            if state[0] == "SN":
+                ctx.report(
+                    PossibleBug(
+                        kind=self.kind,
+                        checker=self.name,
+                        subject=event.ptr.display_name(),
+                        source=state[1],
+                        sink=event.inst,
+                        message=(
+                            f"pointer '{event.ptr.display_name()}' may be NULL "
+                            f"(established at {state[1].loc}) and is dereferenced"
+                        ),
+                        alias_set=ctx.alias_names(event.ptr),
+                    )
+                )
+                # The alias set stays SN: a pointer that is NULL on this
+                # path stays NULL, and each distinct dereference site is
+                # its own bug (Fig. 12(a) reports four).  The engine's
+                # (source, sink) dedup suppresses true repeats.
+        elif isinstance(event, CallReturnEvent):
+            # A value from an unanalyzed callee is unknown again.
+            ctx.set(self.name, event.dst, ("S0", None))

@@ -1,0 +1,99 @@
+"""Array-index-underflow checker (§5.5, Table 7).
+
+An index is *suspicious* (SMN) when it may be negative: it came from a
+function that can return a negative error code (the classic
+``idx = lookup(...); arr[idx]`` kernel pattern), from a subtraction, or
+from a negative constant.  A bounds check (``if (idx < 0)`` guarding, or
+``idx >= 0`` proven on the path) moves it to SNN.  Indexing while SMN is
+a possible bug; stage 2 additionally checks ``index < 0`` is satisfiable
+under the path constraints.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    AssignConstEvent,
+    BranchCmpEvent,
+    BugKind,
+    CallReturnEvent,
+    Event,
+    IndexEvent,
+)
+from ..fsm import ARRAY_UNDERFLOW_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+from ...ir import Const, Var
+
+_NEGATIVE_RETURN_HINTS = ("find", "lookup", "index", "search", "get_id", "probe_id")
+
+
+class ArrayUnderflowChecker(Checker):
+    """Array-index-underflow checker; see the module docstring."""
+
+    name = "aiu"
+    kind = BugKind.ARRAY_UNDERFLOW
+    fsm = ARRAY_UNDERFLOW_FSM
+
+    def __init__(self, may_return_negative=None):
+        #: names of analyzed functions known to return a negative constant
+        #: on some path (precomputed by the information collector).
+        self.may_return_negative = may_return_negative or (lambda name: False)
+
+    # State values are ("SMN"|"SNN", source_inst).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, AssignConstEvent):
+            if event.value is not None and event.value < 0:
+                ctx.set(self.name, event.var, ("SMN", event.inst))
+            elif event.op == "sub":
+                ctx.set(self.name, event.var, ("SMN", event.inst))
+            elif event.value is not None:
+                ctx.set(self.name, event.var, ("SNN", None))
+        elif isinstance(event, CallReturnEvent):
+            if self.may_return_negative(event.callee) or any(
+                hint in event.callee for hint in _NEGATIVE_RETURN_HINTS
+            ):
+                ctx.set(self.name, event.dst, ("SMN", event.inst))
+        elif isinstance(event, BranchCmpEvent):
+            self._handle_branch(event, ctx)
+        elif isinstance(event, IndexEvent):
+            self._handle_index(event, ctx)
+
+    def _handle_branch(self, event: BranchCmpEvent, ctx: TrackerContext) -> None:
+        # The event states a fact that holds on the taken arm.
+        if event.rhs != 0:
+            if event.op in ("ge", "gt", "eq") and event.rhs > 0:
+                ctx.set(self.name, event.var, ("SNN", None))
+            return
+        if event.op in ("ge", "gt"):  # var >= 0 / var > 0 holds
+            ctx.set(self.name, event.var, ("SNN", None))
+        elif event.op == "eq":  # var == 0
+            ctx.set(self.name, event.var, ("SNN", None))
+        elif event.op in ("lt", "le"):  # var < 0 holds: definitely negative
+            ctx.set(self.name, event.var, ("SMN", event.inst))
+
+    def _handle_index(self, event: IndexEvent, ctx: TrackerContext) -> None:
+        index = event.index
+        if isinstance(index, Const):
+            if index.value < 0:
+                self._report(ctx, event, event.inst, str(index.value), definite=True)
+            return
+        assert isinstance(index, Var)
+        state = ctx.get(self.name, index)
+        if state is not None and state[0] == "SMN":
+            self._report(ctx, event, state[1], index.display_name(), definite=False, var=index)
+            ctx.set(self.name, index, ("SNN", None))
+
+    def _report(self, ctx: TrackerContext, event: IndexEvent, source, subject: str, definite: bool, var=None) -> None:
+        bug = PossibleBug(
+            kind=self.kind,
+            checker=self.name,
+            subject=subject,
+            source=source if source is not None else event.inst,
+            sink=event.inst,
+            message=f"array index '{subject}' may be negative",
+        )
+        if not definite and var is not None:
+            # Stage 2 must additionally prove index < 0 is satisfiable.
+            bug.trace = bug.trace  # placeholder until engine attaches it
+            bug.extra_requirement = ("lt", var.name, 0)
+        ctx.report(bug)

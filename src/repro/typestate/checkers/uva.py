@@ -1,0 +1,117 @@
+"""Uninitialized-variable-access checker (FSM_UVA of Table 2).
+
+Two state families, both keyed per alias set:
+
+* **scalar states** (namespace ``uva``) — register-kept locals: SUI on
+  declaration, SI on first definite assignment, bug on use while SUI;
+* **region states** (namespace ``uva.region``) — the memory behind a
+  pointer (stack slot or heap object), field-sensitive: the state
+  records which fields were individually initialized; loading an
+  untouched field of an SUI region is a bug.  ``memset`` and zeroing
+  allocators (kzalloc/calloc) initialize the whole region.
+
+Keeping the families separate matters: after ``p = kmalloc(...)`` the
+pointer *value* of ``p`` is perfectly initialized while the region it
+points to is not.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    AllocEvent,
+    AssignConstEvent,
+    BugKind,
+    CallReturnEvent,
+    DeclLocalEvent,
+    Event,
+    LoadEvent,
+    MemInitEvent,
+    StoreEvent,
+    UseVarEvent,
+)
+from ..fsm import UVA_FSM
+from ..manager import Checker, PossibleBug, TrackerContext
+
+_SCALAR_INIT = ("SI", None)
+_REGION_INIT = ("SI", None, frozenset())
+
+
+class UninitializedAccessChecker(Checker):
+    """Uninitialized-access checker (FSM_UVA); see the module docstring."""
+
+    name = "uva"
+    kind = BugKind.UVA
+    fsm = UVA_FSM
+
+    REGION = "uva.region"
+
+    @property
+    def state_namespaces(self):
+        return (self.name, self.REGION)
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, AllocEvent):
+            if event.zeroed:
+                ctx.set(self.REGION, event.ptr, _REGION_INIT)
+            else:
+                ctx.set(self.REGION, event.ptr, ("SUI", event.inst, frozenset()))
+        elif isinstance(event, DeclLocalEvent):
+            ctx.set(self.name, event.var, ("SUI", event.inst))
+        elif isinstance(event, AssignConstEvent):
+            ctx.set(self.name, event.var, _SCALAR_INIT)
+        elif isinstance(event, MemInitEvent):
+            ctx.set(self.REGION, event.ptr, _REGION_INIT)
+        elif isinstance(event, StoreEvent):
+            self._handle_store(event, ctx)
+        elif isinstance(event, LoadEvent):
+            self._handle_load(event, ctx)
+        elif isinstance(event, UseVarEvent):
+            state = ctx.get(self.name, event.var)
+            if state is not None and state[0] == "SUI":
+                self._report(ctx, event.var.display_name(), state[1], event.inst)
+                ctx.set(self.name, event.var, _SCALAR_INIT)
+        elif isinstance(event, CallReturnEvent):
+            ctx.set(self.name, event.dst, _SCALAR_INIT)
+
+    def _handle_store(self, event: StoreEvent, ctx: TrackerContext) -> None:
+        base = ctx.base_of(event.addr)
+        if base is not None:
+            base_var, field = base
+            state = ctx.get(self.REGION, base_var)
+            if state is not None and state[0] == "SUI":
+                ctx.set(self.REGION, base_var, ("SUI", state[1], state[2] | {field}))
+        else:
+            # Store through the object pointer itself (*p = v) defines the
+            # scalar region.
+            ctx.set(self.REGION, event.addr, _REGION_INIT)
+
+    def _handle_load(self, event: LoadEvent, ctx: TrackerContext) -> None:
+        base = ctx.base_of(event.addr)
+        if base is not None:
+            base_var, field = base
+            state = ctx.get(self.REGION, base_var)
+            if state is not None and state[0] == "SUI" and field not in state[2]:
+                self._report(
+                    ctx,
+                    f"{base_var.display_name()}->{field}",
+                    state[1],
+                    event.inst,
+                )
+                ctx.set(self.REGION, base_var, ("SUI", state[1], state[2] | {field}))
+            return
+        state = ctx.get(self.REGION, event.addr)
+        if state is not None and state[0] == "SUI":
+            self._report(ctx, f"*{event.addr.display_name()}", state[1], event.inst)
+            ctx.set(self.REGION, event.addr, _REGION_INIT)
+
+    def _report(self, ctx: TrackerContext, subject: str, source, sink) -> None:
+        ctx.report(
+            PossibleBug(
+                kind=self.kind,
+                checker=self.name,
+                subject=subject,
+                source=source if source is not None else sink,
+                sink=sink,
+                message=f"'{subject}' is read before initialization",
+            )
+        )

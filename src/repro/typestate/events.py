@@ -1,0 +1,218 @@
+"""Typestate events.
+
+The engine (repro.core.analyzer) walks each control-flow path and, after
+updating the alias graph for an instruction, synthesizes the events below
+and feeds them to the registered checkers.  The event vocabulary is the
+union of the FSM input alphabets of Table 2 plus the extra checkers of
+§5.5 (double-lock, array-index-underflow, division-by-zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..ir import Instruction, Value, Var
+
+
+class BugKind(Enum):
+    """Bug categories detected by the shipped checkers."""
+
+    NPD = "null-pointer dereference"
+    UVA = "uninitialized-variable access"
+    ML = "memory leak"
+    DOUBLE_LOCK = "double lock/unlock"
+    ARRAY_UNDERFLOW = "array index underflow"
+    DIV_BY_ZERO = "division by zero"
+
+    @property
+    def short(self) -> str:
+        return self.name
+
+
+@dataclass
+class Event:
+    """Base event; ``inst`` is the originating instruction."""
+
+    inst: Instruction
+
+
+@dataclass
+class AssignNullEvent(Event):
+    """``p = NULL`` or ``*q = NULL`` — FSM input ``ass_null``.
+
+    For stores through a pointer the affected location has no variable of
+    its own; ``node_key`` then carries the alias-graph node uid of the
+    stored location (aware mode only)."""
+
+    ptr: Var
+    node_key: Optional[int] = None
+
+
+@dataclass
+class BranchNullEvent(Event):
+    """A branch resolved a null test of ``ptr``: ``is_null`` tells which arm
+    was taken — ``br_null`` (True) or ``br_nonnull`` (False)."""
+
+    ptr: Var
+    is_null: bool
+
+
+@dataclass
+class DerefEvent(Event):
+    """``ptr`` was dereferenced: Load/Store through it, or as the base of a
+    field access (``p->f`` requires a valid ``p``) — FSM input ``deref``."""
+
+    ptr: Var
+
+
+@dataclass
+class AllocEvent(Event):
+    """An object came into existence.  ``heap`` distinguishes malloc-style
+    allocations from locals; ``zeroed`` marks calloc/kzalloc; ``may_fail``
+    marks allocators that can return NULL."""
+
+    ptr: Var
+    heap: bool
+    zeroed: bool
+    may_fail: bool
+
+
+@dataclass
+class DeclLocalEvent(Event):
+    """An uninitialized scalar local was declared (UVA ``alloc`` input for
+    register-allocated variables)."""
+
+    var: Var
+
+
+@dataclass
+class AssignConstEvent(Event):
+    """A variable received a definite value (``ass_const``): direct constant
+    move, arithmetic result, or a call return.  ``value`` is the constant
+    when statically known, ``op`` the producing arithmetic operator."""
+
+    var: Var
+    value: Optional[int] = None
+    op: Optional[str] = None
+
+
+@dataclass
+class StoreEvent(Event):
+    """``*addr = value``; initializes what ``addr`` refers to."""
+
+    addr: Var
+    value: Value
+
+
+@dataclass
+class LoadEvent(Event):
+    """``dst = *addr`` — the UVA ``load``/``use`` input."""
+
+    addr: Var
+    dst: Var
+
+
+@dataclass
+class UseVarEvent(Event):
+    """A register variable was read as an operand (UVA ``use``)."""
+
+    var: Var
+
+
+@dataclass
+class MemInitEvent(Event):
+    """memset/memcpy initialized the region behind ``ptr``."""
+
+    ptr: Var
+
+
+@dataclass
+class FreeEvent(Event):
+    """``free(ptr)`` — ML ``free`` input."""
+
+    ptr: Var
+
+
+@dataclass
+class ReturnEvent(Event):
+    """A function frame returns; ``value`` is what it returns, ``frame_id``
+    identifies the frame and ``is_entry_frame`` marks the analysis root
+    (where ML's ``ret`` input fires)."""
+
+    value: Optional[Value]
+    frame_id: int
+    is_entry_frame: bool
+
+
+@dataclass
+class EscapeEvent(Event):
+    """``ptr``'s object escaped the analyzed scope: stored into memory,
+    passed to an unknown external function, or returned upward."""
+
+    ptr: Var
+    reason: str
+
+
+@dataclass
+class TransferEvent(Event):
+    """A callee returned ``ptr`` to its caller: ownership of the pointed-to
+    object moves to frame ``frame_id`` (un-escaping it, since the caller
+    now holds the only reference the analysis knows about)."""
+
+    ptr: Var
+    frame_id: int
+
+
+@dataclass
+class LockEvent(Event):
+    """lock/unlock on ``lock`` (acquire=True for lock)."""
+
+    lock: Var
+    acquire: bool
+
+
+@dataclass
+class BranchCmpEvent(Event):
+    """A branch resolved an integer comparison ``var op rhs`` where the
+    comparison held (op already adjusted for the taken arm).  Used by the
+    underflow / div-zero checkers, e.g. op='ge', rhs=0 proves non-negative.
+    """
+
+    var: Var
+    op: str
+    rhs: int
+
+
+@dataclass
+class DivEvent(Event):
+    """Division/modulo with ``divisor``."""
+
+    divisor: Value
+
+
+@dataclass
+class IndexEvent(Event):
+    """Array indexing with a (possibly negative) ``index`` operand."""
+
+    index: Value
+
+
+@dataclass
+class ExternalCallEvent(Event):
+    """A call to a function outside the analyzed program (or one the
+    engine chose not to inline): callee name plus the evaluated argument
+    operands, for API-rule checkers."""
+
+    callee: str
+    args: tuple = ()
+
+
+@dataclass
+class CallReturnEvent(Event):
+    """``dst = call fn(...)`` where the callee body is unknown; ``dst`` has
+    an arbitrary value afterwards.  ``callee`` is the target name."""
+
+    dst: Var
+    callee: str

@@ -1,0 +1,229 @@
+"""Alias-aware typestate tracking (§3.2).
+
+The :class:`TypestateManager` owns one state store shared by all
+registered checkers.  States are keyed per *alias set* — the alias-graph
+node uid — so all aliased variables share one typestate (Definition 3).
+In the PATA-NA ablation (Table 6), states are keyed per *variable name*
+and synchronized only across direct assignments, reproducing traditional
+typestate tracking (Fig. 8a).
+
+The store is trailed: path backtracking rewinds checker state together
+with the alias graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..alias import AliasGraph, Trail
+from ..ir import Instruction, Var
+from .events import BugKind, Event
+from .fsm import FSM
+
+
+@dataclass
+class PossibleBug:
+    """A stage-1 finding (path feasibility not yet validated)."""
+
+    kind: BugKind
+    checker: str
+    subject: str          # display name of the offending variable
+    source: Instruction   # where the bad state was established
+    sink: Instruction     # where it was consumed (the buggy operation)
+    message: str
+    trace: Tuple = ()     # engine-recorded path snapshot for stage 2
+    alias_set: Tuple[str, ...] = ()
+    entry_function: str = ""
+    #: optional extra atom ("op", var_name, const) the validator must prove
+    #: satisfiable together with the path constraints (underflow/div-zero).
+    extra_requirement: Optional[Tuple[str, str, int]] = None
+
+    @property
+    def dedup_key(self) -> Tuple[str, int, int]:
+        """Bugs with the same problematic instruction pair are repeats
+        (§4, P3)."""
+        return (self.checker, self.source.uid, self.sink.uid)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind.short}] {self.message} "
+            f"(source {self.source.loc}, sink {self.sink.loc})"
+        )
+
+
+class StateStore:
+    """Trailed map from (checker, key) to an immutable state value."""
+
+    def __init__(self, trail: Trail):
+        self.trail = trail
+        self._states: Dict[Tuple[str, Hashable], Any] = {}
+        self.aware_updates = 0
+        self.unaware_updates = 0
+        #: keys set since the beginning, in order; kept in sync with the
+        #: trail (entries pop on undo).  Used for callee exit digests.
+        self.journal: List[Tuple[str, Hashable]] = []
+
+    def get(self, checker: str, key: Hashable, default: Any = None) -> Any:
+        value = self._states.get((checker, key), default)
+        return default if value is None else value
+
+    def set(self, checker: str, key: Hashable, value: Any, fanout: int = 1) -> None:
+        """Record a state; ``fanout`` is the alias-set size, used to count
+        what a per-variable (alias-unaware) tracker would have stored."""
+        full_key = (checker, key)
+        missing = object()
+        old = self._states.get(full_key, missing)
+        self._states[full_key] = value
+        self.aware_updates += 1
+        self.unaware_updates += max(1, fanout)
+
+        def undo() -> None:
+            if old is missing:
+                self._states.pop(full_key, None)
+            else:
+                self._states[full_key] = old
+
+        self.trail.push(undo)
+        self.journal.append(full_key)
+        self.trail.push(self.journal.pop)
+
+    def items_for(self, checker: str):
+        """Snapshot of (key, value) pairs for one checker — used by the ML
+        checker to sweep unfreed allocations at returns."""
+        return [(key[1], value) for key, value in self._states.items() if key[0] == checker]
+
+    def copy_all(self, checker_names: List[str], src_key: Hashable, dst_key: Hashable) -> None:
+        """NA-mode state sync on direct assignment (Fig. 8a's ``sync``)."""
+        for name in checker_names:
+            value = self._states.get((name, src_key))
+            if value is not None:
+                self.set(name, dst_key, value)
+
+
+class TrackerContext:
+    """What a checker may see and do.  Constructed by the engine per run."""
+
+    def __init__(
+        self,
+        graph: Optional[AliasGraph],
+        store: StateStore,
+        alias_aware: bool,
+        report_fn: Callable[[PossibleBug], None],
+        base_of_fn: Callable[[str], Optional[Tuple[Var, str]]],
+        known_function_fn: Callable[[str], bool],
+    ):
+        self.graph = graph
+        self.store = store
+        self.alias_aware = alias_aware
+        self._report = report_fn
+        self._base_of = base_of_fn
+        self._known_function = known_function_fn
+        self.frame_id = 0
+        self.entry_function = ""
+
+    # -- keys -------------------------------------------------------------------
+
+    def key(self, var: Var) -> Hashable:
+        """The typestate key for ``var``: its alias-set identity when alias
+        aware, its own name otherwise."""
+        if self.alias_aware and self.graph is not None:
+            return self.graph.node_of(var).uid
+        return var.name
+
+    def fanout(self, var: Var) -> int:
+        """Size of var's alias set (1 in NA mode) — for Table 5 counters."""
+        if self.alias_aware and self.graph is not None:
+            return max(1, len(self.graph.node_of(var).vars))
+        return 1
+
+    def alias_names(self, var: Var) -> Tuple[str, ...]:
+        if self.alias_aware and self.graph is not None:
+            return tuple(sorted(self.graph.alias_names(var)))
+        return (var.name,)
+
+    # -- state ------------------------------------------------------------------
+
+    def get(self, checker: str, var: Var, default: Any = None) -> Any:
+        return self.store.get(checker, self.key(var), default)
+
+    def set(self, checker: str, var: Var, value: Any) -> None:
+        self.store.set(checker, self.key(var), value, self.fanout(var))
+
+    def get_key(self, checker: str, key: Hashable, default: Any = None) -> Any:
+        return self.store.get(checker, key, default)
+
+    def set_key(self, checker: str, key: Hashable, value: Any, fanout: int = 1) -> None:
+        self.store.set(checker, key, value, fanout)
+
+    # -- FSM helper ----------------------------------------------------------------
+
+    def step_fsm(self, checker: "Checker", var: Var, symbol: str) -> Tuple[str, str]:
+        """Apply one δ step on ``var``'s alias-set state for ``checker``'s
+        FSM; returns (old_state, new_state)."""
+        old = self.get(checker.name, var, checker.fsm.initial)
+        if isinstance(old, tuple):  # (state, source inst) pairs
+            old_state = old[0]
+        else:
+            old_state = old
+        new_state = checker.fsm.step(old_state, symbol)
+        return old_state, new_state
+
+    # -- environment -----------------------------------------------------------------
+
+    def base_of(self, addr_var: Var) -> Optional[Tuple[Var, str]]:
+        """For an address computed by ``a = &b->f`` on this path, return
+        (b, 'f'); None when ``addr_var`` is not a known field address."""
+        return self._base_of(addr_var.name)
+
+    def is_known_function(self, name: str) -> bool:
+        return self._known_function(name)
+
+    def report(self, bug: PossibleBug) -> None:
+        bug.entry_function = self.entry_function
+        self._report(bug)
+
+
+class Checker:
+    """Base class of typestate checkers.
+
+    A checker declares its :class:`~repro.typestate.fsm.FSM` and reacts to
+    engine events by stepping per-alias-set states; entering the FSM's
+    error state reports a possible bug.  Each concrete checker is ~100-200
+    lines, matching the paper's claim (§5.1).
+    """
+
+    name: str = "checker"
+    kind: BugKind = BugKind.NPD
+    fsm: FSM = None
+    #: state namespaces this checker stores under; NA-mode assignment sync
+    #: copies each of them (a checker may keep several state families,
+    #: e.g. UVA's scalar states vs. pointee-region states).
+    @property
+    def state_namespaces(self):
+        return (self.name,)
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_path_start(self, ctx: TrackerContext) -> None:
+        """Hook invoked when exploration of a new entry function begins."""
+
+
+class TypestateManager:
+    """Dispatches events to all registered checkers (TypestateTrack of
+    Fig. 6, line 31)."""
+
+    def __init__(self, checkers: List[Checker]):
+        self.checkers = list(checkers)
+        self.checker_names = [ns for c in self.checkers for ns in c.state_namespaces]
+
+    def dispatch(self, event: Event, ctx: TrackerContext) -> None:
+        for checker in self.checkers:
+            checker.handle(event, ctx)
+
+    def sync_on_move(self, ctx: TrackerContext, dst: Var, src: Var) -> None:
+        """In NA mode states live per variable; a direct assignment copies
+        the source's states to the destination (traditional tracking)."""
+        if not ctx.alias_aware:
+            ctx.store.copy_all(self.checker_names, src.name, dst.name)

@@ -1,0 +1,6 @@
+"""Value-flow graph + source-sink reachability (the Saber regime)."""
+
+from .builder import ValueFlowGraph
+from .reachability import LeakFinding, SaberLeakDetector
+
+__all__ = ["ValueFlowGraph", "LeakFinding", "SaberLeakDetector"]

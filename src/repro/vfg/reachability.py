@@ -1,0 +1,123 @@
+"""Source-sink reachability on the value-flow graph: the Saber-style
+memory-leak detector (§6, §8.1).
+
+For every malloc site, the set of variable names its value flows into is
+computed on the VFG; a leak is reported when some CFG path from the
+allocation to an exit of the allocating function avoids every ``free`` of
+a flowed-into name, and the value does not escape the function (stored
+into memory, passed onward, or returned).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..ir import (
+    Branch,
+    Call,
+    Free,
+    Function,
+    Jump,
+    Malloc,
+    Move,
+    Program,
+    Ret,
+    Store,
+    Var,
+)
+from .builder import ValueFlowGraph
+
+
+@dataclass
+class LeakFinding:
+    malloc: Malloc
+    function: str
+    message: str
+
+    @property
+    def file(self) -> str:
+        return self.malloc.loc.filename
+
+    @property
+    def line(self) -> int:
+        return self.malloc.loc.line
+
+
+class SaberLeakDetector:
+    """Value-flow source-sink leak detector; see the module docstring."""
+
+    def __init__(self, program: Program, vfg: Optional[ValueFlowGraph] = None):
+        self.program = program
+        self.vfg = vfg if vfg is not None else ValueFlowGraph(program)
+
+    def detect(self) -> List[LeakFinding]:
+        findings: List[LeakFinding] = []
+        for func in self.program.functions():
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if isinstance(inst, Malloc):
+                        finding = self._check_site(func, block, inst)
+                        if finding is not None:
+                            findings.append(finding)
+        return findings
+
+    def _check_site(self, func: Function, malloc_block, malloc: Malloc) -> Optional[LeakFinding]:
+        flow_set = self.vfg.reachable_from(malloc.dst.name)
+        if self._escapes(func, flow_set):
+            return None
+        blocked: Set[int] = set()
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Free) and inst.ptr.name in flow_set:
+                    blocked.add(block.uid)
+        # Saber's guards: a path taken because the allocation *failed*
+        # (the NULL arm of a test of the pointer) carries nothing to free.
+        from ..baselines.cppcheck_like import null_tests
+
+        for ptr_name, null_block, _ in null_tests(func):
+            if ptr_name in flow_set:
+                blocked.add(null_block.uid)
+        if self._exit_reachable_avoiding(func, malloc_block, blocked):
+            return LeakFinding(
+                malloc,
+                func.name,
+                f"memory allocated at {malloc.loc} may leak on a path without free",
+            )
+        return None
+
+    def _escapes(self, func: Function, flow_set: Set[str]) -> bool:
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Store) and isinstance(inst.src, Var) and inst.src.name in flow_set:
+                    return True
+                if isinstance(inst, Move) and isinstance(inst.src, Var) and inst.src.name in flow_set and inst.dst.is_global:
+                    return True
+                if isinstance(inst, Call) and self.program.lookup(inst.callee) is None:
+                    for arg in inst.args:
+                        if isinstance(arg, Var) and arg.name in flow_set:
+                            return True
+            term = block.terminator
+            if isinstance(term, Ret) and isinstance(term.value, Var) and term.value.name in flow_set:
+                return True
+        return False
+
+    @staticmethod
+    def _exit_reachable_avoiding(func: Function, start_block, blocked: Set[int]) -> bool:
+        """Is some Ret reachable from ``start_block`` without entering any
+        block in ``blocked``?"""
+        if start_block.uid in blocked:
+            return False
+        seen = {start_block.uid}
+        work = deque([start_block])
+        while work:
+            block = work.popleft()
+            term = block.terminator
+            if isinstance(term, Ret):
+                return True
+            for succ in block.successors():
+                if succ.uid not in seen and succ.uid not in blocked:
+                    seen.add(succ.uid)
+                    work.append(succ)
+        return False

@@ -1,0 +1,73 @@
+"""Documentation quality gates: every public item carries a docstring,
+and the public API surface stays importable as advertised."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.ir", "repro.lang", "repro.cfg", "repro.alias",
+    "repro.typestate", "repro.typestate.checkers", "repro.smt",
+    "repro.core", "repro.pointsto", "repro.vfg", "repro.baselines",
+    "repro.corpus", "repro.evaluation", "repro.interp",
+]
+
+
+def _walk_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        yield module
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                yield importlib.import_module(f"{name}.{info.name}")
+
+
+def test_every_module_has_docstring():
+    for module in _walk_modules():
+        assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+def test_every_public_class_has_docstring():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue  # re-export
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"classes without docstrings: {missing}"
+
+
+def test_every_public_function_has_docstring():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isfunction(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"functions without docstrings: {missing}"
+
+
+def test_dunder_all_entries_resolve():
+    for module in _walk_modules():
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists missing {name!r}"
+
+
+def test_top_level_api_shape():
+    for name in ("PATA", "AnalysisConfig", "AnalysisResult", "BugReport",
+                 "compile_program", "compile_source", "BugKind",
+                 "all_checkers", "default_checkers", "__version__"):
+        assert hasattr(repro, name)

@@ -1,0 +1,145 @@
+"""Paired-API checker tests (the §7 API-rule-checking client)."""
+
+from repro.core import AnalysisConfig, BugFilter, InformationCollector, PathExplorer
+from repro.lang import compile_program
+from repro.typestate import PairedAPIChecker
+
+
+def run(source, **checker_kwargs):
+    program = compile_program([("drv.c", source)])
+    collector = InformationCollector(program)
+    explorer = PathExplorer(program, AnalysisConfig(), [PairedAPIChecker(**checker_kwargs)])
+    for entry in collector.entry_functions():
+        explorer.explore(entry)
+    return BugFilter().run(explorer.possible_bugs).reports
+
+
+ENTRY_REG = """
+struct drv {{ int (*p)(struct device *d, int flag); }};
+static struct drv reg = {{ .p = {fn} }};
+"""
+
+
+def wrap(body, fn="probe"):
+    return "struct device { int id; };\n" + body + ENTRY_REG.format(fn=fn)
+
+
+def test_balanced_pair_clean():
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert reports == []
+
+
+def test_unreleased_on_error_path():
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    if (flag < 0)
+        return -1;
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert len(reports) == 1
+    assert "never released" in reports[0].message
+
+
+def test_release_through_alias_is_seen():
+    """The release goes through a different variable — alias awareness."""
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    struct device *handle = dev;
+    request_irq(handle);
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert reports == []
+
+
+def test_double_acquire_reported():
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    if (flag)
+        request_irq(dev);
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert any("acquired twice" in r.message for r in reports)
+
+
+def test_double_release_reported():
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    free_irq(dev);
+    if (flag)
+        free_irq(dev);
+    return 0;
+}
+"""))
+    assert any("released twice" in r.message for r in reports)
+
+
+def test_handle_passed_onward_suppresses_unreleased():
+    """The handle escapes into another external call that may release it:
+    conservative silence."""
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    register_cleanup(dev);
+    return 0;
+}
+"""))
+    assert reports == []
+
+
+def test_custom_api_table():
+    reports = run(
+        wrap("""
+int probe(struct device *dev, int flag) {
+    grab_widget(dev);
+    if (flag)
+        return -1;
+    drop_widget(dev);
+    return 0;
+}
+"""),
+        acquire_apis={"grab_widget": 0},
+        release_apis={"drop_widget": 0},
+    )
+    assert len(reports) == 1
+
+
+def test_first_release_from_unknown_state_trusted():
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert reports == []
+
+
+def test_infeasible_unreleased_path_filtered():
+    """The error path is contradictory (flag>0 and flag<0): stage 2 drops
+    the unreleased report."""
+    reports = run(wrap("""
+int probe(struct device *dev, int flag) {
+    request_irq(dev);
+    if (flag > 0) {
+        if (flag < 0)
+            return -1;
+    }
+    free_irq(dev);
+    return 0;
+}
+"""))
+    assert reports == []

@@ -1,0 +1,189 @@
+"""Baseline tools: the find/miss matrix that drives Table 8's shape.
+
+Each canonical pattern is run through every tool; the assertions pin the
+*regime* differences (aliasing, path sensitivity, inter-procedurality),
+not exact counts.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CSALike,
+    CoccinelleLike,
+    CppcheckLike,
+    InferLike,
+    PataNA,
+    SVFNull,
+    SaberLike,
+)
+from repro.corpus.patterns import (
+    COMMON_DECLS,
+    bait_checked_return,
+    bait_flag_guard,
+    ml_never_freed,
+    npd_callee_field_alias,
+    npd_error_path_local,
+    npd_interface_alias,
+)
+from repro.lang import compile_program
+from repro.typestate import BugKind
+
+
+def program_for(pattern_fn, uid="7001"):
+    snippet = pattern_fn(uid, random.Random(3))
+    src = COMMON_DECLS + "\n" + "\n".join(snippet.lines) + "\n"
+    return compile_program([("t.c", src)])
+
+
+def kinds(tool, program):
+    return [f.kind for f in tool.analyze(program).findings]
+
+
+# -- the easy intra-procedural NPD: everyone should see it ---------------------
+
+
+def test_easy_npd_found_by_cppcheck():
+    program = program_for(npd_error_path_local)
+    assert BugKind.NPD in kinds(CppcheckLike(), program)
+
+
+def test_easy_npd_found_by_coccinelle():
+    program = program_for(npd_error_path_local)
+    assert BugKind.NPD in kinds(CoccinelleLike(), program)
+
+
+def test_easy_npd_found_by_infer():
+    program = program_for(npd_error_path_local)
+    assert BugKind.NPD in kinds(InferLike(), program)
+
+
+def test_easy_npd_found_by_svf_null():
+    program = program_for(npd_error_path_local)
+    assert BugKind.NPD in kinds(SVFNull(), program)
+
+
+def test_easy_npd_found_by_csa():
+    program = program_for(npd_error_path_local)
+    assert BugKind.NPD in kinds(CSALike(), program)
+
+
+# -- the Fig. 1 interface-alias NPD: only alias-aware path analysis sees it ----
+
+
+def test_interface_alias_npd_missed_by_cppcheck():
+    program = program_for(npd_interface_alias)
+    assert BugKind.NPD not in kinds(CppcheckLike(), program)
+
+
+def test_interface_alias_npd_missed_by_coccinelle():
+    program = program_for(npd_interface_alias)
+    assert BugKind.NPD not in kinds(CoccinelleLike(), program)
+
+
+def test_interface_alias_npd_missed_by_svf_null():
+    """Points-to sets of interface params are empty (D1) ⇒ miss."""
+    program = program_for(npd_interface_alias)
+    assert BugKind.NPD not in kinds(SVFNull(), program)
+
+
+def test_interface_alias_npd_missed_by_pata_na():
+    program = program_for(npd_interface_alias)
+    assert BugKind.NPD not in kinds(PataNA(), program)
+
+
+# -- the Fig. 3 cross-function field alias ---------------------------------------
+
+
+def test_callee_field_alias_missed_by_intraprocedural_tools():
+    program = program_for(npd_callee_field_alias)
+    for tool in (CppcheckLike(), CoccinelleLike()):
+        assert BugKind.NPD not in kinds(tool, program)
+
+
+# -- bait: path-insensitive tools report, feasibility-aware ones stay quiet ----
+
+
+def test_flag_guard_bait_not_flagged_by_syntactic_tools():
+    # cppcheck/coccinelle only react to explicit NULL tests; the flag
+    # correlation pattern has one, but the deref is outside its null arm.
+    program = program_for(bait_flag_guard)
+    assert BugKind.NPD not in kinds(CoccinelleLike(), program)
+
+
+def test_checked_return_bait_not_flagged_by_coccinelle():
+    program = program_for(bait_checked_return)
+    assert BugKind.NPD not in kinds(CoccinelleLike(), program)
+
+
+def test_csa_reports_flag_guard_bait():
+    """No constraint discharge: the infeasible path survives in CSA."""
+    program = program_for(bait_flag_guard)
+    assert BugKind.NPD in kinds(CSALike(), program)
+
+
+def test_pata_na_reports_flag_guard_bait():
+    program = program_for(bait_flag_guard)
+    # NA validation cannot relate ok==1 to p!=NULL through the path...
+    # actually the correlation is purely scalar, so NA *can* discharge it;
+    # what NA cannot discharge is the Fig. 9 aliasing bait:
+    from repro.corpus.patterns import bait_contradictory_fields
+
+    program2 = program_for(bait_contradictory_fields)
+    assert BugKind.NPD in kinds(PataNA(), program2)
+
+
+# -- memory leaks ---------------------------------------------------------------
+
+
+def test_whole_function_leak_found_by_saber():
+    program = program_for(ml_never_freed)
+    assert BugKind.ML in kinds(SaberLike(), program)
+
+
+def test_whole_function_leak_found_by_cppcheck_and_infer():
+    program = program_for(ml_never_freed)
+    assert BugKind.ML in kinds(CppcheckLike(), program)
+    assert BugKind.ML in kinds(InferLike(), program)
+
+
+def test_saber_oom_status_on_budget():
+    program = program_for(ml_never_freed)
+    result = SaberLike(max_pts_entries=1).analyze(program)
+    assert result.status == "oom"
+    assert result.findings == []
+
+
+def test_svf_oom_status_on_budget():
+    # Needs a program with allocations so the points-to solver has
+    # entries to exceed the budget with.
+    program = program_for(ml_never_freed)
+    result = SVFNull(max_pts_entries=0).analyze(program)
+    assert result.status == "oom"
+
+
+def test_coccinelle_only_reports_npd():
+    program = program_for(ml_never_freed)
+    result = CoccinelleLike().analyze(program)
+    assert all(f.kind is BugKind.NPD for f in result.findings)
+
+
+def test_saber_only_reports_ml():
+    program = program_for(npd_error_path_local)
+    result = SaberLike().analyze(program)
+    assert all(f.kind is BugKind.ML for f in result.findings)
+
+
+def test_tool_results_record_time():
+    program = program_for(npd_error_path_local)
+    result = CppcheckLike().analyze(program)
+    assert result.time_seconds >= 0.0
+    assert result.status == "ok"
+
+
+def test_pata_na_exposes_last_result():
+    program = program_for(npd_error_path_local)
+    tool = PataNA()
+    tool.analyze(program)
+    assert tool.last_result is not None

@@ -1,0 +1,180 @@
+"""Checker edge cases beyond the canonical patterns."""
+
+from repro import PATA, AnalysisConfig
+from repro.typestate import BugKind
+
+
+def run(source, all_checkers=True):
+    pata = PATA.with_all_checkers() if all_checkers else PATA()
+    return pata.analyze_sources([("t.c", source)])
+
+
+def kinds(result):
+    return [r.kind for r in result.reports]
+
+
+# -- NPD comparison spellings ----------------------------------------------------
+
+
+def test_npd_null_on_left_side_of_comparison():
+    result = run("struct s { int v; };\nint f(struct s *p) { if (NULL == p) { return p->v; } return 0; }")
+    assert BugKind.NPD in kinds(result)
+
+
+def test_npd_ne_comparison_else_arm():
+    result = run("struct s { int v; };\nint f(struct s *p) { if (p != NULL) { return 0; } return p->v; }")
+    assert BugKind.NPD in kinds(result)
+
+
+def test_npd_truthiness_check():
+    result = run("struct s { int v; };\nint f(struct s *p) { if (p) return 0; return p->v; }")
+    assert BugKind.NPD in kinds(result)
+
+
+def test_npd_short_circuit_guard_is_safe():
+    result = run("struct s { int v; };\nint f(struct s *p) { if (p && p->v) return 1; return 0; }")
+    assert BugKind.NPD not in kinds(result)
+
+
+def test_npd_reassignment_clears_null_state():
+    result = run(
+        "struct s { int v; };\nstatic struct s backup;\n"
+        "int f(struct s *p) { if (!p) { p = &backup; return p->v; } return 0; }"
+    )
+    assert BugKind.NPD not in kinds(result)
+
+
+def test_npd_multiple_sinks_reported_separately():
+    result = run(
+        "struct s { int a; int b; };\n"
+        "int f(struct s *p) { if (!p) { int x = p->a; int y = p->b; return x + y; } return 0; }"
+    )
+    assert len([k for k in kinds(result) if k is BugKind.NPD]) == 2
+
+
+def test_npd_memset_through_null_pointer():
+    result = run("int f(char *p, int n) { if (!p) { memset(p, 0, n); } return 0; }")
+    assert BugKind.NPD in kinds(result)
+
+
+# -- UVA ---------------------------------------------------------------------------
+
+
+def test_uva_memcpy_initializes_destination():
+    result = run(
+        "struct s { int a; };\n"
+        "int f(struct s *src) {\n"
+        "    struct s *d = kmalloc(sizeof(struct s));\n"
+        "    if (!d) return -1;\n"
+        "    memcpy(d, src, sizeof(struct s));\n"
+        "    int v = d->a;\n"
+        "    kfree(d);\n"
+        "    return v;\n"
+        "}"
+    )
+    assert BugKind.UVA not in kinds(result)
+
+
+def test_uva_returning_uninitialized_scalar():
+    result = run("int f(int c) { int x; if (c) return 0; return x; }")
+    assert BugKind.UVA in kinds(result)
+
+
+def test_uva_passing_uninitialized_to_external():
+    result = run("int f(void) { int x; log_value(x); return 0; }")
+    assert BugKind.UVA in kinds(result)
+
+
+def test_uva_struct_local_field_read_before_write():
+    result = run(
+        "struct s { int a; int b; };\n"
+        "int f(void) { struct s v; v.a = 1; return v.b; }"
+    )
+    assert BugKind.UVA in kinds(result)
+
+
+def test_uva_zero_brace_init_is_initialized():
+    result = run(
+        "struct s { int a; int b; };\n"
+        "int f(void) { struct s v = {0}; return v.b; }"
+    )
+    assert BugKind.UVA not in kinds(result)
+
+
+# -- ML ------------------------------------------------------------------------------
+
+
+def test_ml_free_through_second_alias():
+    result = run(
+        "int f(int n) { char *p = malloc(n); if (!p) return -1; char *q = p; free(q); return 0; }"
+    )
+    assert BugKind.ML not in kinds(result)
+
+
+def test_ml_devm_style_allocator_tracked():
+    result = run(
+        "struct device { int id; };\n"
+        "int f(struct device *dev, int n, int bad) {\n"
+        "    char *p = devm_kzalloc(dev, n, 0);\n"
+        "    if (!p) return -1;\n"
+        "    if (bad) return -2;\n"
+        "    devm_kfree(dev, p);\n"
+        "    return 0;\n"
+        "}"
+    )
+    assert BugKind.ML in kinds(result)  # the `bad` early return leaks
+
+
+def test_ml_not_reported_when_freed_in_callee():
+    result = run(
+        "static void cleanup(char *p) { kfree(p); }\n"
+        "int f(int n) { char *p = kmalloc(n); if (!p) return -1; cleanup(p); return 0; }"
+    )
+    assert BugKind.ML not in kinds(result)
+
+
+# -- locks / div / index --------------------------------------------------------------
+
+
+def test_mutex_api_recognized():
+    result = run(
+        "struct m { int lock; }; static struct m g;\n"
+        "void f(int retry) { mutex_lock(&g.lock); if (retry) mutex_lock(&g.lock); mutex_unlock(&g.lock); }"
+    )
+    assert BugKind.DOUBLE_LOCK in kinds(result)
+
+
+def test_two_distinct_locks_are_independent():
+    result = run(
+        "struct m { int a_lock; int b_lock; }; static struct m g;\n"
+        "void f(void) { spin_lock(&g.a_lock); spin_lock(&g.b_lock); "
+        "spin_unlock(&g.b_lock); spin_unlock(&g.a_lock); }"
+    )
+    assert BugKind.DOUBLE_LOCK not in kinds(result)
+
+
+def test_constant_negative_index_is_definite():
+    result = run("static int t[4];\nint f(void) { return t[0 - 2]; }")
+    assert BugKind.ARRAY_UNDERFLOW in kinds(result)
+
+
+def test_modulo_by_possible_zero():
+    result = run(
+        "static int width(int m) { if (m > 8) return 0; return m; }\n"
+        "int f(int x, int m) { int w = width(m); return x % w; }"
+    )
+    assert BugKind.DIV_BY_ZERO in kinds(result)
+
+
+def test_div_after_assignment_of_nonzero_safe():
+    result = run("int f(int x) { int d = 4; return x / d; }")
+    assert BugKind.DIV_BY_ZERO not in kinds(result)
+
+
+def test_index_guard_via_early_return():
+    result = run(
+        "static int t[8];\n"
+        "static int pick(int k) { if (k > 7) return -1; return k; }\n"
+        "int f(int k) { int i = pick(k); if (i < 0) return 0; return t[i]; }"
+    )
+    assert BugKind.ARRAY_UNDERFLOW not in kinds(result)

@@ -1,0 +1,387 @@
+"""Per-checker behaviour tests, driven through the full engine on tiny
+mini-C programs (the checkers only see engine events, so this is the
+honest way to test them)."""
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.typestate import BugKind
+
+
+def run(source, all_checkers=True, validate=True):
+    config = AnalysisConfig(validate_paths=validate)
+    pata = PATA.with_all_checkers(config=config) if all_checkers else PATA(config=config)
+    return pata.analyze_sources([("t.c", source)])
+
+
+def kinds_found(result):
+    return sorted((r.kind.short, r.sink_line) for r in result.reports)
+
+
+# -- NPD -----------------------------------------------------------------------
+
+
+def test_npd_assign_null_then_deref():
+    result = run("int f(void) { int *p = NULL; return *p; }")
+    assert any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_checked_pointer_in_null_branch():
+    result = run("int f(int *p) { if (!p) { return *p; } return 0; }")
+    assert any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_not_reported_after_nonnull_proof():
+    result = run("int f(int *p) { if (!p) return -1; return *p; }")
+    assert not any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_through_field_store_alias():
+    source = """
+struct c { int *slot; };
+static struct c g;
+int f(int *p) {
+    g.slot = p;
+    if (!g.slot)
+        return *p;
+    return 0;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_null_stored_through_field_then_loaded():
+    source = """
+struct c { int *slot; };
+int f(struct c *o) {
+    o->slot = NULL;
+    int *q = o->slot;
+    return *q;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_deref_via_gep_base():
+    source = """
+struct s { int v; };
+int f(struct s *p) {
+    if (p == NULL)
+        return p->v;
+    return 0;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.NPD for r in result.reports)
+
+
+def test_npd_unknown_pointer_not_flagged():
+    result = run("int f(int *p) { return *p; }")
+    assert not any(r.kind is BugKind.NPD for r in result.reports)
+
+
+# -- UVA ----------------------------------------------------------------------
+
+
+def test_uva_scalar_used_before_assignment():
+    result = run("int f(int c) { int x; if (c) x = 1; return x; }")
+    assert any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_scalar_initialized_on_all_paths_safe():
+    result = run("int f(int c) { int x; if (c) x = 1; else x = 2; return x; }")
+    assert not any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_kmalloc_field_read_before_write():
+    source = """
+struct s { int a; int b; };
+int f(void) {
+    struct s *p = kmalloc(sizeof(struct s));
+    if (!p) return -1;
+    int v = p->a;
+    kfree(p);
+    return v;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_field_sensitive_written_field_is_fine():
+    source = """
+struct s { int a; int b; };
+int f(void) {
+    struct s *p = kmalloc(sizeof(struct s));
+    if (!p) return -1;
+    p->a = 5;
+    int v = p->a;
+    kfree(p);
+    return v;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_kzalloc_region_is_initialized():
+    source = """
+struct s { int a; };
+int f(void) {
+    struct s *p = kzalloc(sizeof(struct s));
+    if (!p) return -1;
+    int v = p->a;
+    kfree(p);
+    return v;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_memset_initializes_region():
+    source = """
+struct s { int a; };
+int f(void) {
+    struct s *p = kmalloc(sizeof(struct s));
+    if (!p) return -1;
+    memset(p, 0, sizeof(struct s));
+    int v = p->a;
+    kfree(p);
+    return v;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_pointer_value_not_confused_with_region():
+    # p itself is perfectly initialized by the allocation; only the
+    # region behind it is not — "if (!p)" must not be flagged.
+    source = """
+int f(void) {
+    char *p = kmalloc(8);
+    if (!p) return -1;
+    kfree(p);
+    return 0;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.UVA for r in result.reports)
+
+
+def test_uva_through_alias_in_callee():
+    source = """
+struct s { int a; };
+static int peek(struct s *q) { return q->a; }
+int f(void) {
+    struct s *p = kmalloc(sizeof(struct s));
+    if (!p) return -1;
+    int v = peek(p);
+    kfree(p);
+    return v;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.UVA for r in result.reports)
+
+
+# -- ML -----------------------------------------------------------------------
+
+
+def test_ml_simple_leak_on_return():
+    result = run("int f(int n) { char *p = malloc(n); if (!p) return -1; return n; }")
+    assert any(r.kind is BugKind.ML for r in result.reports)
+
+
+def test_ml_freed_is_safe():
+    result = run("int f(int n) { char *p = malloc(n); if (!p) return -1; free(p); return n; }")
+    assert not any(r.kind is BugKind.ML for r in result.reports)
+
+
+def test_ml_failed_allocation_path_not_a_leak():
+    result = run("int f(int n) { char *p = malloc(n); if (!p) return -1; free(p); return 0; }")
+    ml = [r for r in result.reports if r.kind is BugKind.ML]
+    assert ml == []
+
+
+def test_ml_returned_pointer_escapes():
+    result = run("char *f(int n) { char *p = malloc(n); return p; }")
+    assert not any(r.kind is BugKind.ML for r in result.reports)
+
+
+def test_ml_stored_pointer_escapes():
+    source = """
+struct holder { char *buf; };
+static struct holder g;
+int f(int n) {
+    char *p = malloc(n);
+    g.buf = p;
+    return 0;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.ML for r in result.reports)
+
+
+def test_ml_leak_of_callee_allocated_object():
+    source = """
+static char *grab(int n) { char *p = kmalloc(n); return p; }
+int f(int n, int flag) {
+    char *b = grab(n);
+    if (!b) return -1;
+    if (flag) return -2;
+    kfree(b);
+    return 0;
+}
+"""
+    result = run(source)
+    ml = [r for r in result.reports if r.kind is BugKind.ML]
+    assert len(ml) == 1
+
+
+def test_ml_error_path_leak_with_later_free():
+    source = """
+int f(int n, int bad) {
+    char *p = malloc(n);
+    if (!p) return -1;
+    if (bad) return -5;
+    free(p);
+    return 0;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.ML for r in result.reports)
+
+
+# -- double lock / underflow / div-zero ------------------------------------------
+
+
+def test_double_lock_reported():
+    source = """
+struct d { int lock; };
+static struct d g;
+void f(int retry) {
+    spin_lock(&g.lock);
+    if (retry)
+        spin_lock(&g.lock);
+    spin_unlock(&g.lock);
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.DOUBLE_LOCK for r in result.reports)
+
+
+def test_double_unlock_reported():
+    source = """
+struct d { int lock; };
+static struct d g;
+void f(int c) {
+    spin_lock(&g.lock);
+    spin_unlock(&g.lock);
+    if (c)
+        spin_unlock(&g.lock);
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.DOUBLE_LOCK for r in result.reports)
+
+
+def test_balanced_locking_is_safe():
+    source = """
+struct d { int lock; };
+static struct d g;
+void f(void) {
+    spin_lock(&g.lock);
+    spin_unlock(&g.lock);
+    spin_lock(&g.lock);
+    spin_unlock(&g.lock);
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.DOUBLE_LOCK for r in result.reports)
+
+
+def test_lock_aliasing_through_pointer():
+    source = """
+struct d { int lock; };
+void f(struct d *a) {
+    struct d *b = a;
+    spin_lock(&a->lock);
+    spin_lock(&b->lock);
+    spin_unlock(&a->lock);
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.DOUBLE_LOCK for r in result.reports)
+
+
+def test_array_underflow_from_error_return():
+    source = """
+static int table[8];
+static int find(int k) { if (k > 7) return -1; return k; }
+int f(int k) {
+    int idx = find(k);
+    return table[idx];
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.ARRAY_UNDERFLOW for r in result.reports)
+
+
+def test_array_underflow_suppressed_by_check():
+    source = """
+static int table[8];
+static int find(int k) { if (k > 7) return -1; return k; }
+int f(int k) {
+    int idx = find(k);
+    if (idx < 0)
+        return 0;
+    return table[idx];
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.ARRAY_UNDERFLOW for r in result.reports)
+
+
+def test_div_by_zero_from_zero_returning_callee():
+    source = """
+static int count(int m) { if (m == 0) return 0; return m; }
+int f(int total, int m) {
+    int c = count(m);
+    return total / c;
+}
+"""
+    result = run(source)
+    assert any(r.kind is BugKind.DIV_BY_ZERO for r in result.reports)
+
+
+def test_div_guarded_is_safe():
+    source = """
+static int count(int m) { if (m == 0) return 0; return m; }
+int f(int total, int m) {
+    int c = count(m);
+    if (c == 0)
+        return 0;
+    return total / c;
+}
+"""
+    result = run(source)
+    assert not any(r.kind is BugKind.DIV_BY_ZERO for r in result.reports)
+
+
+def test_div_by_literal_zero_is_definite():
+    result = run("int f(int a) { return a / 0; }")
+    assert any(r.kind is BugKind.DIV_BY_ZERO for r in result.reports)
+
+
+def test_default_checkers_exclude_extended_kinds():
+    source = """
+static int table[4];
+static int find(int k) { if (k > 3) return -1; return k; }
+int f(int k) { int idx = find(k); return table[idx]; }
+"""
+    result = run(source, all_checkers=False)
+    assert not any(r.kind is BugKind.ARRAY_UNDERFLOW for r in result.reports)

@@ -1,0 +1,96 @@
+"""Information collector tests (phase P1)."""
+
+from repro.core import InformationCollector
+from repro.lang import compile_program
+
+
+def collector_for(*sources):
+    program = compile_program(list(sources))
+    return InformationCollector(program), program
+
+
+def test_function_database_populated():
+    collector, _ = collector_for(
+        ("a.c", "static int helper(int x) { return x; }\nint top(int x) { return helper(x); }"),
+    )
+    info = collector.lookup("helper")
+    assert info is not None
+    assert info.is_static and not info.is_interface
+    assert info.num_params == 1
+    assert info.num_blocks >= 1 and info.num_instructions >= 0
+    assert collector.database_size() == 2
+
+
+def test_entry_functions_from_callgraph():
+    collector, _ = collector_for(
+        ("a.c",
+         "static int inner(int x) { return x; }\n"
+         "int outer(int x) { return inner(x); }\n"
+         "static int handler(int x) { return inner(x); }\n"
+         "struct ops { int (*h)(int x); };\n"
+         "static struct ops o = { .h = handler };"),
+    )
+    entries = {f.name for f in collector.entry_functions()}
+    assert entries == {"outer", "handler"}
+
+
+def test_interface_marked_across_modules():
+    collector, program = collector_for(
+        ("impl.c", "int remote_probe(int x) { return x; }"),
+        ("reg.c",
+         "int remote_probe(int x);\n"
+         "struct drv { int (*probe)(int x); };\n"
+         "static struct drv d = { .probe = remote_probe };"),
+    )
+    assert program.lookup("remote_probe").is_interface
+    assert collector.lookup("remote_probe").is_interface
+
+
+def test_may_return_negative_direct():
+    collector, _ = collector_for(
+        ("a.c",
+         "int find(int k) { if (k > 3) return -1; return k; }\n"
+         "int always_pos(int k) { return k + 1; }"),
+    )
+    assert collector.may_return_negative("find")
+    assert not collector.may_return_negative("always_pos")
+
+
+def test_may_return_negative_via_constant_move():
+    collector, _ = collector_for(
+        ("a.c", "int find(int k) { int err = -22; if (k > 3) return err; return k; }"),
+    )
+    assert collector.may_return_negative("find")
+
+
+def test_may_return_zero():
+    collector, _ = collector_for(
+        ("a.c", "int count(int m) { if (m == 0) return 0; return m; }"),
+    )
+    assert collector.may_return_zero("count")
+
+
+def test_return_facts_propagate_through_wrappers():
+    collector, _ = collector_for(
+        ("a.c",
+         "static int base(int k) { if (k > 3) return -1; return k; }\n"
+         "int wrap(int k) { return base(k); }\n"
+         "int wrap2(int k) { return wrap(k); }"),
+    )
+    assert collector.may_return_negative("wrap")
+    assert collector.may_return_negative("wrap2")
+
+
+def test_unknown_function_queries_are_false():
+    collector, _ = collector_for(("a.c", "int f(void) { return 0; }"))
+    assert not collector.may_return_negative("ghost")
+    assert not collector.may_return_zero("ghost")
+    assert collector.lookup("ghost") is None
+    assert not collector.is_defined("ghost")
+
+
+def test_position_metadata():
+    collector, _ = collector_for(("src/drv.c", "\n\nint late(void) { return 1; }"))
+    info = collector.lookup("late")
+    assert info.filename == "src/drv.c"
+    assert info.line == 3

@@ -1,0 +1,185 @@
+"""Differential testing: mini-C → IR → interpreter vs. Python semantics.
+
+Hypothesis generates random integer expressions and small statement
+programs; each is compiled through the full frontend and executed by the
+interpreter, and the result is compared against direct Python evaluation
+with C semantics.  One test exercises the lexer, parser, lowering and
+interpreter end to end.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.interp import Machine, run_entry
+from repro.lang import compile_program
+
+
+def c_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a, b):
+    return a - c_div(a, b) * b
+
+
+# -- expression generator ----------------------------------------------------------
+
+_leaf = st.one_of(
+    st.integers(min_value=0, max_value=50).map(str),
+    st.sampled_from(["a", "b"]),
+)
+
+
+def _expr(depth):
+    if depth == 0:
+        return _leaf
+    sub = _expr(depth - 1)
+    return st.one_of(
+        _leaf,
+        st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+    )
+
+
+def _py_eval(expr, a, b):
+    # Mini-C comparisons yield 0/1 ints; Python's yield bools — coerce.
+    namespace = {"a": a, "b": b}
+    value = eval(  # noqa: S307 - test-only, generated input
+        expr.replace("==", "=="), {}, namespace
+    )
+    return int(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_expr(3), st.integers(min_value=-20, max_value=20), st.integers(min_value=-20, max_value=20))
+def test_expression_evaluation_matches_python(expr, a, b):
+    source = f"int f(int a, int b) {{ return {expr}; }}"
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f", [a, b])
+    assert fault is None
+    assert result == _py_eval(expr, a, b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-5, max_value=5),
+)
+def test_division_matches_c_semantics(a, b, c):
+    assume(b != 0)
+    source = "int f(int a, int b) { return a / b + a % b; }"
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f", [a, b])
+    assert fault is None
+    assert result == c_div(a, b) + c_mod(a, b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+def test_while_loop_sum_matches_python(n, limit):
+    source = """
+int f(int n, int limit) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + i;
+        if (s > limit)
+            break;
+        i = i + 1;
+    }
+    return s;
+}
+"""
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f", [n, limit])
+    assert fault is None
+    s = i = 0
+    while i < n:
+        s += i
+        if s > limit:
+            break
+        i += 1
+    assert result == s
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-9, max_value=9), min_size=1, max_size=6))
+def test_array_writes_and_reads_match(values):
+    writes = "\n".join(f"    buf[{i}] = {v};" for i, v in enumerate(values))
+    reads = " + ".join(f"buf[{i}]" for i in range(len(values)))
+    source = f"int f(void) {{ int buf[8];\n{writes}\n    return {reads}; }}"
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f")
+    assert fault is None
+    assert result == sum(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-10, max_value=10), st.integers(min_value=-10, max_value=10))
+def test_ternary_and_short_circuit_match(a, b):
+    source = """
+int f(int a, int b) {
+    int big = (a > b) ? a : b;
+    int both = (a > 0 && b > 0) ? 1 : 0;
+    int either = (a > 0 || b > 0) ? 1 : 0;
+    return big * 100 + both * 10 + either;
+}
+"""
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f", [a, b])
+    assert fault is None
+    expected = max(a, b) * 100 + (10 if a > 0 and b > 0 else 0) + (1 if a > 0 or b > 0 else 0)
+    assert result == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=8))
+def test_recursive_function_matches(n):
+    source = "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }"
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "fib", [n])
+    assert fault is None
+
+    def fib(k):
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    assert result == fib(n)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_expr(3), st.integers(min_value=-10, max_value=10), st.integers(min_value=-10, max_value=10))
+def test_ir_passes_preserve_expression_semantics(expr, a, b):
+    """Property: optimized IR computes the same value as unoptimized."""
+    from repro.ir import optimize_program
+
+    source = f"int f(int a, int b) {{ return {expr}; }}"
+    plain = compile_program([("d.c", source)])
+    optimized = compile_program([("d.c", source)])
+    optimize_program(optimized)
+    r1, f1, _ = run_entry(plain, "f", [a, b])
+    r2, f2, _ = run_entry(optimized, "f", [a, b])
+    assert f1 is None and f2 is None
+    assert r1 == r2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-10, max_value=10))
+def test_struct_field_roundtrip(v):
+    source = """
+struct box { int lo; int hi; };
+int f(int v) {
+    struct box b;
+    b.lo = v;
+    b.hi = v * 2;
+    return b.hi - b.lo;
+}
+"""
+    program = compile_program([("d.c", source)])
+    result, fault, _ = run_entry(program, "f", [v])
+    assert fault is None
+    assert result == v

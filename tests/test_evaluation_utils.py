@@ -1,0 +1,77 @@
+"""Evaluation harness utilities: rendering, caching, report generation."""
+
+import pytest
+
+from repro.corpus import TENCENTOS, ZEPHYR
+from repro.evaluation import (
+    EvaluationHarness,
+    generate_markdown_report,
+    render_table,
+    table4_os_info,
+)
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["Name", "Count"],
+        [["alpha", 1], ["much-longer-name", 23]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    header, sep, row1, row2 = lines[1:]
+    assert header.index("Count") == row1.index("1")
+    assert set(sep) <= {"-", "+"}
+    assert len({len(header), len(row1), len(row2)}) == 1  # equal widths
+
+
+def test_render_table_without_title():
+    text = render_table(["A"], [["x"]])
+    assert not text.startswith("\n")
+    assert text.splitlines()[0].startswith("A")
+
+
+def test_harness_caches_corpus_and_programs():
+    harness = EvaluationHarness(scale=0.2, profiles=[TENCENTOS])
+    first = harness.run_for(TENCENTOS)
+    second = harness.run_for(TENCENTOS)
+    assert first is second
+    assert first.program is second.program
+
+
+def test_harness_caches_pata_run():
+    harness = EvaluationHarness(scale=0.2, profiles=[TENCENTOS])
+    run1 = harness.run_pata(TENCENTOS)
+    result1 = run1.pata_result
+    run2 = harness.run_for(TENCENTOS)
+    assert run2.pata_result is result1  # not recomputed by run_for
+
+
+def test_harness_restricted_profiles():
+    harness = EvaluationHarness(scale=0.2, profiles=[ZEPHYR])
+    data, _ = table4_os_info(harness)
+    assert set(data) == {"zephyr"}
+
+
+def test_markdown_report_structure():
+    harness = EvaluationHarness(scale=0.15, profiles=[ZEPHYR, TENCENTOS])
+    # table6 needs the linux profile; restrict to the sections that work
+    # on any profile set by monkey-driving the full generator with linux.
+    harness_full = EvaluationHarness(scale=0.15)
+    report = generate_markdown_report(harness_full)
+    assert report.startswith("# PATA reproduction — evaluation report")
+    for heading in ("## Table 4", "## Table 5", "## Figure 11",
+                    "## Table 6", "## Table 7", "## Table 8",
+                    "## Headline deltas"):
+        assert heading in report
+    assert "unique to PATA" in report
+
+
+def test_run_tool_records_results():
+    from repro.baselines import CoccinelleLike
+
+    harness = EvaluationHarness(scale=0.3, profiles=[ZEPHYR])
+    result, match = harness.run_tool(ZEPHYR, CoccinelleLike(), source_based=True)
+    run = harness.run_for(ZEPHYR)
+    assert "coccinelle-like" in run.tool_results
+    assert run.tool_matches["coccinelle-like"] is match

@@ -1,0 +1,115 @@
+"""Function-pointer resolution extension tests (§7 future work).
+
+Published PATA "does not handle function-pointer calls, and thus it
+cannot find bugs whose bug-trigger paths pass through indirect function
+calls"; the paper plans to adopt a function-pointer analysis.  The
+``resolve_function_pointers`` config switch implements a type-based
+resolution through interface registrations: an indirect call through
+field ``f`` of struct ``T`` targets the functions registered to that
+slot.
+"""
+
+import random
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.core import InformationCollector
+from repro.corpus.patterns import COMMON_DECLS, EXTENSION_PATTERNS, npd_indirect_dispatch
+from repro.lang import compile_program
+from repro.typestate import BugKind
+
+DISPATCH_SOURCE = r"""
+struct msg { int len; };
+struct handler_ops { int (*consume)(struct msg *m); };
+
+static int raw_consume(struct msg *m) {
+    return m->len;
+}
+static struct handler_ops raw_ops = { .consume = raw_consume };
+
+int dispatch(struct handler_ops *ops, struct msg *m) {
+    if (!m)
+        return ops->consume(m);
+    return 0;
+}
+struct dispatch_reg { int (*d)(struct handler_ops *o, struct msg *m); };
+static struct dispatch_reg dr = { .d = dispatch };
+"""
+
+
+def analyze(source, resolve):
+    config = AnalysisConfig(resolve_function_pointers=resolve)
+    return PATA(config=config).analyze_sources([("d.c", source)])
+
+
+def test_default_pata_misses_indirect_bug():
+    result = analyze(DISPATCH_SOURCE, resolve=False)
+    assert result.by_kind(BugKind.NPD) == []
+
+
+def test_extension_finds_indirect_bug():
+    result = analyze(DISPATCH_SOURCE, resolve=True)
+    npd = result.by_kind(BugKind.NPD)
+    assert len(npd) == 1
+    assert npd[0].entry_function == "dispatch"
+
+
+def test_collector_resolves_struct_field_targets():
+    program = compile_program([("d.c", DISPATCH_SOURCE)])
+    collector = InformationCollector(program)
+    assert collector.indirect_targets("handler_ops", "consume") == ["raw_consume"]
+    assert collector.indirect_targets("handler_ops", "ghost_field") == []
+    # Unknown struct falls back to field-name matching.
+    assert collector.indirect_targets(None, "consume") == ["raw_consume"]
+    # A known-but-different struct does not borrow another struct's slot.
+    assert collector.indirect_targets("dispatch_reg", "consume") == []
+
+
+def test_multiple_targets_each_explored():
+    source = r"""
+struct msg { int len; };
+struct handler_ops { int (*consume)(struct msg *m); };
+
+static int safe_consume(struct msg *m) {
+    if (!m) return 0;
+    return m->len;
+}
+static int raw_consume(struct msg *m) {
+    return m->len;
+}
+static struct handler_ops safe_ops = { .consume = safe_consume };
+static struct handler_ops raw_ops = { .consume = raw_consume };
+
+int dispatch(struct handler_ops *ops, struct msg *m) {
+    if (!m)
+        return ops->consume(m);
+    return 0;
+}
+struct dispatch_reg { int (*d)(struct handler_ops *o, struct msg *m); };
+static struct dispatch_reg dr = { .d = dispatch };
+"""
+    result = analyze(source, resolve=True)
+    npd = result.by_kind(BugKind.NPD)
+    # Only the raw target dereferences the NULL message.
+    assert len(npd) == 1
+    assert "raw_consume.m" in npd[0].alias_set
+
+
+def test_target_cap_respected():
+    config = AnalysisConfig(resolve_function_pointers=True, max_indirect_targets=1)
+    result = PATA(config=config).analyze_sources([("d.c", DISPATCH_SOURCE)])
+    assert result.stats.explored_paths >= 1  # terminates; cap honored
+
+
+def test_extension_pattern_detectable_only_with_resolution():
+    snippet = npd_indirect_dispatch("90210", random.Random(5))
+    src = COMMON_DECLS + "\n" + "\n".join(snippet.lines) + "\n"
+    off = PATA(config=AnalysisConfig(resolve_function_pointers=False)).analyze_sources([("e.c", src)])
+    on = PATA(config=AnalysisConfig(resolve_function_pointers=True)).analyze_sources([("e.c", src)])
+    assert off.by_kind(BugKind.NPD) == []
+    assert len(on.by_kind(BugKind.NPD)) == 1
+
+
+def test_extension_patterns_registry_nonempty():
+    assert EXTENSION_PATTERNS

@@ -1,0 +1,225 @@
+"""Concrete interpreter tests: semantics and the fault model."""
+
+import pytest
+
+from repro.interp import (
+    DivisionByZeroFault,
+    DoubleFreeFault,
+    DoubleLockFault,
+    Machine,
+    NegativeIndexFault,
+    NullDereferenceFault,
+    StepLimitExceeded,
+    UninitializedReadFault,
+    UseAfterFreeFault,
+    run_entry,
+)
+from repro.lang import compile_program
+
+
+def program_of(source):
+    return compile_program([("t.c", source)])
+
+
+# -- basic evaluation -----------------------------------------------------------
+
+
+def test_arithmetic_and_control_flow():
+    prog = program_of("int f(int a) { if (a > 2) return a * 10; return a - 1; }")
+    assert run_entry(prog, "f", [5])[0] == 50
+    assert run_entry(prog, "f", [1])[0] == 0
+
+
+def test_loops_execute_concretely():
+    prog = program_of("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s = s + i; return s; }")
+    assert run_entry(prog, "f", [5])[0] == 10
+
+
+def test_calls_and_recursion():
+    prog = program_of("int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }")
+    assert run_entry(prog, "fact", [6])[0] == 720
+
+
+def test_struct_fields_via_argument_object():
+    prog = program_of(
+        "struct s { int a; int b; };\n"
+        "int f(struct s *p) { p->a = 3; p->b = 4; return p->a + p->b; }"
+    )
+    machine = Machine(prog)
+    arg = machine.make_argument_object()
+    assert machine.call("f", [arg]) == 7
+
+
+def test_nested_struct_fields_use_dotted_labels():
+    prog = program_of(
+        "struct inner { int v; };\n"
+        "struct outer { struct inner box; };\n"
+        "int f(void) { struct outer o; o.box.v = 9; return o.box.v; }"
+    )
+    assert run_entry(prog, "f")[0] == 9
+
+
+def test_globals_zero_initialized():
+    prog = program_of("int counter; int f(void) { counter = counter + 2; return counter; }")
+    assert run_entry(prog, "f")[0] == 2
+
+
+def test_global_struct_persists_across_calls():
+    prog = program_of(
+        "struct s { int n; }; static struct s g;\n"
+        "int bump(void) { g.n = g.n + 1; return g.n; }"
+    )
+    machine = Machine(prog)
+    assert machine.call("bump") == 1
+    assert machine.call("bump") == 2
+
+
+def test_switch_semantics():
+    prog = program_of(
+        "int f(int t) { int r = 0; switch (t) { case 1: r = 10; break; case 2: r = 20; break; default: r = -1; break; } return r; }"
+    )
+    assert run_entry(prog, "f", [1])[0] == 10
+    assert run_entry(prog, "f", [2])[0] == 20
+    assert run_entry(prog, "f", [9])[0] == -1
+
+
+def test_external_calls_use_oracle():
+    prog = program_of("int f(int a) { return query(a) + 1; }")
+    machine = Machine(prog, externals={"query": lambda args: args[0] * 100})
+    assert machine.call("f", [3]) == 301
+
+
+def test_unlisted_external_returns_zero():
+    prog = program_of("int f(void) { return mystery(); }")
+    assert run_entry(prog, "f")[0] == 0
+
+
+# -- fault model -----------------------------------------------------------------
+
+
+def test_null_deref_fault_with_location():
+    prog = program_of("struct s { int v; };\nint f(struct s *p) {\n    return p->v;\n}")
+    _, fault, _ = run_entry(prog, "f", [0])
+    assert isinstance(fault, NullDereferenceFault)
+    assert fault.loc.line == 3
+
+
+def test_uninitialized_local_read_faults():
+    prog = program_of("int f(int c) { int x; if (c) x = 1; return x; }")
+    _, fault, _ = run_entry(prog, "f", [0])
+    assert isinstance(fault, UninitializedReadFault)
+    assert run_entry(prog, "f", [1])[0] == 1
+
+
+def test_uninitialized_heap_field_faults():
+    prog = program_of(
+        "struct s { int a; };\n"
+        "int f(void) { struct s *p = kmalloc(8); if (!p) return -1; return p->a; }"
+    )
+    _, fault, _ = run_entry(prog, "f")
+    assert isinstance(fault, UninitializedReadFault)
+
+
+def test_kzalloc_region_reads_zero():
+    prog = program_of(
+        "struct s { int a; };\n"
+        "int f(void) { struct s *p = kzalloc(8); if (!p) return -1; int v = p->a; kfree(p); return v; }"
+    )
+    assert run_entry(prog, "f")[0] == 0
+
+
+def test_memset_initializes():
+    prog = program_of(
+        "struct s { int a; };\n"
+        "int f(void) { struct s *p = kmalloc(8); if (!p) return -1; memset(p, 0, 8); int v = p->a; kfree(p); return v; }"
+    )
+    assert run_entry(prog, "f")[0] == 0
+
+
+def test_division_by_zero_faults():
+    prog = program_of("int f(int a, int b) { return a / b; }")
+    _, fault, _ = run_entry(prog, "f", [10, 0])
+    assert isinstance(fault, DivisionByZeroFault)
+    assert run_entry(prog, "f", [10, 3])[0] == 3
+
+
+def test_negative_index_faults():
+    prog = program_of("static int t[4];\nint f(int i) {\n    return t[i];\n}")
+    _, fault, _ = run_entry(prog, "f", [-1])
+    assert isinstance(fault, NegativeIndexFault)
+    assert run_entry(prog, "f", [2])[0] == 0  # static array, zeroed
+
+
+def test_double_free_faults():
+    prog = program_of("void f(void) { char *p = malloc(4); free(p); free(p); }")
+    _, fault, _ = run_entry(prog, "f")
+    assert isinstance(fault, DoubleFreeFault)
+
+
+def test_free_null_is_noop():
+    prog = program_of("void f(void) { char *p = NULL; free(p); }")
+    _, fault, _ = run_entry(prog, "f")
+    assert fault is None
+
+
+def test_use_after_free_faults():
+    prog = program_of(
+        "struct s { int v; };\n"
+        "int f(void) { struct s *p = kmalloc(8); if (!p) return -1; p->v = 1; kfree(p); return p->v; }"
+    )
+    _, fault, _ = run_entry(prog, "f")
+    assert isinstance(fault, UseAfterFreeFault)
+
+
+def test_double_lock_faults():
+    prog = program_of(
+        "struct d { int lock; }; static struct d g;\n"
+        "void f(void) { spin_lock(&g.lock); spin_lock(&g.lock); }"
+    )
+    _, fault, _ = run_entry(prog, "f")
+    assert isinstance(fault, DoubleLockFault)
+
+
+def test_balanced_locks_ok():
+    prog = program_of(
+        "struct d { int lock; }; static struct d g;\n"
+        "void f(void) { spin_lock(&g.lock); spin_unlock(&g.lock); }"
+    )
+    assert run_entry(prog, "f")[1] is None
+
+
+def test_fuel_guards_infinite_loops():
+    prog = program_of("int f(void) { int x = 0; while (1) { x = x + 1; } return x; }")
+    _, fault, _ = run_entry(prog, "f", fuel=2000)
+    assert isinstance(fault, StepLimitExceeded)
+
+
+# -- allocation / leaks --------------------------------------------------------------
+
+
+def test_allocator_policy_controls_failure():
+    prog = program_of("int f(int n) { char *p = malloc(n); if (!p) return -12; free(p); return 0; }")
+    ok, fault, _ = run_entry(prog, "f", [8])
+    assert ok == 0
+    failed, fault, _ = run_entry(prog, "f", [8], allocator_policy=lambda site: False)
+    assert failed == -12
+
+
+def test_leaked_objects_detected():
+    prog = program_of("int f(int n, int bad) { char *p = malloc(n); if (!p) return -1; if (bad) return -2; free(p); return 0; }")
+    _, _, leaks_good = run_entry(prog, "f", [8, 0])
+    _, _, leaks_bad = run_entry(prog, "f", [8, 1])
+    assert leaks_good == []
+    assert len(leaks_bad) == 1
+
+
+def test_returned_pointer_not_counted_as_leak():
+    prog = program_of("char *f(int n) { return malloc(n); }")
+    _, fault, leaks = run_entry(prog, "f", [8])
+    assert fault is None and leaks == []
+
+
+def test_global_stashed_pointer_not_a_leak():
+    prog = program_of("char *stash;\nvoid f(int n) { stash = malloc(n); }")
+    _, fault, leaks = run_entry(prog, "f", [8])
+    assert fault is None and leaks == []

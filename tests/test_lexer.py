@@ -1,0 +1,105 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Lexer, parse_int_literal, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def test_identifiers_and_keywords():
+    toks = kinds_and_texts("int foo struct _bar baz42")
+    assert toks == [
+        ("kw", "int"), ("id", "foo"), ("kw", "struct"),
+        ("id", "_bar"), ("id", "baz42"),
+    ]
+
+
+def test_numbers_decimal_and_hex():
+    toks = kinds_and_texts("42 0x1F 0 123456789")
+    assert all(k == "num" for k, _ in toks)
+    assert [parse_int_literal(t) for _, t in toks] == [42, 31, 0, 123456789]
+
+
+def test_integer_suffixes_are_consumed():
+    assert parse_int_literal("42UL") == 42
+    assert parse_int_literal("0x10u") == 16
+    toks = kinds_and_texts("7ULL")
+    assert toks == [("num", "7ULL")]
+
+
+def test_multichar_punctuation_maximal_munch():
+    toks = [t.text for t in tokenize("a->b >>= c << d <= e == f && g")[:-1]]
+    assert "->" in toks and ">>=" in toks and "<<" in toks
+    assert "<=" in toks and "==" in toks and "&&" in toks
+
+
+def test_line_comments_skipped():
+    toks = kinds_and_texts("a // comment with * and /\nb")
+    assert toks == [("id", "a"), ("id", "b")]
+
+
+def test_block_comments_skipped_multiline():
+    toks = kinds_and_texts("a /* line1\nline2 * / almost */ b")
+    assert toks == [("id", "a"), ("id", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_preprocessor_lines_ignored():
+    toks = kinds_and_texts("#include <stdio.h>\nint x;\n#define FOO 1\ny")
+    assert ("id", "x") in toks and ("id", "y") in toks
+    assert all(t != "include" for _, t in toks)
+
+
+def test_preprocessor_continuation():
+    toks = kinds_and_texts("#define FOO \\\n  more\nint x;")
+    assert toks[0] == ("kw", "int")
+
+
+def test_string_literal():
+    toks = tokenize('"hello world"')
+    assert toks[0].kind == "string" and toks[0].text == "hello world"
+
+
+def test_string_escapes():
+    toks = tokenize(r'"a\"b"')
+    assert toks[0].text == 'a"b'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"no close')
+
+
+def test_char_literal_and_escape():
+    toks = tokenize(r"'a' '\n' '\0'")
+    values = [t.text for t in toks[:-1]]
+    assert values == ["a", "\n", "\0"]
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  b")
+    assert toks[0].line == 1 and toks[0].column == 1
+    assert toks[1].line == 2 and toks[1].column == 3
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int a = 1 @ 2;")
+
+
+def test_null_is_a_keyword():
+    toks = kinds_and_texts("NULL")
+    assert toks == [("kw", "NULL")]
+
+
+def test_eof_token_terminates_stream():
+    toks = tokenize("x")
+    assert toks[-1].kind == "eof"

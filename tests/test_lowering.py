@@ -1,0 +1,282 @@
+"""Mini-C → IR lowering tests: the instruction shapes PATA consumes."""
+
+import pytest
+
+from repro import ir
+from repro.errors import SemaError
+from repro.lang import compile_source
+
+
+def lower(source, filename="t.c"):
+    module = compile_source(source, filename)
+    ir.assert_valid(module)
+    return module
+
+
+def insts_of(module, func_name):
+    return list(module.functions[func_name].instructions())
+
+
+def kinds(module, func_name):
+    return [type(i).__name__ for i in insts_of(module, func_name)]
+
+
+def test_scalar_assignment_is_move():
+    module = lower("void f(int a) { int b = a; }")
+    moves = [i for i in insts_of(module, "f") if isinstance(i, ir.Move)]
+    assert any(m.dst.source_name == "b" for m in moves)
+
+
+def test_uninitialized_scalar_emits_decl_local():
+    module = lower("void f(void) { int x; }")
+    assert "DeclLocal" in kinds(module, "f")
+
+
+def test_field_read_is_gep_then_load():
+    module = lower("struct s { int f; }; int g(struct s *p) { return p->f; }")
+    names = kinds(module, "g")
+    gep_index = names.index("Gep")
+    assert names[gep_index + 1] == "Load"
+    gep = insts_of(module, "g")[gep_index]
+    assert gep.field == "f"
+
+
+def test_field_write_is_gep_then_store():
+    module = lower("struct s { int f; }; void g(struct s *p) { p->f = 3; }")
+    names = kinds(module, "g")
+    assert "Gep" in names and "Store" in names
+
+
+def test_deref_read_and_write():
+    module = lower("void f(int *p, int v) { int a = *p; *p = v; }")
+    names = kinds(module, "f")
+    assert "Load" in names and "Store" in names
+
+
+def test_address_taken_local_gets_slot():
+    module = lower("void f(void) { int x; int *p = &x; *p = 1; }")
+    names = kinds(module, "f")
+    assert "Alloc" in names  # x lives in memory because &x exists
+
+
+def test_struct_local_gets_slot_and_field_geps():
+    module = lower("struct s { int a; }; int f(void) { struct s v; v.a = 1; return v.a; }")
+    names = kinds(module, "f")
+    assert names.count("Gep") >= 2 and "Alloc" in names
+
+
+def test_array_constant_index_label():
+    module = lower("int f(void) { int arr[4]; arr[2] = 5; return arr[2]; }")
+    geps = [i for i in insts_of(module, "f") if isinstance(i, ir.Gep)]
+    assert all(g.field == "[2]" for g in geps)
+
+
+def test_array_nonconstant_indexes_get_distinct_labels():
+    # The §5.2 array-insensitivity: arr[i+1] and arr[j] have different
+    # access-path labels even if j == i+1.
+    module = lower("int f(int i) { int arr[4]; int j = i + 1; arr[j] = 1; return arr[i + 1]; }")
+    geps = [i for i in insts_of(module, "f") if isinstance(i, ir.Gep)]
+    labels = {g.field for g in geps}
+    assert len(labels) == 2
+
+
+def test_branch_condition_lowered_to_comparison():
+    module = lower("int f(int *p) { if (!p) return 1; return 0; }")
+    cmps = [i for i in insts_of(module, "f") if isinstance(i, ir.BinOp) and i.is_comparison]
+    assert len(cmps) == 1
+    cmp = cmps[0]
+    # "!p" lowers to a null comparison (eq with swapped arms or ne).
+    assert cmp.op in ("eq", "ne")
+    assert ir.is_null_const(cmp.rhs)
+
+
+def test_pointer_truthiness_compares_against_null():
+    module = lower("int f(int *p) { if (p) return 1; return 0; }")
+    cmp = next(i for i in insts_of(module, "f") if isinstance(i, ir.BinOp))
+    assert cmp.op == "ne" and ir.is_null_const(cmp.rhs)
+
+
+def test_short_circuit_and_produces_two_branches():
+    module = lower("int f(int a, int b) { if (a && b) return 1; return 0; }")
+    func = module.functions["f"]
+    branches = [b.terminator for b in func.blocks if isinstance(b.terminator, ir.Branch)]
+    assert len(branches) == 2
+
+
+def test_logical_or_in_value_context():
+    module = lower("int f(int a, int b) { int c = a || b; return c; }")
+    func = module.functions["f"]
+    assert any("$sc" in (i.dst.name if hasattr(i, "dst") and i.dst else "") for i in func.instructions() if isinstance(i, ir.Move))
+
+
+def test_while_loop_structure():
+    module = lower("int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }")
+    func = module.functions["f"]
+    block_names = [b.name for b in func.blocks]
+    assert any("while.cond" in n for n in block_names)
+    assert any("while.body" in n for n in block_names)
+
+
+def test_for_loop_has_step_block():
+    module = lower("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }")
+    names = [b.name for b in module.functions["f"].blocks]
+    assert any("for.step" in n for n in names)
+
+
+def test_goto_to_forward_label():
+    module = lower("int f(int a) { if (a) goto out; a = 2; out: return a; }")
+    names = [b.name for b in module.functions["f"].blocks]
+    assert any("label.out" in n for n in names)
+
+
+def test_switch_dispatch_chain():
+    module = lower(
+        "int f(int t) { int r; switch (t) { case 1: r = 1; break; default: r = 0; break; } return r; }"
+    )
+    func = module.functions["f"]
+    cmps = [i for i in func.instructions() if isinstance(i, ir.BinOp) and i.op == "eq"]
+    assert len(cmps) >= 1
+
+
+def test_switch_fallthrough():
+    module = lower(
+        "int f(int t) { int r = 0; switch (t) { case 1: r = 1; case 2: r = r + 10; break; } return r; }"
+    )
+    func = module.functions["f"]
+    case1 = next(b for b in func.blocks if b.name.startswith("case.1"))
+    assert isinstance(case1.terminator, ir.Jump)
+    assert case1.terminator.target.name.startswith("case.2")
+
+
+def test_malloc_intrinsic():
+    module = lower("void f(int n) { char *p = malloc(n); }")
+    mallocs = [i for i in insts_of(module, "f") if isinstance(i, ir.Malloc)]
+    assert len(mallocs) == 1 and mallocs[0].may_fail and not mallocs[0].zeroed
+
+
+def test_kzalloc_is_zeroing():
+    module = lower("void f(int n) { char *p = kzalloc(n); }")
+    (m,) = [i for i in insts_of(module, "f") if isinstance(i, ir.Malloc)]
+    assert m.zeroed
+
+
+def test_free_intrinsic():
+    module = lower("void f(char *p) { kfree(p); }")
+    assert any(isinstance(i, ir.Free) for i in insts_of(module, "f"))
+
+
+def test_memset_intrinsic():
+    module = lower("void f(char *p, int n) { memset(p, 0, n); }")
+    assert any(isinstance(i, ir.MemSet) for i in insts_of(module, "f"))
+
+
+def test_lock_unlock_intrinsics():
+    module = lower("struct s { int lock; }; void f(struct s *p) { spin_lock(&p->lock); spin_unlock(&p->lock); }")
+    locks = [i for i in insts_of(module, "f") if isinstance(i, ir.LockOp)]
+    assert [l.acquire for l in locks] == [True, False]
+
+
+def test_unknown_call_is_plain_call():
+    module = lower("int f(int x) { return mystery(x); }")
+    calls = [i for i in insts_of(module, "f") if isinstance(i, ir.Call)]
+    assert calls and calls[0].callee == "mystery"
+
+
+def test_interface_registration_detected():
+    module = lower(
+        "struct dev { int x; };\n"
+        "static int my_probe(struct dev *d) { return 0; }\n"
+        "struct drv { int (*probe)(struct dev *d); };\n"
+        "static struct drv driver = { .probe = my_probe };"
+    )
+    assert module.functions["my_probe"].is_interface
+    assert module.registrations[0].function == "my_probe"
+
+
+def test_function_pointer_call_is_indirect():
+    module = lower(
+        "struct ops { int (*run)(int v); };\n"
+        "int f(struct ops *o) { return o->run(3); }"
+    )
+    assert any(isinstance(i, ir.CallIndirect) for i in insts_of(module, "f"))
+
+
+def test_global_scalar_read_write():
+    module = lower("int counter; void f(void) { counter = counter + 1; }")
+    assert "@counter" in module.globals
+    moves = [i for i in insts_of(module, "f") if isinstance(i, ir.Move)]
+    assert any(m.dst.name == "@counter" for m in moves)
+
+
+def test_global_struct_accessed_through_address():
+    module = lower("struct s { int f; }; static struct s g; int r(void) { return g.f; }")
+    geps = [i for i in insts_of(module, "r") if isinstance(i, ir.Gep)]
+    assert geps and geps[0].base.name == "@g"
+
+
+def test_global_pointer_assignment_is_move():
+    module = lower(
+        "struct s { int f; }; struct s *head;\n"
+        "void push(struct s *n) { head = n; }"
+    )
+    moves = [i for i in insts_of(module, "push") if isinstance(i, ir.Move)]
+    assert any(m.dst.name == "@head" and isinstance(m.src, ir.Var) for m in moves)
+
+
+def test_null_assignment_typed_as_pointer():
+    module = lower("void f(void) { char *p = NULL; }")
+    move = next(i for i in insts_of(module, "f") if isinstance(i, ir.Move))
+    assert ir.is_null_const(move.src)
+
+
+def test_return_value_lowered():
+    module = lower("int f(void) { return 42; }")
+    term = module.functions["f"].entry.terminator
+    assert isinstance(term, ir.Ret) and term.value.value == 42
+
+
+def test_implicit_void_return_added():
+    module = lower("void f(int a) { if (a) { g(); } }")
+    for block in module.functions["f"].blocks:
+        assert block.is_terminated
+
+
+def test_ternary_value():
+    module = lower("int f(int a) { return a ? 10 : 20; }")
+    func = module.functions["f"]
+    assert len(func.blocks) >= 4  # cond, then, else, end
+
+
+def test_increment_updates_and_returns():
+    module = lower("int f(int a) { int b = a++; return a + b; }")
+    adds = [i for i in insts_of(module, "f") if isinstance(i, ir.BinOp) and i.op == "add"]
+    assert len(adds) >= 2
+
+
+def test_address_of_unknown_variable_raises_sema_error():
+    with pytest.raises(SemaError):
+        compile_source("int f(void) { return *(&undefined_var); }")
+
+
+def test_address_of_register_variable_handled_by_prepass():
+    # &x forces x into a slot even though x is scalar.
+    module = lower("int f(void) { int x = 1; int *p = &x; return *p; }")
+    assert any(isinstance(i, ir.Alloc) for i in insts_of(module, "f"))
+
+
+def test_enum_constants_resolve():
+    module = lower("enum mode { OFF, ON = 7 }; int f(void) { return ON; }")
+    term = module.functions["f"].entry.terminator
+    assert term.value.value == 7
+
+
+def test_sizeof_struct_estimates():
+    module = lower("struct s { int a; int b; }; int f(void) { return sizeof(struct s); }")
+    term = module.functions["f"].entry.terminator
+    assert term.value.value == 16
+
+
+def test_source_lines_preserved_in_locs():
+    module = lower("int f(int *p) {\n    return *p;\n}\n", "locs.c")
+    load = next(i for i in insts_of(module, "f") if isinstance(i, ir.Load))
+    assert load.loc.filename == "locs.c" and load.loc.line == 2

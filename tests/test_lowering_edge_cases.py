@@ -1,0 +1,190 @@
+"""Lowering edge cases: the long tail of mini-C constructs, validated by
+executing the lowered IR in the interpreter."""
+
+from repro import ir
+from repro.interp import run_entry
+from repro.lang import compile_program, compile_source
+
+
+def run(source, name, args=()):
+    program = compile_program([("t.c", source)])
+    result, fault, _ = run_entry(program, name, list(args))
+    assert fault is None, f"unexpected fault: {fault}"
+    return result
+
+
+def test_do_while_executes_body_at_least_once():
+    source = "int f(int n) { int c = 0; do { c = c + 1; } while (c < n); return c; }"
+    assert run(source, "f", [0]) == 1
+    assert run(source, "f", [3]) == 3
+
+
+def test_comma_operator_evaluates_left_to_right():
+    source = "int f(int a) { int b; return (b = a + 1, b * 2); }"
+    assert run(source, "f", [4]) == 10
+
+
+def test_nested_ternary():
+    source = "int f(int a) { return a > 0 ? (a > 10 ? 2 : 1) : 0; }"
+    assert run(source, "f", [15]) == 2
+    assert run(source, "f", [5]) == 1
+    assert run(source, "f", [-5]) == 0
+
+
+def test_compound_assignment_on_struct_field():
+    source = """
+struct s { int v; };
+int f(void) { struct s x; x.v = 3; x.v += 4; x.v <<= 1; return x.v; }
+"""
+    assert run(source, "f") == 14
+
+
+def test_pre_and_post_increment_semantics():
+    source = "int f(void) { int i = 5; int a = i++; int b = ++i; return a * 100 + b * 10 + i; }"
+    # a = 5 (post), then i=6; b = 7 (pre), i = 7.
+    assert run(source, "f") == 5 * 100 + 7 * 10 + 7
+
+
+def test_break_inside_switch_inside_loop():
+    source = """
+int f(int n) {
+    int hits = 0;
+    for (int i = 0; i < n; i++) {
+        switch (i) {
+        case 1:
+            hits = hits + 1;
+            break;
+        default:
+            break;
+        }
+    }
+    return hits;
+}
+"""
+    assert run(source, "f", [3]) == 1
+
+
+def test_continue_skips_rest_of_body():
+    source = """
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 1)
+            continue;
+        s = s + i;
+    }
+    return s;
+}
+"""
+    assert run(source, "f", [4]) == 0 + 2 + 3
+
+
+def test_char_literals_as_ints():
+    source = "int f(void) { char c = 'A'; return c + 1; }"
+    assert run(source, "f") == ord("A") + 1
+
+
+def test_hex_literals():
+    source = "int f(void) { return 0xFF & 0x0F; }"
+    assert run(source, "f") == 0x0F
+
+
+def test_cast_of_zero_to_pointer_is_null():
+    module = compile_source("void f(void) { char *p = (char *)0; }")
+    moves = [i for i in module.functions["f"].instructions() if isinstance(i, ir.Move)]
+    assert any(ir.is_null_const(m.src) for m in moves)
+
+
+def test_variadic_call_lowered():
+    source = """
+static int fake_printf(char *fmt, ...) { return 0; }
+int f(int a) { return fake_printf("x", a, a + 1); }
+"""
+    assert run(source, "f", [1]) == 0
+
+
+def test_string_literals_are_distinct_nonnull():
+    module = compile_source('void f(void) { char *a = "one"; char *b = "two"; }')
+    consts = [
+        i.src for i in module.functions["f"].instructions()
+        if isinstance(i, ir.Move) and isinstance(i.src, ir.Const)
+    ]
+    assert len(consts) == 2
+    assert consts[0].value != consts[1].value
+    assert all(c.value != 0 for c in consts)
+
+
+def test_negative_literal_folds_to_constant():
+    module = compile_source("int f(void) { return -42; }")
+    term = module.functions["f"].entry.terminator
+    assert isinstance(term.value, ir.Const) and term.value.value == -42
+
+
+def test_bitwise_complement_literal_folds():
+    module = compile_source("int f(void) { return ~0; }")
+    assert module.functions["f"].entry.terminator.value.value == -1
+
+
+def test_array_of_struct_field_access():
+    source = """
+struct e { int k; };
+int f(void) {
+    struct e table[4];
+    table[2].k = 9;
+    return table[2].k;
+}
+"""
+    assert run(source, "f") == 9
+
+
+def test_pointer_param_array_syntax_decays():
+    source = "int f(int buf[], int i) { buf[i] = 5; return buf[i]; }"
+    program = compile_program([("t.c", source)])
+    from repro.interp import Machine
+
+    machine = Machine(program)
+    arg = machine.make_argument_object()
+    assert machine.call("f", [arg, 1]) == 5
+
+
+def test_else_if_chain_precise():
+    source = """
+int f(int a) {
+    if (a == 1) return 10;
+    else if (a == 2) return 20;
+    else return 30;
+}
+"""
+    assert run(source, "f", [1]) == 10
+    assert run(source, "f", [2]) == 20
+    assert run(source, "f", [9]) == 30
+
+
+def test_empty_function_body():
+    source = "void f(void) { }"
+    assert run(source, "f") == 0
+
+
+def test_multiple_declarators_in_one_statement():
+    source = "int f(void) { int a = 1, b = 2, c = 3; return a + b + c; }"
+    assert run(source, "f") == 6
+
+
+def test_sizeof_in_expression_context():
+    source = "struct s { int a; int b; };\nint f(void) { return sizeof(struct s) / 2; }"
+    assert run(source, "f") == 8
+
+
+def test_shadowing_in_nested_scope():
+    source = """
+int f(void) {
+    int x = 1;
+    {
+        int x = 2;
+        x = x + 1;
+    }
+    return x;
+}
+"""
+    # Inner x shadows; outer x unchanged.
+    assert run(source, "f") == 1

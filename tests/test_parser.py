@@ -1,0 +1,231 @@
+"""Parser unit tests for mini-C."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+def decls_of(source):
+    return parse(source).decls
+
+
+def only_func(source, name=None):
+    for decl in decls_of(source):
+        if isinstance(decl, ast.FunctionDef) and (name is None or decl.name == name):
+            return decl
+    raise AssertionError("no function found")
+
+
+def test_struct_definition():
+    (struct,) = decls_of("struct point { int x; int y; };")
+    assert isinstance(struct, ast.StructDef)
+    assert struct.name == "point"
+    assert [f.name for f in struct.fields] == ["x", "y"]
+
+
+def test_struct_with_pointer_and_array_fields():
+    (struct,) = decls_of("struct s { struct s *next; int data[8]; };")
+    next_field, data_field = struct.fields
+    assert next_field.type.pointer_depth == 1
+    assert data_field.type.array_dims == (8,)
+
+
+def test_struct_multi_declarator_field():
+    (struct,) = decls_of("struct s { int a, b, *c; };")
+    assert [f.name for f in struct.fields] == ["a", "b", "c"]
+    assert struct.fields[2].type.pointer_depth == 1
+
+
+def test_forward_struct_declaration():
+    (decl,) = decls_of("struct opaque;")
+    assert isinstance(decl, ast.StructDef)
+    assert decl.name == "@forward struct opaque"
+
+
+def test_function_definition_params():
+    func = only_func("static int f(struct s *p, int n) { return n; }")
+    assert func.is_static
+    assert [p.name for p in func.params] == ["p", "n"]
+    assert func.params[0].type.pointer_depth == 1
+
+
+def test_function_void_params_and_variadic():
+    func = only_func("int g(void) { return 0; }")
+    assert func.params == []
+    variadic = only_func("int printf_like(char *fmt, ...) { return 0; }")
+    assert variadic.variadic
+
+
+def test_function_prototype_has_no_body():
+    func = only_func("int h(int a);")
+    assert func.body is None
+
+
+def test_typedef_registers_name():
+    unit = parse("typedef struct foo foo_t; foo_t *make(void) { return NULL; }")
+    func = next(d for d in unit.decls if isinstance(d, ast.FunctionDef))
+    assert func.return_type.base == "foo_t"
+    assert func.return_type.pointer_depth == 1
+
+
+def test_enum_lowered_to_constants():
+    (decl,) = decls_of("enum state { IDLE, BUSY = 5, DONE };")
+    names = [f.name for f in decl.fields]
+    values = [f.init.expr.value for f in decl.fields]
+    assert names == ["IDLE", "BUSY", "DONE"]
+    assert values == [0, 5, 6]
+
+
+def test_global_with_designated_initializer():
+    unit = parse(
+        "struct ops { int (*run)(int x); };\n"
+        "static struct ops my_ops = { .run = handler };"
+    )
+    gvar = next(d for d in unit.decls if isinstance(d, ast.GlobalVar))
+    assert gvar.declarator.init.fields[0][0] == "run"
+
+
+def test_if_else_chain():
+    func = only_func("void f(int a) { if (a) { g(); } else if (a > 1) h(); else k(); }")
+    stmt = func.body.statements[0]
+    assert isinstance(stmt, ast.IfStmt)
+    assert isinstance(stmt.else_body, ast.IfStmt)
+
+
+def test_while_and_do_while():
+    func = only_func("void f(void) { while (1) g(); do h(); while (0); }")
+    w, dw = func.body.statements
+    assert isinstance(w, ast.WhileStmt) and not w.is_do_while
+    assert isinstance(dw, ast.WhileStmt) and dw.is_do_while
+
+
+def test_for_loop_with_declaration():
+    func = only_func("void f(int n) { for (int i = 0; i < n; i++) g(i); }")
+    loop = func.body.statements[0]
+    assert isinstance(loop, ast.ForStmt)
+    assert isinstance(loop.init, ast.DeclStmt)
+    assert loop.cond is not None and loop.step is not None
+
+
+def test_goto_and_labels():
+    func = only_func("int f(int a) { if (a) goto out; return 1; out: return 0; }")
+    kinds = [type(s).__name__ for s in func.body.statements]
+    assert "LabelStmt" in kinds
+
+
+def test_switch_with_cases_and_default():
+    func = only_func(
+        "int f(int t) { switch (t) { case 1: return 1; case 2: break; default: return 9; } return 0; }"
+    )
+    switch = func.body.statements[0]
+    assert isinstance(switch, ast.SwitchStmt)
+    labels = [label for label, _ in switch.cases]
+    assert labels == [1, 2, None]
+
+
+def test_precedence_multiplication_binds_tighter():
+    func = only_func("int f(int a, int b) { return a + b * 2; }")
+    ret = func.body.statements[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.rhs, ast.Binary) and ret.value.rhs.op == "*"
+
+
+def test_precedence_logical_vs_comparison():
+    func = only_func("int f(int a, int b) { return a < 1 && b > 2; }")
+    expr = func.body.statements[0].value
+    assert expr.op == "&&"
+    assert expr.lhs.op == "<" and expr.rhs.op == ">"
+
+
+def test_unary_deref_and_address():
+    func = only_func("void f(int *p, int x) { *p = x; p = &x; }")
+    assign1 = func.body.statements[0].expr
+    assert isinstance(assign1.target, ast.Unary) and assign1.target.op == "*"
+    assign2 = func.body.statements[1].expr
+    assert isinstance(assign2.value, ast.Unary) and assign2.value.op == "&"
+
+
+def test_member_and_arrow_chains():
+    func = only_func("int f(struct s *p) { return p->inner.value; }")
+    expr = func.body.statements[0].value
+    assert isinstance(expr, ast.Member) and not expr.arrow
+    assert isinstance(expr.base, ast.Member) and expr.base.arrow
+
+
+def test_array_indexing_expression():
+    func = only_func("int f(int *a, int i) { return a[i + 1]; }")
+    expr = func.body.statements[0].value
+    assert isinstance(expr, ast.IndexExpr)
+    assert isinstance(expr.index, ast.Binary)
+
+
+def test_call_with_arguments():
+    func = only_func("void f(int a) { g(a, 1, h(a)); }")
+    call = func.body.statements[0].expr
+    assert isinstance(call, ast.CallExpr) and len(call.args) == 3
+    assert isinstance(call.args[2], ast.CallExpr)
+
+
+def test_ternary_expression():
+    func = only_func("int f(int a) { return a ? 1 : 2; }")
+    expr = func.body.statements[0].value
+    assert isinstance(expr, ast.Ternary)
+
+
+def test_cast_expression():
+    func = only_func("struct t *f(void *p) { return (struct t *)p; }")
+    expr = func.body.statements[0].value
+    assert isinstance(expr, ast.Cast)
+    assert expr.target_type.pointer_depth == 1
+
+
+def test_sizeof_type_and_expression():
+    func = only_func("int f(int x) { return sizeof(struct s) + sizeof x; }")
+    expr = func.body.statements[0].value
+    assert isinstance(expr.lhs, ast.SizeOf) and expr.lhs.target_type is not None
+    assert isinstance(expr.rhs, ast.SizeOf) and expr.rhs.operand is not None
+
+
+def test_compound_assignment_operators():
+    func = only_func("void f(int a) { a += 2; a <<= 1; }")
+    first = func.body.statements[0].expr
+    assert isinstance(first, ast.Assign) and first.op == "+"
+    second = func.body.statements[1].expr
+    assert second.op == "<<"
+
+
+def test_increment_decrement_forms():
+    func = only_func("void f(int a) { a++; ++a; a--; }")
+    ops = [s.expr.op for s in func.body.statements]
+    assert ops == ["p++", "++", "p--"]
+
+
+def test_function_pointer_field():
+    (struct,) = decls_of("struct ops { int (*probe)(struct dev *d); };")
+    field = struct.fields[0]
+    assert field.name == "probe"
+    assert field.type.func_params is not None
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as exc:
+        parse("int f( { }", filename="bad.c")
+    assert "bad.c" in str(exc.value)
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("int f(void) { return 0 }")
+
+
+def test_multi_declarator_global_flattened():
+    unit = parse("int a = 1, b = 2;")
+    names = [d.declarator.name for d in unit.decls if isinstance(d, ast.GlobalVar)]
+    assert names == ["a", "b"]
+
+
+def test_source_lines_recorded():
+    unit = parse("int a;\nint b;\n")
+    assert unit.source_lines >= 2

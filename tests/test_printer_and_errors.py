@@ -1,0 +1,80 @@
+"""IR printer coverage and the error hierarchy."""
+
+import pytest
+
+from repro import errors, ir
+from repro.lang import compile_source
+
+
+def test_every_instruction_kind_prints():
+    func = ir.Function("p", [ir.Var("p.x", ir.PointerType(ir.INT), source_name="x")], ir.INT)
+    b = ir.IRBuilder(func)
+    entry = b.new_block("entry")
+    b.position_at(entry)
+    x = func.params[0]
+    slot = b.alloc(ir.INT)
+    heap = b.malloc(ir.const_int(8))
+    b.decl_local(ir.Var("p.u", ir.INT, source_name="u"))
+    loaded = b.load(x)
+    b.store(x, ir.const_int(1))
+    g = b.gep(x, "field")
+    a = b.addr_of(ir.Var("@glob", ir.INT, is_global=True))
+    s = b.binop("add", loaded, ir.const_int(2))
+    n = b.unop("neg", s)
+    c = b.call("helper", [n], ir.INT)
+    b.call_indirect(ir.Var("p.fn", ir.VOID_PTR, source_name="fn"), [c], ir.INT)
+    b.memset(heap, ir.const_int(0), ir.const_int(8))
+    b.lock(x)
+    b.unlock(x)
+    b.free(heap)
+    b.ret(ir.const_int(0))
+    text = ir.format_function(func)
+    for needle in ("alloca", "malloc(", "decl ", "= *", "*p.x = 1", "&p.x->field",
+                   "= &@glob", "add", "neg", "call helper", "icall", "memset(",
+                   "spin_lock(", "spin_unlock(", "free(", "ret 0"):
+        assert needle in text, f"missing {needle!r} in:\n{text}"
+
+
+def test_module_printer_includes_structs_globals_registrations():
+    module = compile_source(
+        "struct s { int a; };\n"
+        "static struct s g;\n"
+        "static int probe(struct s *p) { return p->a; }\n"
+        "struct drv { int (*probe)(struct s *p); };\n"
+        "static struct drv d = { .probe = probe };"
+    )
+    text = ir.format_module(module)
+    assert "struct s {" in text
+    assert "global" in text
+    assert "register" in text
+    assert "interface define" in text
+
+
+def test_branch_and_jump_render_targets():
+    module = compile_source("int f(int a) { if (a) return 1; return 0; }")
+    text = ir.format_function(module.functions["f"])
+    assert "br %" in text and "if.then" in text
+
+
+def test_error_hierarchy_roots():
+    for exc in (errors.IRError, errors.LexError, errors.ParseError,
+                errors.SemaError, errors.AnalysisError, errors.BudgetExceeded,
+                errors.SolverError):
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_positioned_errors_format_location():
+    err = errors.ParseError("boom", "file.c", 3, 7)
+    assert "file.c:3:7" in str(err)
+    sema = errors.SemaError("bad", "file.c", 9)
+    assert "file.c:9" in str(sema)
+
+
+def test_lex_error_carries_position_attributes():
+    err = errors.LexError("bad char", "x.c", 2, 5)
+    assert (err.filename, err.line, err.column) == ("x.c", 2, 5)
+
+
+def test_source_loc_str():
+    loc = ir.SourceLoc("a.c", 12)
+    assert str(loc) == "a.c:12"

@@ -1,0 +1,126 @@
+"""Robustness properties: the pipeline must never crash on valid input.
+
+Random corpora (any seed, any profile shape) and random trail usage must
+run to completion; analysis failures are only ever *budget* outcomes,
+never exceptions.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import PATA, AnalysisConfig
+from repro.alias import AliasGraph, Trail
+from repro.baselines import CoccinelleLike, CppcheckLike, InferLike, SmatchLike
+from repro.corpus import OSProfile, generate
+from repro.corpus.patterns import BAIT_PATTERNS, BUG_PATTERNS, FILLER_PATTERNS
+from repro.interp import Fault, Machine, run_entry
+from repro.lang import compile_program
+from repro.smt import solve, translate_trace
+
+
+def _random_profile(seed: int) -> OSProfile:
+    rng = random.Random(seed)
+    return OSProfile(
+        name=f"fuzz{seed}",
+        version_label="0",
+        seed=seed,
+        layout=[
+            ("drivers", "drivers", 0.5),
+            ("net", "network", 0.3),
+            ("pkg", "third_party", 0.2),
+        ],
+        total_files=rng.randint(1, 5),
+        snippets_per_file=(1, rng.randint(2, 5)),
+        bug_rate={"drivers": 0.3, "network": 0.2, "third_party": 0.3},
+        bait_rate=0.6,
+        excluded_fraction=rng.choice([0.0, 0.2]),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pata_never_crashes_on_random_corpora(seed):
+    corpus = generate(_random_profile(seed))
+    program = compile_program(corpus.compiled_sources())
+    result = PATA.with_all_checkers(
+        config=AnalysisConfig(max_paths_per_entry=200, max_steps_per_entry=50_000)
+    ).analyze(program)
+    assert result.stats.explored_paths >= 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_baselines_never_crash_on_random_corpora(seed):
+    corpus = generate(_random_profile(seed))
+    program = compile_program(corpus.all_sources())
+    for tool in (CppcheckLike(), CoccinelleLike(), SmatchLike(), InferLike()):
+        result = tool.analyze(program)
+        assert result.status in ("ok", "oom")
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=-3, max_value=3))
+def test_interpreter_contains_all_entry_faults(seed, int_arg):
+    """Running any entry of a random corpus either completes or raises a
+    typed Fault — never an arbitrary Python exception."""
+    corpus = generate(_random_profile(seed))
+    program = compile_program(corpus.compiled_sources())
+    from repro.core import InformationCollector
+    from repro.ir import PointerType
+
+    collector = InformationCollector(program)
+    for entry in collector.entry_functions()[:6]:
+        machine = Machine(program, fuel=20_000)
+        args = [
+            0 if isinstance(p.type, PointerType) else int_arg
+            for p in entry.params
+        ]
+        try:
+            machine.call(entry, args)
+        except Fault:
+            pass  # typed faults are the contract
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_pattern_snippets_always_compile(seed):
+    rng = random.Random(seed)
+    pools = [fn for fns in BUG_PATTERNS.values() for fn in fns] + BAIT_PATTERNS + FILLER_PATTERNS
+    fn = rng.choice(pools)
+    snippet = fn(f"z{seed}", rng)
+    from repro.corpus.patterns import COMMON_DECLS
+
+    source = COMMON_DECLS + "\n" + "\n".join(snippet.lines) + "\n"
+    program = compile_program([("f.c", source)])
+    assert len(list(program.functions())) >= 1
+
+
+def test_trail_interleaved_marks():
+    trail = Trail()
+    graph = AliasGraph(trail)
+    from repro.ir import INT, PointerType, Var
+
+    a = Var("a", PointerType(INT))
+    b = Var("b", PointerType(INT))
+    marks = []
+    for depth in range(10):
+        marks.append(trail.mark())
+        graph.handle_move(a, b)
+        graph.handle_store(b, a)
+    for mark in reversed(marks):
+        trail.undo_to(mark)
+    assert not graph.are_aliases(a, b) or graph.node_of_name("a") is None
+
+
+def test_solver_handles_duplicate_and_redundant_atoms():
+    from repro.smt import Atom, Num, Sym
+
+    atoms = [Atom("eq", Sym(1), Num(5))] * 10 + [Atom("le", Sym(1), Num(5))] * 5
+    sol = solve(atoms)
+    assert sol.is_sat and sol.model[1] == 5
+
+
+def test_translate_empty_trace():
+    t = translate_trace(())
+    assert t.atoms == [] and solve(t.atoms).is_sat

@@ -1,0 +1,146 @@
+"""Lint / semantic-diagnostics tests."""
+
+from repro.lang.sema import check_source
+
+
+def codes(source, known=None):
+    return [d.code for d in check_source(source, known_functions=known)]
+
+
+def diag_for(source, code):
+    return [d for d in check_source(source) if d.code == code]
+
+
+def test_clean_function_has_no_diagnostics():
+    source = """
+int add(int a, int b) {
+    int s = a + b;
+    return s;
+}
+"""
+    assert codes(source) == []
+
+
+def test_call_arity_mismatch():
+    source = """
+static int helper(int a, int b) { return a + b; }
+int f(void) { return helper(1); }
+"""
+    (d,) = diag_for(source, "call-arity")
+    assert "helper" in d.message and d.line == 3
+
+
+def test_variadic_calls_not_arity_checked():
+    source = """
+static int logf2(int level, ...) { return level; }
+int f(void) { return logf2(1, 2, 3); }
+"""
+    assert "call-arity" not in codes(source)
+
+
+def test_implicit_declaration_flagged_once():
+    source = """
+int f(void) { mystery(); mystery(); return 0; }
+"""
+    assert codes(source).count("implicit-decl") == 1
+
+
+def test_intrinsics_not_flagged_as_implicit():
+    source = "void f(int n) { char *p = kmalloc(n); kfree(p); }"
+    assert "implicit-decl" not in codes(source)
+
+
+def test_known_functions_parameter():
+    source = "int f(void) { return external_helper(); }"
+    assert "implicit-decl" in codes(source)
+    assert "implicit-decl" not in codes(source, known={"external_helper"})
+
+
+def test_undeclared_variable_use():
+    source = "int f(void) { return ghost_value; }"
+    (d,) = diag_for(source, "undeclared-var")
+    assert "ghost_value" in d.message
+
+
+def test_unused_local_flagged():
+    source = "int f(int a) { int unused_thing = a; return a; }"
+    (d,) = diag_for(source, "unused-var")
+    assert "unused_thing" in d.message
+
+
+def test_parameters_exempt_from_unused():
+    source = "int f(int never_touched) { return 0; }"
+    assert "unused-var" not in codes(source)
+
+
+def test_read_through_member_counts_as_use():
+    source = """
+struct s { int v; };
+int f(struct s *p) { struct s *q = p; return q->v; }
+"""
+    assert "unused-var" not in codes(source)
+
+
+def test_unreachable_after_return():
+    source = """
+int f(int a) {
+    return a;
+    a = a + 1;
+    a = a + 2;
+}
+"""
+    hits = diag_for(source, "unreachable")
+    assert len(hits) == 1  # one report per dead run
+    assert hits[0].line == 4
+
+
+def test_label_makes_code_reachable_again():
+    source = """
+int f(int a) {
+    if (a) goto out;
+    return 0;
+out:
+    return a;
+}
+"""
+    assert "unreachable" not in codes(source)
+
+
+def test_goto_unknown_label():
+    source = "int f(void) { goto nowhere; return 0; }"
+    assert "undeclared-var" in codes(source)
+
+
+def test_missing_return_flagged():
+    source = """
+int f(int a) {
+    if (a)
+        return 1;
+}
+"""
+    assert "missing-return" in codes(source)
+
+
+def test_void_function_not_flagged():
+    source = "void f(int a) { if (a) return; }"
+    assert "missing-return" not in codes(source)
+
+
+def test_if_else_both_return_ok():
+    source = "int f(int a) { if (a) return 1; else return 2; }"
+    assert "missing-return" not in codes(source)
+
+
+def test_duplicate_definition():
+    source = """
+int f(void) { return 1; }
+int f(void) { return 2; }
+"""
+    assert "duplicate-def" in codes(source)
+
+
+def test_diagnostics_carry_location():
+    source = "int f(void) {\n    return ghost;\n}"
+    (d,) = check_source(source, "unit.c")
+    assert d.filename == "unit.c" and d.line == 2
+    assert "unit.c:2" in str(d)

@@ -1,0 +1,78 @@
+"""Interval domain unit tests."""
+
+from repro.smt import Interval, NEG_INF, POS_INF
+from repro.smt.intervals import apply_rel
+
+
+def test_default_interval_is_top():
+    iv = Interval()
+    assert iv.lo == NEG_INF and iv.hi == POS_INF
+    assert not iv.empty and iv.singleton is None
+
+
+def test_tighten_monotone():
+    iv = Interval()
+    assert iv.tighten_lo(0)
+    assert not iv.tighten_lo(-5)  # weaker bound: no change
+    assert iv.tighten_hi(10)
+    assert not iv.tighten_hi(11)
+    assert iv.lo == 0 and iv.hi == 10
+
+
+def test_empty_after_crossing_bounds():
+    iv = Interval()
+    iv.tighten_lo(5)
+    iv.tighten_hi(3)
+    assert iv.empty
+    assert iv.width() == 0
+
+
+def test_singleton_detection():
+    iv = Interval(4, 4)
+    assert iv.singleton == 4
+    assert iv.contains(4) and not iv.contains(5)
+
+
+def test_apply_rel_eq():
+    iv = Interval()
+    apply_rel(iv, "eq", 7)
+    assert iv.singleton == 7
+
+
+def test_apply_rel_strict_bounds():
+    iv = Interval()
+    apply_rel(iv, "lt", 5)
+    apply_rel(iv, "gt", 1)
+    assert (iv.lo, iv.hi) == (2, 4)
+
+
+def test_apply_rel_inclusive_bounds():
+    iv = Interval()
+    apply_rel(iv, "le", 5)
+    apply_rel(iv, "ge", 1)
+    assert (iv.lo, iv.hi) == (1, 5)
+
+
+def test_apply_rel_ne_trims_edges_only():
+    iv = Interval(0, 3)
+    assert apply_rel(iv, "ne", 0)
+    assert iv.lo == 1
+    assert not apply_rel(iv, "ne", 2)  # interior hole: unrepresentable
+    assert apply_rel(iv, "ne", 3)
+    assert (iv.lo, iv.hi) == (1, 2)
+
+
+def test_width_counts_integers():
+    assert Interval(2, 5).width() == 4
+
+
+def test_copy_is_independent():
+    iv = Interval(0, 5)
+    clone = iv.copy()
+    clone.tighten_lo(3)
+    assert iv.lo == 0
+
+
+def test_str_renders_infinities():
+    assert "inf" in str(Interval())
+    assert str(Interval(1, 2)) == "[1, 2]"

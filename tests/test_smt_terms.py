@@ -1,0 +1,105 @@
+"""Term evaluation / folding semantics (C-style integer arithmetic)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smt import App, Atom, Num, Sym, eval_atom, eval_term, fold
+from repro.smt.terms import NEGATED_REL, SWAPPED_REL, _trunc_div
+
+
+def test_eval_constants_and_symbols():
+    assert eval_term(Num(5), {}) == 5
+    assert eval_term(Sym(1), {1: 9}) == 9
+    assert eval_term(Sym(1), {}) is None  # unbound
+
+
+def test_eval_arithmetic():
+    env = {1: 7, 2: 3}
+    assert eval_term(App("add", (Sym(1), Sym(2))), env) == 10
+    assert eval_term(App("sub", (Sym(1), Sym(2))), env) == 4
+    assert eval_term(App("mul", (Sym(1), Sym(2))), env) == 21
+    assert eval_term(App("neg", (Sym(1),)), env) == -7
+
+
+def test_division_truncates_toward_zero():
+    # C semantics: -7 / 2 == -3, not -4.
+    assert _trunc_div(-7, 2) == -3
+    assert _trunc_div(7, -2) == -3
+    assert eval_term(App("div", (Num(-7), Num(2))), {}) == -3
+    assert eval_term(App("mod", (Num(-7), Num(2))), {}) == -1
+
+
+def test_division_by_zero_yields_none():
+    assert eval_term(App("div", (Num(1), Num(0))), {}) is None
+    assert eval_term(App("mod", (Num(1), Num(0))), {}) is None
+
+
+def test_bitwise_operators():
+    assert eval_term(App("and", (Num(12), Num(10))), {}) == 8
+    assert eval_term(App("or", (Num(12), Num(10))), {}) == 14
+    assert eval_term(App("xor", (Num(12), Num(10))), {}) == 6
+    assert eval_term(App("shl", (Num(1), Num(4))), {}) == 16
+    assert eval_term(App("shr", (Num(16), Num(2))), {}) == 4
+
+
+def test_eval_atom_relations():
+    assert eval_atom(Atom("lt", Num(1), Num(2)), {}) is True
+    assert eval_atom(Atom("ge", Num(1), Num(2)), {}) is False
+    assert eval_atom(Atom("ne", Sym(1), Num(0)), {1: 0}) is False
+
+
+def test_eval_atom_unbound_is_none():
+    assert eval_atom(Atom("eq", Sym(5), Num(0)), {}) is None
+
+
+def test_fold_collapses_constant_trees():
+    term = App("add", (App("mul", (Num(3), Num(4))), Num(1)))
+    assert fold(term) == Num(13)
+
+
+def test_fold_keeps_symbolic_parts():
+    term = App("add", (Sym(1), Num(0)))
+    folded = fold(term)
+    assert isinstance(folded, App)
+
+
+def test_fold_preserves_div_by_zero():
+    term = App("div", (Num(1), Num(0)))
+    assert isinstance(fold(term), App)  # not folded into a bogus Num
+
+
+def test_atom_negation_table_is_involutive():
+    for op, neg in NEGATED_REL.items():
+        assert NEGATED_REL[neg] == op
+
+
+def test_atom_swap_table_consistent():
+    # a op b  <=>  b swapped(op) a, checked numerically.
+    for op, swapped in SWAPPED_REL.items():
+        for a in (-1, 0, 2):
+            for b in (-1, 0, 2):
+                assert eval_atom(Atom(op, Num(a), Num(b)), {}) == eval_atom(
+                    Atom(swapped, Num(b), Num(a)), {}
+                )
+
+
+def test_atom_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        Atom("almost_eq", Num(1), Num(1))
+
+
+def test_free_symbols_enumeration():
+    atom = Atom("eq", App("add", (Sym(1), Sym(2))), Sym(3))
+    assert sorted(atom.free_symbols()) == [1, 2, 3]
+
+
+@given(st.integers(min_value=-50, max_value=50), st.integers(min_value=-50, max_value=50))
+def test_property_trunc_div_matches_c(a, b):
+    if b == 0:
+        return
+    q = _trunc_div(a, b)
+    r = a - q * b
+    assert a == q * b + r
+    assert abs(r) < abs(b)
+    # remainder takes the dividend's sign (C99)
+    assert r == 0 or (r > 0) == (a > 0)

@@ -1,0 +1,116 @@
+"""Offset union-find unit and property tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import OffsetUnionFind
+
+
+def test_find_fresh_symbol_is_own_root():
+    uf = OffsetUnionFind()
+    root, offset = uf.find(7)
+    assert root == 7 and offset == 0
+
+
+def test_union_with_offset():
+    uf = OffsetUnionFind()
+    assert uf.union(1, 2, 5)  # x1 = x2 + 5
+    assert uf.difference(1, 2) == 5
+    assert uf.difference(2, 1) == -5
+
+
+def test_transitive_offsets():
+    uf = OffsetUnionFind()
+    uf.union(1, 2, 3)
+    uf.union(2, 3, 4)
+    assert uf.difference(1, 3) == 7
+
+
+def test_conflicting_union_rejected():
+    uf = OffsetUnionFind()
+    assert uf.union(1, 2, 3)
+    assert not uf.union(1, 2, 4)
+    assert uf.union(1, 2, 3)  # restating the same fact is fine
+
+
+def test_assign_and_value_propagation():
+    uf = OffsetUnionFind()
+    uf.union(1, 2, 3)
+    assert uf.assign(2, 10)
+    assert uf.value_of(1) == 13
+    assert uf.value_of(2) == 10
+
+
+def test_assign_conflict_rejected():
+    uf = OffsetUnionFind()
+    assert uf.assign(1, 5)
+    assert not uf.assign(1, 6)
+    assert uf.assign(1, 5)
+
+
+def test_union_of_pinned_classes_checks_values():
+    uf = OffsetUnionFind()
+    uf.assign(1, 5)
+    uf.assign(2, 10)
+    assert not uf.union(1, 2, 0)   # 5 != 10
+    uf2 = OffsetUnionFind()
+    uf2.assign(1, 5)
+    uf2.assign(2, 10)
+    assert uf2.union(1, 2, -5)     # 5 == 10 - 5
+
+
+def test_same_class_query():
+    uf = OffsetUnionFind()
+    uf.union(1, 2, 0)
+    assert uf.same_class(1, 2)
+    assert not uf.same_class(1, 3)
+
+
+def test_difference_across_classes_is_none():
+    uf = OffsetUnionFind()
+    assert uf.difference(1, 2) is None
+
+
+@st.composite
+def _union_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    ops = []
+    for _ in range(n):
+        x = draw(st.integers(min_value=0, max_value=5))
+        y = draw(st.integers(min_value=0, max_value=5))
+        c = draw(st.integers(min_value=-4, max_value=4))
+        ops.append((x, y, c))
+    return ops
+
+
+@settings(max_examples=200, deadline=None)
+@given(_union_sequences())
+def test_property_consistent_with_reference_model(ops):
+    """Compare against a brute-force model: maintain explicit relations
+    and check every accepted union stays mutually consistent."""
+    uf = OffsetUnionFind()
+    accepted = []
+    for x, y, c in ops:
+        if x == y:
+            if uf.union(x, y, c):
+                accepted.append((x, y, c))
+            continue
+        if uf.union(x, y, c):
+            accepted.append((x, y, c))
+    # Every accepted relation must still hold.
+    for x, y, c in accepted:
+        assert uf.difference(x, y) == c
+
+
+@settings(max_examples=150, deadline=None)
+@given(_union_sequences(), st.integers(min_value=0, max_value=5), st.integers(min_value=-5, max_value=5))
+def test_property_values_respect_offsets(ops, pin_sym, pin_value):
+    uf = OffsetUnionFind()
+    for x, y, c in ops:
+        uf.union(x, y, c)
+    if not uf.assign(pin_sym, pin_value):
+        return
+    for other in range(6):
+        value = uf.value_of(other)
+        diff = uf.difference(other, pin_sym)
+        if diff is not None:
+            assert value == pin_value + diff

@@ -1,0 +1,200 @@
+"""Path-to-constraints translation tests (Table 3, Definitions 4/5)."""
+
+from repro.ir import (
+    BinOp,
+    Branch,
+    Const,
+    Gep,
+    INT,
+    Load,
+    Malloc,
+    Move,
+    PointerType,
+    Store,
+    Var,
+    VOID_PTR,
+    const_int,
+)
+from repro.smt import solve, translate_trace
+
+P = PointerType(INT)
+
+
+def v(name, ty=INT):
+    return Var(name, ty, source_name=name)
+
+
+def _branch_on(cmp_dst, then_name="t", else_name="e"):
+    class _B:  # tiny stand-in blocks for Branch targets
+        def __init__(self, name):
+            self.name = name
+
+    return Branch(cmp_dst, _B(then_name), _B(else_name))
+
+
+def test_const_move_emits_equality():
+    trace = [("inst", Move(v("a"), const_int(4)))]
+    t = translate_trace(trace)
+    assert len(t.atoms) == 1
+    assert solve(t.atoms).is_sat
+
+
+def test_var_move_emits_no_constraint_when_aware():
+    trace = [("inst", Move(v("a"), v("b")))]
+    t = translate_trace(trace)
+    assert t.atoms == []
+    assert t.aware_constraints == 0
+    assert t.unaware_constraints >= 1
+
+
+def test_na_translation_emits_move_equalities():
+    trace = [("inst", Move(v("a"), v("b")))]
+    t = translate_trace(trace, alias_aware=False)
+    assert len(t.atoms) == 1
+
+
+def test_branch_constraint_from_comparison():
+    cmp_dst = v("%t1")
+    a, b = v("a"), v("b")
+    cmp = BinOp(cmp_dst, "lt", a, b)
+    branch = _branch_on(cmp_dst)
+    trace = [("inst", cmp), ("branch", branch, True), ("inst", Move(a, const_int(5)))]
+    t = translate_trace(trace)
+    sol = solve(t.atoms)
+    assert sol.is_sat
+
+
+def test_branch_negated_when_not_taken():
+    cmp_dst = v("%t1")
+    a = v("a")
+    cmp = BinOp(cmp_dst, "lt", a, const_int(0))
+    branch = _branch_on(cmp_dst)
+    # a < 0 NOT taken  =>  a >= 0; then a == -5 contradicts.
+    trace = [
+        ("inst", Move(a, const_int(-5))),
+        ("inst", cmp),
+        ("branch", branch, False),
+    ]
+    t = translate_trace(trace)
+    assert solve(t.atoms).is_unsat
+
+
+def test_fig9_contradiction_detected_alias_aware():
+    """p->f = 0 on the q==NULL path, then t=p and t->f != 0: UNSAT."""
+    p, q, t = v("p", P), v("q", P), v("t", P)
+    gp, gt = v("%g1", P), v("%g2", P)
+    cmp1, cmp2 = v("%c1"), v("%c2")
+    ld = v("%ld1")
+    cmp_q = BinOp(cmp1, "eq", q, Const(0, VOID_PTR))
+    gep_p = Gep(gp, p, "f")
+    store0 = Store(gp, const_int(0))
+    move_t = Move(t, p)
+    gep_t = Gep(gt, t, "f")
+    load_f = Load(ld, gt)
+    cmp_f = BinOp(cmp2, "ne", ld, const_int(0))
+    trace = [
+        ("inst", cmp_q),
+        ("branch", _branch_on(cmp1), True),
+        ("inst", gep_p),
+        ("inst", store0),
+        ("inst", move_t),
+        ("inst", gep_t),
+        ("inst", load_f),
+        ("inst", cmp_f),
+        ("branch", _branch_on(cmp2), True),
+    ]
+    t_res = translate_trace(trace)
+    assert solve(t_res.atoms).is_unsat
+
+
+def test_fig9_not_detected_without_aliasing():
+    """The same trace under the NA translation stays (wrongly) feasible:
+    t->f and p->f get distinct symbols — exactly Fig. 9(b)."""
+    p, q, t = v("p", P), v("q", P), v("t", P)
+    gp, gt = v("%g1", P), v("%g2", P)
+    cmp1, cmp2 = v("%c1"), v("%c2")
+    ld = v("%ld1")
+    trace = [
+        ("inst", BinOp(cmp1, "eq", q, Const(0, VOID_PTR))),
+        ("branch", _branch_on(cmp1), True),
+        ("inst", Gep(gp, p, "f")),
+        ("inst", Store(gp, const_int(0))),
+        ("inst", Move(t, p)),
+        ("inst", Gep(gt, t, "f")),
+        ("inst", Load(ld, gt)),
+        ("inst", BinOp(cmp2, "ne", ld, const_int(0))),
+        ("branch", _branch_on(cmp2), True),
+    ]
+    t_res = translate_trace(trace, alias_aware=False)
+    assert solve(t_res.atoms).feasible
+
+
+def test_aware_constraints_fewer_than_unaware():
+    a, b, c = v("a", P), v("b", P), v("c", P)
+    trace = [
+        ("inst", Move(a, b)),
+        ("param", c, a),
+        ("retval", b, c),
+        ("inst", Move(a, const_int(3))),
+    ]
+    t = translate_trace(trace)
+    assert t.aware_constraints < t.unaware_constraints
+
+
+def test_strong_update_gets_fresh_symbol():
+    a = v("a")
+    trace = [
+        ("inst", Move(a, const_int(1))),
+        ("inst", Move(a, const_int(2))),
+    ]
+    t = translate_trace(trace)
+    # Both constraints must be simultaneously satisfiable (SSA-style).
+    assert solve(t.atoms).is_sat
+
+
+def test_repeated_branch_is_havocked():
+    cmp_dst = v("%t1")
+    i = v("i")
+    cmp = BinOp(cmp_dst, "lt", i, const_int(4))
+    branch = _branch_on(cmp_dst)
+    trace = [
+        ("inst", Move(i, const_int(0))),
+        ("inst", cmp),
+        ("branch", branch, True),   # first: 0 < 4 ok
+        ("branch", branch, False),  # loop exit re-encounter: dropped
+    ]
+    t = translate_trace(trace)
+    assert solve(t.atoms).is_sat  # would be UNSAT if both were emitted
+
+
+def test_extra_requirement_appended():
+    idx = v("idx")
+    trace = [("inst", Move(idx, const_int(3)))]
+    t = translate_trace(trace, extra_requirement=("lt", "idx", 0))
+    assert solve(t.atoms).is_unsat  # idx==3 contradicts idx<0
+
+
+def test_extra_requirement_on_unseen_var_is_noop():
+    trace = [("inst", Move(v("a"), const_int(1)))]
+    t = translate_trace(trace, extra_requirement=("lt", "ghost", 0))
+    assert solve(t.atoms).is_sat
+
+
+def test_malloc_may_fail_unconstrained():
+    heap = v("%h1", P)
+    cmp_dst = v("%c1")
+    m = Malloc(heap, const_int(8))
+    cmp = BinOp(cmp_dst, "eq", heap, Const(0, VOID_PTR))
+    trace = [("inst", m), ("inst", cmp), ("branch", _branch_on(cmp_dst), True)]
+    t = translate_trace(trace)
+    assert solve(t.atoms).is_sat  # NULL return is possible
+
+
+def test_nonfailing_alloc_is_nonnull():
+    heap = v("%h1", P)
+    cmp_dst = v("%c1")
+    m = Malloc(heap, const_int(8), may_fail=False)
+    cmp = BinOp(cmp_dst, "eq", heap, Const(0, VOID_PTR))
+    trace = [("inst", m), ("inst", cmp), ("branch", _branch_on(cmp_dst), True)]
+    t = translate_trace(trace)
+    assert solve(t.atoms).is_unsat

@@ -1,0 +1,130 @@
+"""FSM framework tests (Definition 2, Table 2, §5.5)."""
+
+import pytest
+
+from repro.typestate import (
+    ARRAY_UNDERFLOW_FSM,
+    DIV_ZERO_FSM,
+    DOUBLE_LOCK_FSM,
+    ML_FSM,
+    NPD_FSM,
+    UVA_FSM,
+    make_fsm,
+)
+
+
+def test_make_fsm_infers_states_and_alphabet():
+    fsm = make_fsm("t", "S0", "ERR", {("S0", "go"): "ERR"})
+    assert fsm.states == frozenset({"S0", "ERR"})
+    assert fsm.alphabet == frozenset({"go"})
+
+
+def test_unspecified_inputs_self_loop():
+    fsm = make_fsm("t", "S0", "ERR", {("S0", "go"): "ERR"})
+    assert fsm.step("S0", "unknown") == "S0"
+
+
+def test_invalid_transition_rejected():
+    from repro.typestate import FSM
+
+    with pytest.raises(ValueError):
+        FSM(
+            name="t",
+            states=frozenset({"S0", "ERR"}),
+            initial="S0",
+            error="ERR",
+            alphabet=frozenset({"go"}),
+            transitions={("S0", "go"): "GHOST"},  # GHOST not a state
+        )
+    with pytest.raises(ValueError):
+        FSM(
+            name="t",
+            states=frozenset({"S0", "ERR"}),
+            initial="MISSING",
+            error="ERR",
+            alphabet=frozenset(),
+            transitions={},
+        )
+
+
+def test_run_folds_symbol_sequence():
+    assert NPD_FSM.run(["br_null", "deref"]) == "SNPD"
+
+
+def test_npd_null_then_deref_is_bug():
+    assert NPD_FSM.run(["ass_null", "deref"]) == "SNPD"
+
+
+def test_npd_nonnull_branch_clears():
+    assert NPD_FSM.run(["ass_null", "br_nonnull", "deref"]) == "SNON"
+
+
+def test_npd_deref_of_unknown_is_safe():
+    assert NPD_FSM.run(["deref"]) == "S0"
+
+
+def test_npd_renull_after_clear():
+    assert NPD_FSM.run(["br_nonnull", "ass_null", "deref"]) == "SNPD"
+
+
+def test_uva_alloc_then_use_is_bug():
+    assert UVA_FSM.run(["alloc", "use"]) == "SUVA"
+    assert UVA_FSM.run(["alloc", "load"]) == "SUVA"
+
+
+def test_uva_init_before_use_is_safe():
+    assert UVA_FSM.run(["alloc", "ass_const", "use"]) == "SI"
+
+
+def test_uva_error_state_recovers_on_init():
+    assert UVA_FSM.run(["alloc", "use", "ass_const"]) == "SI"
+
+
+def test_ml_malloc_ret_is_leak():
+    assert ML_FSM.run(["malloc", "ret"]) == "SML"
+
+
+def test_ml_freed_before_ret_is_safe():
+    assert ML_FSM.run(["malloc", "free", "ret"]) == "SF"
+
+
+def test_ml_realloc_cycle():
+    assert ML_FSM.run(["malloc", "free", "malloc", "ret"]) == "SML"
+
+
+def test_double_lock_detects_relock():
+    assert DOUBLE_LOCK_FSM.run(["lock", "lock"]) == "SDL"
+
+
+def test_double_unlock_detects():
+    assert DOUBLE_LOCK_FSM.run(["lock", "unlock", "unlock"]) == "SDL"
+
+
+def test_lock_unlock_pairs_are_safe():
+    assert DOUBLE_LOCK_FSM.run(["lock", "unlock", "lock", "unlock"]) == "SU"
+
+
+def test_first_unlock_from_unknown_is_trusted():
+    assert DOUBLE_LOCK_FSM.run(["unlock"]) == "SU"
+
+
+def test_underflow_maybe_negative_then_index():
+    assert ARRAY_UNDERFLOW_FSM.run(["maybe_neg", "index_use"]) == "SAIU"
+
+
+def test_underflow_bounds_check_clears():
+    assert ARRAY_UNDERFLOW_FSM.run(["maybe_neg", "proved_nonneg", "index_use"]) == "SNN"
+
+
+def test_divzero_maybe_zero_then_div():
+    assert DIV_ZERO_FSM.run(["maybe_zero", "div_use"]) == "SDBZ"
+
+
+def test_divzero_proof_clears():
+    assert DIV_ZERO_FSM.run(["maybe_zero", "proved_nonzero", "div_use"]) == "SNZ"
+
+
+def test_error_states_declared():
+    for fsm in (NPD_FSM, UVA_FSM, ML_FSM, DOUBLE_LOCK_FSM, ARRAY_UNDERFLOW_FSM, DIV_ZERO_FSM):
+        assert fsm.error in fsm.states
+        assert fsm.initial in fsm.states
