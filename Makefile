@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=0.3 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sequential-vs-parallel P2 comparison; writes BENCH_parallel.json.
+# Override workers with e.g. `make bench-parallel REPRO_BENCH_WORKERS=2`.
+bench-parallel:
+	REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest benchmarks/bench_components.py -k parallel_vs_sequential -q --benchmark-disable
 
 report:
 	$(PYTHON) -m repro eval all --markdown evaluation-report.md

@@ -175,3 +175,54 @@ def test_frontend_compile_throughput(benchmark, harness):
 
     program = benchmark(run)
     assert sum(1 for _ in program.functions()) > 10
+
+
+def test_parallel_vs_sequential_entry_analysis(benchmark, harness):
+    """Sequential vs sharded P2 (the paper's per-entry threads, §4) on
+    the largest generated corpus; writes ``BENCH_parallel.json`` at the
+    repo root with both timings, the speedup, and the determinism check.
+
+    ``REPRO_BENCH_WORKERS`` overrides the worker count (default: one per
+    CPU).  No speedup is asserted — a single-core runner cannot speed up
+    — but the reports must be byte-identical either way.
+    """
+    import json
+    import os
+    import pathlib
+    import time
+
+    from repro.corpus import PROFILES_BY_NAME, generate
+    from repro.lang import compile_program
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS") or 0) or (os.cpu_count() or 1)
+    corpus = generate(PROFILES_BY_NAME["linux"].scaled(harness.scale))
+    program = compile_program(corpus.compiled_sources())
+
+    started = time.perf_counter()
+    sequential = PATA(config=AnalysisConfig(workers=1)).analyze(program)
+    seq_seconds = time.perf_counter() - started
+
+    def run_sharded():
+        return PATA(config=AnalysisConfig(workers=workers)).analyze(program)
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(run_sharded, rounds=1, iterations=1)
+    par_seconds = time.perf_counter() - started
+
+    identical = [r.render() for r in sequential.reports] == [r.render() for r in parallel.reports]
+    payload = {
+        "corpus": "linux",
+        "scale": harness.scale,
+        "cpu_count": os.cpu_count(),
+        "workers": parallel.stats.workers_used,
+        "entry_functions": parallel.stats.entry_functions,
+        "sequential_seconds": round(seq_seconds, 4),
+        "parallel_seconds": round(par_seconds, 4),
+        "speedup": round(seq_seconds / par_seconds, 3) if par_seconds else None,
+        "identical_reports": identical,
+        "reports": len(parallel.reports),
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert identical
+    assert parallel.stats.workers_used == min(workers, parallel.stats.entry_functions)

@@ -25,14 +25,14 @@ Subpackages
 - :mod:`repro.evaluation` — harness regenerating the paper's tables/figures
 """
 
-from .core import AnalysisConfig, AnalysisResult, AnalysisStats, BugReport, PATA
+from .core import AnalysisConfig, AnalysisResult, AnalysisStats, BugReport, EntryStats, PATA
 from .lang import compile_program, compile_source
 from .typestate import BugKind, all_checkers, default_checkers
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "AnalysisConfig", "AnalysisResult", "AnalysisStats", "BugReport", "PATA",
+    "AnalysisConfig", "AnalysisResult", "AnalysisStats", "BugReport", "EntryStats", "PATA",
     "compile_program", "compile_source",
     "BugKind", "all_checkers", "default_checkers",
     "__version__",

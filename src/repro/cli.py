@@ -64,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true", help="machine-readable output")
     check.add_argument("--max-paths", type=int, default=None,
                        help="path budget per entry function")
+    check.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for entry analysis "
+                            "(1 = sequential, 0 = one per CPU)")
+    check.add_argument("--stats", action="store_true",
+                       help="print a per-entry-function stats table")
     check.add_argument("--confirm", action="store_true",
                        help="re-run each report in the concrete interpreter "
                             "over adversarial inputs and tag confirmed bugs")
@@ -83,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=1.0)
     evaluate.add_argument("--markdown", type=pathlib.Path, default=None,
                           help="with target 'all': write a full markdown report here")
+    evaluate.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="worker processes for PATA runs "
+                               "(1 = sequential, 0 = one per CPU)")
 
     compare = sub.add_parser("compare", help="PATA vs the seven baselines on one OS")
     compare.add_argument("--os", choices=sorted(PROFILES_BY_NAME), default="zephyr")
@@ -104,7 +112,7 @@ def cmd_check(args) -> int:
             print(f"error: no such file: {name}", file=sys.stderr)
             return 2
         sources.append((str(path), path.read_text()))
-    config = AnalysisConfig(validate_paths=not args.no_validate)
+    config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers)
     if args.max_paths is not None:
         config.max_paths_per_entry = args.max_paths
     if args.na:
@@ -152,6 +160,23 @@ def cmd_check(args) -> int:
                 "dropped_false": result.stats.dropped_false_bugs,
                 "dropped_repeated": result.stats.dropped_repeated_bugs,
                 "time_seconds": result.stats.time_seconds,
+                "workers": result.stats.workers_used,
+                **(
+                    {
+                        "per_entry": [
+                            {
+                                "entry": e.name,
+                                "paths": e.paths,
+                                "steps": e.steps,
+                                "wall_seconds": e.wall_seconds,
+                                "budget_exhausted": e.budget_exhausted,
+                            }
+                            for e in result.stats.per_entry
+                        ]
+                    }
+                    if args.stats
+                    else {}
+                ),
             },
         }
         print(json.dumps(payload, indent=2))
@@ -164,6 +189,9 @@ def cmd_check(args) -> int:
                     print(f"  CONFIRMED at runtime with {confirmation.witness}")
                 else:
                     print(f"  not reproduced in {confirmation.runs} interpreter runs")
+            print()
+        if args.stats:
+            print(result.stats.render_entry_table())
             print()
         print(f"{len(result.reports)} bug(s); {result.summary()}")
     return 1 if result.reports else 0
@@ -221,7 +249,7 @@ def cmd_corpus(args) -> int:
 
 def cmd_eval(args) -> int:
     """``eval``: regenerate paper tables/figures (or a markdown report)."""
-    harness = EvaluationHarness(scale=args.scale)
+    harness = EvaluationHarness(scale=args.scale, config=AnalysisConfig(workers=args.workers))
     if args.markdown is not None and args.target == "all":
         from .evaluation import generate_markdown_report
 

@@ -4,11 +4,13 @@ from .config import AnalysisConfig
 from .collector import FunctionInfo, InformationCollector
 from .analyzer import PathExplorer
 from .filter import BugFilter, FilterResult, FilterStats
-from .report import AnalysisResult, AnalysisStats, BugReport
+from .report import AnalysisResult, AnalysisStats, BugReport, EntryStats
+from .parallel import ShardResult
 from .pata import PATA
 
 __all__ = [
     "AnalysisConfig", "FunctionInfo", "InformationCollector", "PathExplorer",
     "BugFilter", "FilterResult", "FilterStats",
-    "AnalysisResult", "AnalysisStats", "BugReport", "PATA",
+    "AnalysisResult", "AnalysisStats", "BugReport", "EntryStats",
+    "ShardResult", "PATA",
 ]

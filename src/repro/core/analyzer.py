@@ -112,6 +112,16 @@ class PathExplorer:
 
     One explorer instance may be reused across entry functions of a
     program; per-entry counters reset in :meth:`explore`.
+
+    **Cross-entry accumulation contract:** ``possible_bugs`` and
+    ``seen_bug_keys`` are *deliberately* shared across every entry
+    explored through one instance — a bug sighted from a second entry is
+    a repeat (§4 P3), counted in ``repeated_bugs`` rather than reported
+    twice.  Everything else is per-entry and is reset or cleared by
+    :meth:`explore`.  Consequently a parallel driver must give each
+    worker shard a *fresh* explorer and deduplicate across shards itself
+    (see :mod:`repro.core.parallel`); reusing one explorer for two shards
+    would silently drop bugs that the sequential run reports.
     """
 
     def __init__(
@@ -190,6 +200,9 @@ class PathExplorer:
         """Explore every path of ``entry`` (AnalyzeCode + HandleFUNC)."""
         self.paths = 0
         self.steps = 0
+        # Per-entry flag: without this reset, one exhausted entry would
+        # make every later entry of the same explorer look exhausted too.
+        self.budget_exhausted = False
         self.ctx.entry_function = entry.name
         if self.config.entry_time_limit is not None:
             self._deadline = time.monotonic() + self.config.entry_time_limit
@@ -211,6 +224,15 @@ class PathExplorer:
             del self.trace[tlen:]
             self.value_defs.clear()
             self.addr_defs.clear()
+            # load_srcs is deliberately NOT trail-journaled within a path:
+            # load provenance is a flow-insensitive per-entry fact ("this
+            # temporary was loaded through that pointer somewhere on the
+            # walk"), and journaling it per branch would only make
+            # _resolve_indirect forget targets on merge-heavy paths.  It
+            # must still be cleared *per entry*: stale provenance from a
+            # previous entry could resolve a function pointer through
+            # another entry's loads.
+            self.load_srcs.clear()
             self._deadline = None
 
     def _new_frame(self, func: Function, is_entry: bool, cont) -> _Frame:

@@ -9,6 +9,7 @@ analyze in seconds while exercising every mechanism.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -48,6 +49,16 @@ class AnalysisConfig:
     max_indirect_targets: int = 4
     #: solver budgets (stage 2)
     solver_max_search_nodes: int = 20000
+    #: worker processes for entry-function analysis (the paper's P2 runs
+    #: one thread per entry, §4): 1 = in-process sequential, 0 = one per
+    #: CPU (os.cpu_count()), N > 1 = exactly N processes
+    workers: int = 1
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``0`` expands to the CPU count)."""
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
 
     def for_pata_na(self) -> "AnalysisConfig":
         """The ablation of Table 6: no alias relationships in typestate

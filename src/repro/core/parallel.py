@@ -1,0 +1,251 @@
+"""Parallel entry-function analysis — the paper's per-entry-thread P2 (§4).
+
+The paper analyzes each entry function on its own thread; this module
+shards the entry list across worker *processes* (CPython threads would
+serialize on the GIL for this CPU-bound walk).  The protocol:
+
+* the parent shards the entry list round-robin and hands every worker a
+  slice of entry *names* and a checker *spec name* — live checker
+  objects never cross the process boundary (see
+  :func:`repro.typestate.checkers.checkers_from_spec`);
+* workers receive the :class:`~repro.ir.Program` zero-copy via fork
+  inheritance where the platform allows it, and as pickled bytes
+  otherwise (each worker then unpickles its own copy and derives its own
+  :class:`~repro.core.collector.InformationCollector`);
+* each worker runs a **fresh** :class:`~repro.core.analyzer.PathExplorer`
+  over its shard and returns a picklable :class:`ShardResult`;
+* the parent merges shard results **in entry-list order**, regardless of
+  completion order, deduplicating across shards with the same
+  ``dedup_key`` logic the sequential explorer applies in-process —
+  instruction uids survive both fork and pickling, so cross-worker
+  duplicates collapse exactly as they do today.
+
+Determinism: every field of the merged result except wall-clock timings
+is identical to the sequential run's, byte for byte.  Any failure to
+parallelize (unpicklable program or results, pool setup failure, worker
+crash) logs a one-line warning and the caller falls back to the
+in-process path — never a crash.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir import Function, Program
+from ..typestate import PossibleBug
+from ..typestate.checkers import checkers_from_spec
+from .analyzer import PathExplorer
+from .collector import InformationCollector
+from .config import AnalysisConfig
+from .report import AnalysisStats, EntryStats
+
+log = logging.getLogger("repro.parallel")
+
+#: (program, collector) a forked worker inherits from the parent — set
+#: around pool use, read once per shard in :func:`_run_shard`.  Fork
+#: inheritance skips re-pickling a multi-megabyte program per worker,
+#: which would otherwise rival the analysis itself in cost.
+_FORK_STATE: Optional[Tuple[Program, InformationCollector]] = None
+
+
+def _fork_available() -> bool:
+    """Whether workers can inherit the parent's memory (Linux/BSD fork)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class EntryOutcome:
+    """One entry function's exploration record: its stats row plus the
+    bugs *first sighted* while exploring it (after in-shard dedup)."""
+
+    stats: EntryStats
+    bugs: List[PossibleBug] = field(default_factory=list)
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard (sequential run = the single shard) returns."""
+
+    entries: List[EntryOutcome] = field(default_factory=list)
+    aware_updates: int = 0
+    unaware_updates: int = 0
+    repeated_bugs: int = 0
+
+
+def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List[EntryOutcome]:
+    """Walk ``entries`` in order through ``explorer``, slicing the shared
+    ``possible_bugs`` list per entry.  Used by both the in-process path
+    and the worker processes, so their per-entry records agree exactly."""
+    outcomes: List[EntryOutcome] = []
+    for entry in entries:
+        before = len(explorer.possible_bugs)
+        started = time.perf_counter()
+        explorer.explore(entry)
+        outcomes.append(
+            EntryOutcome(
+                stats=EntryStats(
+                    name=entry.name,
+                    paths=explorer.paths,
+                    steps=explorer.steps,
+                    wall_seconds=time.perf_counter() - started,
+                    budget_exhausted=explorer.budget_exhausted,
+                ),
+                bugs=explorer.possible_bugs[before:],
+            )
+        )
+    return outcomes
+
+
+def shard_result(explorer: PathExplorer, outcomes: List[EntryOutcome]) -> ShardResult:
+    """Package one explorer's cumulative counters with its entry outcomes."""
+    return ShardResult(
+        entries=outcomes,
+        aware_updates=explorer.store.aware_updates,
+        unaware_updates=explorer.store.unaware_updates,
+        repeated_bugs=explorer.repeated_bugs,
+    )
+
+
+def _run_shard(
+    program_bytes: Optional[bytes],
+    config: AnalysisConfig,
+    checker_spec: str,
+    entry_names: List[str],
+) -> ShardResult:
+    """Worker-process body: rebuild the world (or inherit it, under fork)
+    and explore one shard of entries."""
+    if program_bytes is None:
+        assert _FORK_STATE is not None, "fork-mode shard without inherited state"
+        program, collector = _FORK_STATE
+    else:
+        program = pickle.loads(program_bytes)
+        collector = InformationCollector(program)
+    checkers = checkers_from_spec(checker_spec, collector)
+    explorer = PathExplorer(
+        program,
+        config,
+        checkers,
+        indirect_resolver=(
+            collector.indirect_targets if config.resolve_function_pointers else None
+        ),
+    )
+    # Contract (PathExplorer docstring): possible_bugs/seen_bug_keys
+    # accumulate across every entry an explorer sees, so each shard must
+    # start from a fresh explorer or cross-shard merging double-drops.
+    assert not explorer.possible_bugs and not explorer.seen_bug_keys, (
+        "worker shard must use a fresh PathExplorer"
+    )
+    entries = []
+    for name in entry_names:
+        func = program.lookup(name)
+        if func is None:  # pragma: no cover - names come from this program
+            raise KeyError(f"entry function {name!r} not found in worker program")
+        entries.append(func)
+    return shard_result(explorer, explore_entries(explorer, entries))
+
+
+def run_parallel(
+    program: Program,
+    config: AnalysisConfig,
+    checker_spec: str,
+    entry_list: Sequence[Function],
+    collector: Optional[InformationCollector] = None,
+) -> Optional[Tuple[List[List[Function]], List[ShardResult]]]:
+    """Shard ``entry_list`` across worker processes.
+
+    Returns ``(shards, results)`` aligned index-for-index, or ``None``
+    when parallel execution is unavailable (the caller then runs the
+    in-process path; a one-line warning explains why — never a crash).
+    """
+    global _FORK_STATE
+    workers = config.resolved_workers()
+    use_fork = _fork_available()
+    program_bytes = None
+    if not use_fork:
+        # Spawned workers must receive the program by value; an
+        # unpicklable program cannot be analyzed in parallel.  (Fork-mode
+        # failures — e.g. unpicklable *results* — surface from
+        # future.result() below and take the same fallback.)
+        try:
+            program_bytes = pickle.dumps(program)
+        except Exception as exc:
+            log.warning(
+                "parallel analysis disabled: program does not pickle (%s); "
+                "falling back to sequential", exc,
+            )
+            return None
+    nshards = min(workers, len(entry_list))
+    # Round-robin keeps shards balanced when entry cost correlates with
+    # position (generated corpora emit similar entries in runs).
+    shards = [list(entry_list[i::nshards]) for i in range(nshards)]
+    try:
+        if use_fork:
+            _FORK_STATE = (program, collector or InformationCollector(program))
+        mp_context = multiprocessing.get_context("fork") if use_fork else None
+        with ProcessPoolExecutor(max_workers=nshards, mp_context=mp_context) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    program_bytes,
+                    config,
+                    checker_spec,
+                    [func.name for func in shard],
+                )
+                for shard in shards
+            ]
+            results = [future.result() for future in futures]
+    except Exception as exc:
+        log.warning("parallel analysis failed (%s); falling back to sequential", exc)
+        return None
+    finally:
+        _FORK_STATE = None
+    return shards, results
+
+
+def merge_shard_results(
+    entry_list: Sequence[Function],
+    shards: Sequence[Sequence[Function]],
+    results: Sequence[ShardResult],
+    stats: AnalysisStats,
+) -> List[PossibleBug]:
+    """Fold shard results into ``stats`` and one deduplicated bug list,
+    visiting entries in ``entry_list`` order regardless of which shard
+    (or completion order) produced them.
+
+    Dedup bookkeeping mirrors the sequential explorer exactly: a bug's
+    first sighting in global entry order is kept; every later sighting —
+    whether in-shard (already counted by that shard's explorer) or
+    cross-shard (dropped here) — counts toward ``dropped_repeated_bugs``.
+    """
+    outcome_by_entry = {}
+    for shard, result in zip(shards, results):
+        for entry, outcome in zip(shard, result.entries):
+            outcome_by_entry[entry.name] = outcome
+
+    merged: List[PossibleBug] = []
+    seen_bug_keys = set()
+    repeated = sum(result.repeated_bugs for result in results)
+    for entry in entry_list:
+        outcome = outcome_by_entry[entry.name]
+        stats.per_entry.append(outcome.stats)
+        stats.explored_paths += outcome.stats.paths
+        stats.executed_steps += outcome.stats.steps
+        if outcome.stats.budget_exhausted:
+            stats.budget_exhausted_entries += 1
+        for bug in outcome.bugs:
+            key = bug.dedup_key
+            if key in seen_bug_keys:
+                repeated += 1
+                continue
+            seen_bug_keys.add(key)
+            merged.append(bug)
+    stats.typestates_aware = sum(result.aware_updates for result in results)
+    stats.typestates_unaware = sum(result.unaware_updates for result in results)
+    stats.dropped_repeated_bugs = repeated
+    return merged

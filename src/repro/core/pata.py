@@ -13,6 +13,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Iterable, List, Optional, Tuple
 
@@ -23,7 +24,10 @@ from .analyzer import PathExplorer
 from .collector import InformationCollector
 from .config import AnalysisConfig
 from .filter import BugFilter
+from .parallel import explore_entries, merge_shard_results, run_parallel, shard_result
 from .report import AnalysisResult, AnalysisStats
+
+log = logging.getLogger("repro.parallel")
 
 
 class PATA:
@@ -59,37 +63,51 @@ class PATA:
 
             optimize_program(program)
         collector = InformationCollector(program)
-        checkers = self._resolve_checkers(collector)
-        explorer = PathExplorer(
-            program,
-            self.config,
-            checkers,
-            indirect_resolver=(
-                collector.indirect_targets if self.config.resolve_function_pointers else None
-            ),
-        )
         stats = AnalysisStats(
             analyzed_files=len(program.modules),
             analyzed_lines=program.total_source_lines(),
         )
         entry_list = entries if entries is not None else collector.entry_functions()
         stats.entry_functions = len(entry_list)
-        for entry in entry_list:
-            explorer.explore(entry)
-            stats.explored_paths += explorer.paths
-            stats.executed_steps += explorer.steps
-            if explorer.budget_exhausted:
-                stats.budget_exhausted_entries += 1
-        stats.typestates_aware = explorer.store.aware_updates
-        stats.typestates_unaware = explorer.store.unaware_updates
-        stats.dropped_repeated_bugs = explorer.repeated_bugs
+
+        # P2: explore every entry — sharded across worker processes when
+        # configured (the paper's thread-per-entry, §4), in-process
+        # otherwise.  Both paths produce per-shard results merged by the
+        # same deterministic entry-order fold, so reports and stats are
+        # identical either way (timings aside).
+        shard_data = None
+        if self.config.resolved_workers() > 1 and len(entry_list) > 1:
+            spec = self._checker_spec()
+            if spec is None:
+                log.warning(
+                    "parallel analysis disabled: custom checker objects cannot "
+                    "be rebuilt in workers; falling back to sequential"
+                )
+            else:
+                shard_data = run_parallel(program, self.config, spec, entry_list, collector)
+        if shard_data is not None:
+            shards, results = shard_data
+            stats.workers_used = len(shards)
+        else:
+            checkers = self._resolve_checkers(collector)
+            explorer = PathExplorer(
+                program,
+                self.config,
+                checkers,
+                indirect_resolver=(
+                    collector.indirect_targets if self.config.resolve_function_pointers else None
+                ),
+            )
+            shards = [list(entry_list)]
+            results = [shard_result(explorer, explore_entries(explorer, entry_list))]
+        possible_bugs = merge_shard_results(entry_list, shards, results, stats)
 
         bug_filter = BugFilter(
             self.config.validate_paths,
             self.config.solver_max_search_nodes,
             alias_aware=self.config.alias_aware,
         )
-        filtered = bug_filter.run(explorer.possible_bugs)
+        filtered = bug_filter.run(possible_bugs)
         stats.dropped_false_bugs = filtered.stats.dropped_false
         stats.validated_paths = filtered.stats.validated
         stats.smt_constraints_aware = filtered.stats.constraints_aware
@@ -100,6 +118,15 @@ class PATA:
     def analyze_sources(self, sources: Iterable[Tuple[str, str]]) -> AnalysisResult:
         """Compile ``(filename, mini-C source)`` pairs and analyze them."""
         return self.analyze(compile_program(sources))
+
+    def _checker_spec(self) -> Optional[str]:
+        """The name workers rebuild this PATA's checker set from, or
+        ``None`` when the caller supplied live checker objects (those are
+        not shipped across the process boundary; see
+        :func:`repro.typestate.checkers.checkers_from_spec`)."""
+        if self._checkers is not None:
+            return None
+        return "all" if getattr(self, "_use_all", False) else "default"
 
     def _resolve_checkers(self, collector: InformationCollector) -> List[Checker]:
         if self._checkers is not None:

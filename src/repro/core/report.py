@@ -60,6 +60,24 @@ class BugReport:
 
 
 @dataclass
+class EntryStats:
+    """Per-entry-function exploration record (the paper's Table 5 timing,
+    disaggregated): one row per analysis root, in entry-list order.
+
+    ``wall_seconds`` is measured in whichever process explored the entry;
+    everything else is a deterministic function of the program and
+    config, so two runs (or a sequential and a parallel run) agree on
+    every field but the timing.
+    """
+
+    name: str
+    paths: int = 0
+    steps: int = 0
+    wall_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+
+@dataclass
 class AnalysisStats:
     """Counters matching the rows of Table 5."""
 
@@ -77,6 +95,26 @@ class AnalysisStats:
     validated_paths: int = 0
     budget_exhausted_entries: int = 0
     time_seconds: float = 0.0
+    #: worker processes that performed P2 (1 = in-process sequential)
+    workers_used: int = 1
+    #: one record per analyzed entry function, in entry-list order
+    per_entry: List[EntryStats] = field(default_factory=list)
+
+    def render_entry_table(self) -> str:
+        """ASCII table of the per-entry records (CLI ``--stats``)."""
+        headers = ["entry", "paths", "steps", "seconds", "budget"]
+        rows = [
+            [e.name, str(e.paths), str(e.steps), f"{e.wall_seconds:.3f}",
+             "exhausted" if e.budget_exhausted else "ok"]
+            for e in self.per_entry
+        ]
+        widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+                  for i, h in enumerate(headers)]
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
 
 
 @dataclass

@@ -25,6 +25,8 @@ __all__ = [
     "PairedAPIChecker", "DEFAULT_ACQUIRE_APIS", "DEFAULT_RELEASE_APIS",
     "default_checkers",
     "all_checkers",
+    "CHECKER_SPECS",
+    "checkers_from_spec",
 ]
 
 
@@ -44,3 +46,28 @@ def all_checkers(
         ArrayUnderflowChecker(may_return_negative),
         DivByZeroChecker(may_return_zero),
     ]
+
+
+#: Named checker-set factories.  Worker processes of the parallel driver
+#: rebuild their checkers from one of these *names* — live checker
+#: objects are never pickled across the process boundary, because two of
+#: them close over per-program collector facts that each worker derives
+#: from its own unpickled :class:`~repro.ir.Program` copy.
+CHECKER_SPECS = ("default", "all")
+
+
+def checkers_from_spec(spec: str, collector=None) -> List[Checker]:
+    """Reconstruct a checker set from its spec name.
+
+    ``collector`` (an :class:`~repro.core.InformationCollector`) supplies
+    the may-return facts the ``"all"`` set's underflow/div-zero checkers
+    need; ``"default"`` ignores it.
+    """
+    if spec == "default":
+        return default_checkers()
+    if spec == "all":
+        return all_checkers(
+            may_return_negative=collector.may_return_negative if collector else None,
+            may_return_zero=collector.may_return_zero if collector else None,
+        )
+    raise ValueError(f"unknown checker spec: {spec!r} (expected one of {CHECKER_SPECS})")

@@ -42,7 +42,18 @@ class PossibleBug:
     @property
     def dedup_key(self) -> Tuple[str, int, int]:
         """Bugs with the same problematic instruction pair are repeats
-        (§4, P3)."""
+        (§4, P3).
+
+        Instruction uids are assigned at construction and survive
+        pickling, so a bug found in a worker process (whose ``Program``
+        is an unpickled copy of the parent's) carries the *same* dedup
+        key as the parent would compute — the parallel driver's
+        cross-shard merge collapses duplicates exactly like the
+        in-process ``seen_bug_keys`` set does.  A
+        :class:`TypestateManager`'s checkers are never shipped to
+        workers; they are rebuilt there from a spec name
+        (:func:`repro.typestate.checkers.checkers_from_spec`).
+        """
         return (self.checker, self.source.uid, self.sink.uid)
 
     def __str__(self) -> str:

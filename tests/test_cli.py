@@ -81,6 +81,33 @@ def test_check_no_validate(buggy_file, capsys):
     assert code == 1
 
 
+def test_check_stats_table(buggy_file, clean_file, capsys):
+    code = main(["check", "--stats", str(buggy_file), str(clean_file)])
+    out = capsys.readouterr().out
+    assert code == 1
+    # One per-entry row per analysis root, plus the table header.
+    assert "entry" in out and "paths" in out and "budget" in out
+    assert "f" in out and "g" in out
+
+
+def test_check_workers_matches_sequential(buggy_file, clean_file, capsys):
+    code = main(["check", "--json", str(buggy_file), str(clean_file)])
+    sequential = json.loads(capsys.readouterr().out)
+    code2 = main(["check", "--json", "--workers", "2", str(buggy_file), str(clean_file)])
+    parallel = json.loads(capsys.readouterr().out)
+    assert code == code2 == 1
+    assert sequential["bugs"] == parallel["bugs"]
+    assert parallel["stats"]["workers"] == 2
+
+
+def test_check_json_stats_per_entry(buggy_file, clean_file, capsys):
+    code = main(["check", "--json", "--stats", str(buggy_file), str(clean_file)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    entries = {e["entry"] for e in payload["stats"]["per_entry"]}
+    assert entries == {"f", "g"}
+
+
 def test_corpus_stats(capsys):
     code = main(["corpus", "--os", "tencentos", "--scale", "0.3", "--stats"])
     out = capsys.readouterr().out

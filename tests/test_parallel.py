@@ -1,0 +1,350 @@
+"""Parallel-driver and cross-entry state-leak regression tests.
+
+Covers the two per-entry state leaks the shared-explorer design produced
+(``budget_exhausted`` and ``load_srcs`` surviving across entries), the
+fresh-explorer-per-shard contract, and the parallel driver's determinism
+guarantee: ``workers=1`` and ``workers=4`` must produce byte-identical
+reports and merged stats (timings aside).
+"""
+
+import dataclasses
+import logging
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.core import InformationCollector, PathExplorer
+from repro.core.parallel import explore_entries, merge_shard_results, shard_result
+from repro.corpus import PROFILES_BY_NAME, generate
+from repro.ir import (
+    Call,
+    CallIndirect,
+    Const,
+    Function,
+    Gep,
+    INT,
+    InterfaceRegistration,
+    Jump,
+    Load,
+    Module,
+    PointerType,
+    Program,
+    Ret,
+    Var,
+)
+from repro.ir.types import StructType
+from repro.lang import compile_program
+from repro.typestate import BugKind, default_checkers
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: budget_exhausted must reset between entries
+# ---------------------------------------------------------------------------
+
+BUDGET_SOURCE = """
+int heavy(int a) {
+    int r = 0;
+    if (a > 0) r = r + 1;
+    if (a > 1) r = r + 1;
+    if (a > 2) r = r + 1;
+    if (a > 3) r = r + 1;
+    if (a > 4) r = r + 1;
+    if (a > 5) r = r + 1;
+    return r;
+}
+int light(int b) {
+    return b + 1;
+}
+"""
+
+
+def _entries_by_name(program):
+    collector = InformationCollector(program)
+    return collector, {f.name: f for f in collector.entry_functions()}
+
+
+def test_budget_exhausted_resets_between_entries():
+    program = compile_program([("budget.c", BUDGET_SOURCE)])
+    _, entries = _entries_by_name(program)
+    config = AnalysisConfig(max_steps_per_entry=20)
+    explorer = PathExplorer(program, config, default_checkers())
+    explorer.explore(entries["heavy"])
+    assert explorer.budget_exhausted
+    explorer.explore(entries["light"])
+    # Regression: the flag used to survive into every later entry.
+    assert not explorer.budget_exhausted
+
+
+def test_budget_exhausted_entries_counted_once():
+    program = compile_program([("budget.c", BUDGET_SOURCE)])
+    config = AnalysisConfig(max_steps_per_entry=20)
+    result = PATA(config=config).analyze(program)
+    assert result.stats.budget_exhausted_entries == 1
+    flags = {e.name: e.budget_exhausted for e in result.stats.per_entry}
+    assert flags == {"heavy": True, "light": False}
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: load_srcs (load provenance) must not leak across entries
+# ---------------------------------------------------------------------------
+
+
+def _leak_program():
+    """Two hand-built entries sharing variable names.
+
+    ``prime`` performs ``addr = &ops->h; fn = *addr`` — recording load
+    provenance for the name ``fn``.  ``victim`` computes its own
+    ``addr = &ops->h`` but *never loads* ``fn``; its indirect call through
+    ``fn`` is unresolvable on every real path.  With stale ``load_srcs``
+    from ``prime``, ``_resolve_indirect`` chains victim's ``addr`` through
+    prime's load and wrongly inlines ``bad_handler(NULL)`` — an NPD that
+    no path of ``victim`` can produce.
+    """
+    module = Module("leak.c")
+    ops_ty = StructType("ops")
+    int_ptr = PointerType(INT)
+    ops_ty.set_fields({"h": int_ptr})
+    module.structs["ops"] = ops_ty
+    ops_ptr = PointerType(ops_ty)
+
+    fn_var = Var("fn", int_ptr)
+    addr_var = Var("addr", PointerType(int_ptr))
+
+    bad = Function("bad_handler", [Var("p", int_ptr)], INT, filename="leak.c", line=1)
+    block = bad.add_block("entry")
+    block.append(Load(Var("v", INT), Var("p", int_ptr)))
+    block.set_terminator(Ret(Const(0)))
+    module.add_function(bad)
+
+    prime = Function("prime", [Var("ops", ops_ptr)], INT, filename="leak.c", line=10)
+    block = prime.add_block("entry")
+    block.append(Gep(addr_var, Var("ops", ops_ptr), "h"))
+    block.append(Load(fn_var, addr_var))
+    block.set_terminator(Ret(Const(0)))
+    prime.is_interface = True
+    module.add_function(prime)
+
+    victim = Function("victim", [Var("ops", ops_ptr)], INT, filename="leak.c", line=20)
+    block = victim.add_block("entry")
+    block.append(Gep(addr_var, Var("ops", ops_ptr), "h"))
+    block.append(CallIndirect(None, fn_var, [Const(0, int_ptr)]))
+    block.set_terminator(Ret(Const(0)))
+    victim.is_interface = True
+    module.add_function(victim)
+
+    module.add_registration(InterfaceRegistration("g_ops", ops_ty, "h", "bad_handler"))
+    return Program([module])
+
+
+def test_load_srcs_cleared_after_each_entry():
+    program = _leak_program()
+    collector = InformationCollector(program)
+    explorer = PathExplorer(
+        program,
+        AnalysisConfig(resolve_function_pointers=True),
+        default_checkers(),
+        indirect_resolver=collector.indirect_targets,
+    )
+    explorer.explore(program.lookup("prime"))
+    # Regression: prime's load provenance used to survive here.
+    assert explorer.load_srcs == {}
+
+
+def test_stale_load_provenance_cannot_resolve_other_entrys_pointers():
+    program = _leak_program()
+    collector = InformationCollector(program)
+    explorer = PathExplorer(
+        program,
+        AnalysisConfig(resolve_function_pointers=True),
+        default_checkers(),
+        indirect_resolver=collector.indirect_targets,
+    )
+    explorer.explore(program.lookup("prime"))
+    explorer.explore(program.lookup("victim"))
+    # With the leak, victim's icall resolved through prime's load and
+    # inlined bad_handler(NULL), reporting an impossible NPD.
+    npd = [b for b in explorer.possible_bugs if b.kind is BugKind.NPD]
+    assert npd == []
+
+
+def test_entry_order_does_not_change_results():
+    """The same two entries analyzed in either order (or alone) agree —
+    the stronger form of the no-cross-entry-state property."""
+    program = _leak_program()
+    collector = InformationCollector(program)
+
+    def run(order):
+        explorer = PathExplorer(
+            program,
+            AnalysisConfig(resolve_function_pointers=True),
+            default_checkers(),
+            indirect_resolver=collector.indirect_targets,
+        )
+        for name in order:
+            explorer.explore(program.lookup(name))
+        return sorted(str(b) for b in explorer.possible_bugs)
+
+    assert run(["prime", "victim"]) == run(["victim", "prime"])
+    assert run(["prime", "victim"]) == run(["victim"]) + run(["prime"])
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3: fresh-explorer-per-shard contract
+# ---------------------------------------------------------------------------
+
+
+def test_worker_shard_asserts_fresh_explorer():
+    """_run_shard refuses an explorer with accumulated bug state; the
+    public seam is exercised here via the same assertion."""
+    import pickle
+
+    from repro.core.parallel import _run_shard
+
+    program = compile_program([("budget.c", BUDGET_SOURCE)])
+    result = _run_shard(
+        pickle.dumps(program), AnalysisConfig(), "default", ["heavy", "light"]
+    )
+    assert [o.stats.name for o in result.entries] == ["heavy", "light"]
+
+
+# ---------------------------------------------------------------------------
+# Determinism: workers=1 and workers=4 byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _stats_fingerprint(stats):
+    """Every stats field except wall-clock timings and worker count."""
+    data = dataclasses.asdict(stats)
+    data["time_seconds"] = 0.0
+    data["workers_used"] = 0
+    for entry in data["per_entry"]:
+        entry["wall_seconds"] = 0.0
+    return data
+
+
+@pytest.mark.slow
+def test_workers_determinism_on_corpus():
+    corpus = generate(PROFILES_BY_NAME["zephyr"].scaled(0.6))
+    program = compile_program(corpus.compiled_sources())
+    sequential = PATA(config=AnalysisConfig(workers=1)).analyze(program)
+    parallel = PATA(config=AnalysisConfig(workers=4)).analyze(program)
+    assert parallel.stats.workers_used == 4
+    assert [r.render() for r in sequential.reports] == [r.render() for r in parallel.reports]
+    assert _stats_fingerprint(sequential.stats) == _stats_fingerprint(parallel.stats)
+    # Cross-entry repeats must collapse identically whether the dedup ran
+    # in one explorer or across shard merges.
+    assert sequential.stats.dropped_repeated_bugs == parallel.stats.dropped_repeated_bugs
+
+
+def test_workers_determinism_on_multi_entry_file():
+    source = """
+struct s { int v; };
+int f1(struct s *p) { if (!p) { return p->v; } return 0; }
+int f2(struct s *q) { if (!q) { return q->v; } return 1; }
+int f3(int a) { int *r = 0; if (a) { return *r; } return 2; }
+int f4(int b) { return b + 2; }
+"""
+    program = compile_program([("multi.c", source)])
+    sequential = PATA(config=AnalysisConfig(workers=1)).analyze(program)
+    parallel = PATA(config=AnalysisConfig(workers=4)).analyze(program)
+    assert [r.render() for r in sequential.reports] == [r.render() for r in parallel.reports]
+    assert _stats_fingerprint(sequential.stats) == _stats_fingerprint(parallel.stats)
+
+
+def test_workers_zero_resolves_to_cpu_count():
+    config = AnalysisConfig(workers=0)
+    assert config.resolved_workers() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Fallbacks: never crash, one-line warning, sequential result
+# ---------------------------------------------------------------------------
+
+
+def test_unpicklable_program_falls_back_to_sequential(monkeypatch, caplog):
+    """Spawn-only platforms ship the program by value; a program that
+    does not pickle must degrade to the sequential path with a warning."""
+    import repro.core.parallel as parallel_mod
+
+    def broken_dumps(obj, *a, **kw):
+        raise TypeError("cannot pickle this program")
+
+    monkeypatch.setattr(parallel_mod, "_fork_available", lambda: False)
+    monkeypatch.setattr(parallel_mod.pickle, "dumps", broken_dumps)
+    program = compile_program([("multi.c", "int f(int a) { return a; }\nint g(int b) { return b; }")])
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        result = PATA(config=AnalysisConfig(workers=2)).analyze(program)
+    assert result.stats.workers_used == 1
+    assert any("falling back to sequential" in r.message for r in caplog.records)
+
+
+def test_worker_failure_falls_back_to_sequential(caplog):
+    """A shard that raises (here: bogus checker spec) must not crash the
+    parent — run_parallel returns None and the caller goes sequential."""
+    from repro.core.parallel import run_parallel
+
+    program = compile_program([("multi.c", "int f(int a) { return a; }\nint g(int b) { return b; }")])
+    collector = InformationCollector(program)
+    entries = collector.entry_functions()
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        outcome = run_parallel(program, AnalysisConfig(workers=2), "bogus-spec", entries, collector)
+    assert outcome is None
+    assert any("parallel analysis failed" in r.message for r in caplog.records)
+
+
+def test_custom_checker_objects_fall_back_to_sequential(caplog):
+    from repro.typestate import NullDereferenceChecker
+
+    program = compile_program([("multi.c", "int f(int a) { return a; }\nint g(int b) { return b; }")])
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        result = PATA(
+            checkers=[NullDereferenceChecker()],
+            config=AnalysisConfig(workers=2),
+        ).analyze(program)
+    assert result.stats.workers_used == 1
+    assert any("custom checker" in r.message for r in caplog.records)
+
+
+def test_single_entry_program_stays_sequential():
+    program = compile_program([("one.c", "int only(int a) { return a; }")])
+    result = PATA(config=AnalysisConfig(workers=4)).analyze(program)
+    assert result.stats.workers_used == 1
+    assert len(result.stats.per_entry) == 1
+
+
+# ---------------------------------------------------------------------------
+# Merge helper unit coverage
+# ---------------------------------------------------------------------------
+
+
+def test_merge_counts_cross_shard_duplicates_as_repeats():
+    source = """
+struct s { int v; };
+static int helper(struct s *p) { if (!p) { return p->v; } return 0; }
+int e1(struct s *p) { return helper(p); }
+int e2(struct s *p) { return helper(p); }
+"""
+    program = compile_program([("dup.c", source)])
+    collector = InformationCollector(program)
+    entries = collector.entry_functions()
+    assert len(entries) == 2
+
+    from repro.core.report import AnalysisStats
+
+    shards = [[entries[0]], [entries[1]]]
+    results = []
+    for shard in shards:
+        explorer = PathExplorer(program, AnalysisConfig(), default_checkers())
+        results.append(shard_result(explorer, explore_entries(explorer, shard)))
+    stats = AnalysisStats()
+    merged = merge_shard_results(entries, shards, results, stats)
+
+    # Both shards sight the same helper bug; the merge keeps the first
+    # (entry-order) copy and books the other as a repeat — exactly what
+    # one shared explorer would have done.
+    explorer = PathExplorer(program, AnalysisConfig(), default_checkers())
+    seq = shard_result(explorer, explore_entries(explorer, entries))
+    seq_stats = AnalysisStats()
+    seq_merged = merge_shard_results(entries, [entries], [seq], seq_stats)
+    assert [str(b) for b in merged] == [str(b) for b in seq_merged]
+    assert stats.dropped_repeated_bugs == seq_stats.dropped_repeated_bugs
