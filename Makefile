@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,10 @@ bench-quick:
 # Override workers with e.g. `make bench-parallel REPRO_BENCH_WORKERS=2`.
 bench-parallel:
 	REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest benchmarks/bench_components.py -k parallel_vs_sequential -q --benchmark-disable
+
+# Pruned-vs-unpruned P1.5 comparison; writes BENCH_prune.json.
+bench-prune:
+	$(PYTHON) -m pytest benchmarks/bench_components.py -k pruned_vs_unpruned -q --benchmark-disable
 
 report:
 	$(PYTHON) -m repro eval all --markdown evaluation-report.md

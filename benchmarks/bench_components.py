@@ -226,3 +226,53 @@ def test_parallel_vs_sequential_entry_analysis(benchmark, harness):
     out.write_text(json.dumps(payload, indent=2) + "\n")
     assert identical
     assert parallel.stats.workers_used == min(workers, parallel.stats.entry_functions)
+
+
+def test_pruned_vs_unpruned_entry_analysis(benchmark, harness):
+    """The P1.5 relevance pre-analysis on vs off (``--no-prune``) on the
+    largest generated corpus; writes ``BENCH_prune.json`` at the repo
+    root with entries skipped, paths explored, wall seconds, and the
+    report-preservation check.  Pruning must explore strictly fewer
+    paths and must never change a single report byte."""
+    import json
+    import pathlib
+    import time
+
+    from repro.corpus import PROFILES_BY_NAME, generate
+    from repro.lang import compile_program
+
+    corpus = generate(PROFILES_BY_NAME["linux"].scaled(harness.scale))
+    program = compile_program(corpus.compiled_sources())
+
+    started = time.perf_counter()
+    unpruned = PATA(config=AnalysisConfig(prune=False)).analyze(program)
+    unpruned_seconds = time.perf_counter() - started
+
+    def run_pruned():
+        return PATA(config=AnalysisConfig(prune=True)).analyze(program)
+
+    started = time.perf_counter()
+    pruned = benchmark.pedantic(run_pruned, rounds=1, iterations=1)
+    pruned_seconds = time.perf_counter() - started
+
+    identical = [r.render() for r in unpruned.reports] == [r.render() for r in pruned.reports]
+    payload = {
+        "corpus": "linux",
+        "scale": harness.scale,
+        "entry_functions": pruned.stats.entry_functions,
+        "entries_skipped": pruned.stats.entries_skipped,
+        "blocks_pruned": pruned.stats.blocks_pruned,
+        "paths_pruned": pruned.stats.paths_pruned,
+        "paths_explored_pruned": pruned.stats.explored_paths,
+        "paths_explored_unpruned": unpruned.stats.explored_paths,
+        "pruned_seconds": round(pruned_seconds, 4),
+        "unpruned_seconds": round(unpruned_seconds, 4),
+        "speedup": round(unpruned_seconds / pruned_seconds, 3) if pruned_seconds else None,
+        "identical_reports": identical,
+        "reports": len(pruned.reports),
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_prune.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert identical
+    assert pruned.stats.entries_skipped > 0
+    assert pruned.stats.explored_paths < unpruned.stats.explored_paths

@@ -67,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--workers", type=int, default=1, metavar="N",
                        help="worker processes for entry analysis "
                             "(1 = sequential, 0 = one per CPU)")
+    check.add_argument("--no-prune", action="store_true",
+                       help="disable the checker-relevance pre-analysis "
+                            "(P1.5) entry/path pruning")
     check.add_argument("--stats", action="store_true",
                        help="print a per-entry-function stats table")
     check.add_argument("--confirm", action="store_true",
@@ -112,7 +115,8 @@ def cmd_check(args) -> int:
             print(f"error: no such file: {name}", file=sys.stderr)
             return 2
         sources.append((str(path), path.read_text()))
-    config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers)
+    config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers,
+                            prune=not args.no_prune)
     if args.max_paths is not None:
         config.max_paths_per_entry = args.max_paths
     if args.na:
@@ -161,6 +165,9 @@ def cmd_check(args) -> int:
                 "dropped_repeated": result.stats.dropped_repeated_bugs,
                 "time_seconds": result.stats.time_seconds,
                 "workers": result.stats.workers_used,
+                "entries_skipped": result.stats.entries_skipped,
+                "blocks_pruned": result.stats.blocks_pruned,
+                "paths_pruned": result.stats.paths_pruned,
                 **(
                     {
                         "per_entry": [
@@ -170,6 +177,9 @@ def cmd_check(args) -> int:
                                 "steps": e.steps,
                                 "wall_seconds": e.wall_seconds,
                                 "budget_exhausted": e.budget_exhausted,
+                                "paths_pruned": e.paths_pruned,
+                                "blocks_pruned": e.blocks_pruned,
+                                "skipped": e.skipped,
                             }
                             for e in result.stats.per_entry
                         ]

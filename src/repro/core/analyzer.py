@@ -132,6 +132,7 @@ class PathExplorer:
         instruction_observer: Optional[Callable] = None,
         path_end_observer: Optional[Callable] = None,
         indirect_resolver: Optional[Callable] = None,
+        relevance=None,
         # Back-compat conveniences used by PathAliasAnalysis:
         max_paths: Optional[int] = None,
         max_call_depth: Optional[int] = None,
@@ -151,6 +152,10 @@ class PathExplorer:
         #: (struct name | None, field) -> candidate function names; set to
         #: enable the §7 function-pointer extension
         self.indirect_resolver = indirect_resolver
+        #: P1.5 :class:`~repro.presolve.prune.RelevancePreAnalysis`; when
+        #: set, paths stop on entering a dead block of the entry CFG
+        self.relevance = relevance
+        self._dead_blocks: frozenset = frozenset()
 
         self.trail = Trail()
         self.graph: Optional[AliasGraph] = AliasGraph(self.trail) if self.config.alias_aware else None
@@ -176,6 +181,8 @@ class PathExplorer:
         self.paths = 0
         self.steps = 0
         self.budget_exhausted = False
+        self.paths_pruned = 0
+        self.blocks_pruned = 0
         self._frame_ids = 0
         self._call_stack: List[str] = []
         self._deadline: Optional[float] = None
@@ -203,6 +210,12 @@ class PathExplorer:
         # Per-entry flag: without this reset, one exhausted entry would
         # make every later entry of the same explorer look exhausted too.
         self.budget_exhausted = False
+        self.paths_pruned = 0
+        if self.relevance is not None:
+            self._dead_blocks = self.relevance.dead_blocks(entry)
+        else:
+            self._dead_blocks = frozenset()
+        self.blocks_pruned = len(self._dead_blocks)
         self.ctx.entry_function = entry.name
         if self.config.entry_time_limit is not None:
             self._deadline = time.monotonic() + self.config.entry_time_limit
@@ -249,6 +262,12 @@ class PathExplorer:
     # -- block / instruction walk -------------------------------------------------------
 
     def _enter_block(self, block: BasicBlock, frame: _Frame) -> None:
+        if frame.is_entry and block.uid in self._dead_blocks:
+            # P1.5 block pruning: no armed checker's sink is reachable
+            # from here, so no report can fire on any suffix — the path
+            # ends, report-identically to exploring the dead region.
+            self.paths_pruned += 1
+            return
         visits = frame.block_visits.get(block.uid, 0)
         if visits >= self.config.max_block_visits:
             # Loop bound reached: the path dies here (paper's unroll-once).

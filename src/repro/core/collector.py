@@ -59,10 +59,20 @@ class InformationCollector:
                 may_return_zero=zero,
             )
 
-    def _close_return_facts(self, rounds: int = 3) -> None:
+    def _close_return_facts(self, max_rounds: Optional[int] = None) -> None:
         """Propagate may-return facts through direct tail-ish returns
-        (``return helper(...)``) a few rounds."""
-        for _ in range(rounds):
+        (``return helper(...)``) to a fixpoint.
+
+        Each round moves facts one call level, so a fixed round count
+        would silently under-approximate through chains deeper than it
+        (the old ``rounds=3`` missed ``may_return_negative`` through a
+        depth-5 chain).  Facts only flip False→True, so the fixpoint is
+        reached after at most ``len(functions)`` productive rounds; the
+        cap is a generous backstop, never the convergence mechanism.
+        """
+        if max_rounds is None:
+            max_rounds = max(64, 2 * len(self.functions))
+        for _ in range(max_rounds):
             changed = False
             for func in self.program.functions():
                 info = self.functions[func.name]

@@ -47,6 +47,13 @@ class AnalysisConfig:
     resolve_function_pointers: bool = False
     #: candidate targets explored per indirect call site when resolving
     max_indirect_targets: int = 4
+    #: run the checker-relevance pre-analysis (P1.5) and its two sound
+    #: pruning layers: skip entry functions whose transitive region holds
+    #: no event for any enabled checker, and stop paths entering CFG
+    #: regions from which no armed checker's sink is reachable.  Pruning
+    #: is report-preserving — with the same config the report set is
+    #: byte-identical either way (``--no-prune`` is the CLI escape hatch)
+    prune: bool = True
     #: solver budgets (stage 2)
     solver_max_search_nodes: int = 20000
     #: worker processes for entry-function analysis (the paper's P2 runs

@@ -95,6 +95,8 @@ def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List
                     steps=explorer.steps,
                     wall_seconds=time.perf_counter() - started,
                     budget_exhausted=explorer.budget_exhausted,
+                    paths_pruned=explorer.paths_pruned,
+                    blocks_pruned=explorer.blocks_pruned,
                 ),
                 bugs=explorer.possible_bugs[before:],
             )
@@ -127,6 +129,23 @@ def _run_shard(
         program = pickle.loads(program_bytes)
         collector = InformationCollector(program)
     checkers = checkers_from_spec(checker_spec, collector)
+    relevance = None
+    if config.prune:
+        # Each worker rebuilds the P1.5 pre-analysis from its own program
+        # copy: summaries are a deterministic function of (program,
+        # checkers, config), and block uids survive fork and pickling, so
+        # every worker's dead-block sets agree with the sequential run's.
+        from ..presolve import RelevancePreAnalysis, ScanContext
+
+        relevance = RelevancePreAnalysis(
+            program,
+            checkers,
+            ScanContext(
+                may_return_negative=collector.may_return_negative,
+                may_return_zero=collector.may_return_zero,
+            ),
+            resolve_function_pointers=config.resolve_function_pointers,
+        )
     explorer = PathExplorer(
         program,
         config,
@@ -134,6 +153,7 @@ def _run_shard(
         indirect_resolver=(
             collector.indirect_targets if config.resolve_function_pointers else None
         ),
+        relevance=relevance,
     )
     # Contract (PathExplorer docstring): possible_bugs/seen_bug_keys
     # accumulate across every entry an explorer sees, so each shard must
@@ -238,6 +258,8 @@ def merge_shard_results(
         stats.executed_steps += outcome.stats.steps
         if outcome.stats.budget_exhausted:
             stats.budget_exhausted_entries += 1
+        stats.blocks_pruned += outcome.stats.blocks_pruned
+        stats.paths_pruned += outcome.stats.paths_pruned
         for bug in outcome.bugs:
             key = bug.dedup_key
             if key in seen_bug_keys:

@@ -25,7 +25,7 @@ from .collector import InformationCollector
 from .config import AnalysisConfig
 from .filter import BugFilter
 from .parallel import explore_entries, merge_shard_results, run_parallel, shard_result
-from .report import AnalysisResult, AnalysisStats
+from .report import AnalysisResult, AnalysisStats, EntryStats
 
 log = logging.getLogger("repro.parallel")
 
@@ -70,13 +70,35 @@ class PATA:
         entry_list = entries if entries is not None else collector.entry_functions()
         stats.entry_functions = len(entry_list)
 
+        # P1.5: checker-relevance pre-analysis.  Entry pruning happens
+        # here, *before* sharding, so skipped entries never reach a
+        # worker; block pruning happens inside each explorer through the
+        # `relevance` handle (workers rebuild their own, see parallel.py).
+        relevance = None
+        analyzed_list = list(entry_list)
+        skipped_names: List[str] = []
+        if self.config.prune:
+            from ..presolve import RelevancePreAnalysis, ScanContext
+
+            relevance = RelevancePreAnalysis(
+                program,
+                self._resolve_checkers(collector),
+                ScanContext(
+                    may_return_negative=collector.may_return_negative,
+                    may_return_zero=collector.may_return_zero,
+                ),
+                resolve_function_pointers=self.config.resolve_function_pointers,
+            )
+            analyzed_list, skipped_names = relevance.partition_entries(entry_list)
+            stats.entries_skipped = len(skipped_names)
+
         # P2: explore every entry — sharded across worker processes when
         # configured (the paper's thread-per-entry, §4), in-process
         # otherwise.  Both paths produce per-shard results merged by the
         # same deterministic entry-order fold, so reports and stats are
         # identical either way (timings aside).
         shard_data = None
-        if self.config.resolved_workers() > 1 and len(entry_list) > 1:
+        if self.config.resolved_workers() > 1 and len(analyzed_list) > 1:
             spec = self._checker_spec()
             if spec is None:
                 log.warning(
@@ -84,7 +106,7 @@ class PATA:
                     "be rebuilt in workers; falling back to sequential"
                 )
             else:
-                shard_data = run_parallel(program, self.config, spec, entry_list, collector)
+                shard_data = run_parallel(program, self.config, spec, analyzed_list, collector)
         if shard_data is not None:
             shards, results = shard_data
             stats.workers_used = len(shards)
@@ -97,10 +119,18 @@ class PATA:
                 indirect_resolver=(
                     collector.indirect_targets if self.config.resolve_function_pointers else None
                 ),
+                relevance=relevance,
             )
-            shards = [list(entry_list)]
-            results = [shard_result(explorer, explore_entries(explorer, entry_list))]
-        possible_bugs = merge_shard_results(entry_list, shards, results, stats)
+            shards = [list(analyzed_list)]
+            results = [shard_result(explorer, explore_entries(explorer, analyzed_list))]
+        possible_bugs = merge_shard_results(analyzed_list, shards, results, stats)
+        if skipped_names:
+            # Re-interleave the skipped entries' zero rows so per_entry
+            # stays in original entry-list order with or without pruning.
+            by_name = {row.name: row for row in stats.per_entry}
+            for name in skipped_names:
+                by_name[name] = EntryStats(name=name, skipped=True)
+            stats.per_entry = [by_name[func.name] for func in entry_list]
 
         bug_filter = BugFilter(
             self.config.validate_paths,

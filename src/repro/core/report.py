@@ -75,6 +75,12 @@ class EntryStats:
     steps: int = 0
     wall_seconds: float = 0.0
     budget_exhausted: bool = False
+    #: paths cut short on entering a checker-irrelevant CFG region (P1.5)
+    paths_pruned: int = 0
+    #: blocks of this entry marked irrelevant by the backward CFG pass
+    blocks_pruned: int = 0
+    #: True when the P1.5 entry pruning skipped this entry outright
+    skipped: bool = False
 
 
 @dataclass
@@ -94,6 +100,11 @@ class AnalysisStats:
     dropped_false_bugs: int = 0
     validated_paths: int = 0
     budget_exhausted_entries: int = 0
+    #: P1.5 relevance pruning: entries skipped outright, CFG blocks
+    #: marked irrelevant across analyzed entries, and paths cut short
+    entries_skipped: int = 0
+    blocks_pruned: int = 0
+    paths_pruned: int = 0
     time_seconds: float = 0.0
     #: worker processes that performed P2 (1 = in-process sequential)
     workers_used: int = 1
@@ -102,10 +113,11 @@ class AnalysisStats:
 
     def render_entry_table(self) -> str:
         """ASCII table of the per-entry records (CLI ``--stats``)."""
-        headers = ["entry", "paths", "steps", "seconds", "budget"]
+        headers = ["entry", "paths", "steps", "pruned", "seconds", "budget"]
         rows = [
-            [e.name, str(e.paths), str(e.steps), f"{e.wall_seconds:.3f}",
-             "exhausted" if e.budget_exhausted else "ok"]
+            [e.name, str(e.paths), str(e.steps), str(e.paths_pruned),
+             f"{e.wall_seconds:.3f}",
+             "skipped" if e.skipped else ("exhausted" if e.budget_exhausted else "ok")]
             for e in self.per_entry
         ]
         widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)

@@ -1,0 +1,107 @@
+"""The typestate-event vocabulary of the relevance pre-analysis (P1.5).
+
+The path explorer (P2) synthesizes rich, value-carrying events
+(:mod:`repro.typestate.events`).  The pre-analysis only needs to know
+*which kinds* of event a piece of code can possibly trigger, so it
+abstracts each runtime event class to one bit of an :class:`EventKind`
+mask.  A function's *event summary* is the union of the kinds its
+instructions can generate, closed over the call graph; checkers declare
+which kinds can arm them (``trigger_events``) and which kinds their
+reports fire at (``sink_events``), and the pruning layers intersect the
+two (see :mod:`repro.presolve.prune`).
+
+The abstraction must *over*-approximate: for every runtime event the
+explorer can dispatch while walking code, the static scan of that code
+must set the corresponding bit.  Missing a bit could prune a path that
+would have reported a bug; setting a spurious bit only costs precision.
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+from typing import Iterator, List
+
+
+class EventKind(IntFlag):
+    """One bit per abstract typestate-event kind.
+
+    The mapping from runtime event classes (and the instructions that
+    produce them) to kinds lives in :mod:`repro.presolve.scan`.
+    """
+
+    NONE = 0
+    #: a pointer receives the null constant (Move/Store of NULL, a null
+    #: argument bound to a parameter, a callee returning NULL)
+    ASSIGN_NULL = 1 << 0
+    #: a branch may resolve a null test of a pointer
+    BRANCH_NULL = 1 << 1
+    #: a pointer is dereferenced (Load/Store/MemSet through it, field access)
+    DEREF = 1 << 2
+    #: a heap object comes into existence (malloc-family)
+    ALLOC_HEAP = 1 << 3
+    #: an *uninitialized* object comes into existence (non-zeroed
+    #: Alloc/Malloc — the UVA region trigger)
+    ALLOC_UNINIT = 1 << 4
+    #: an uninitialized scalar local is declared
+    DECL_LOCAL = 1 << 5
+    #: a variable or memory region is read (operand use, Load)
+    USE = 1 << 6
+    #: a heap object is released
+    FREE = 1 << 7
+    #: a lock is acquired or released
+    LOCK = 1 << 8
+    #: an integer division or modulo executes
+    DIV = 1 << 9
+    #: an array element is indexed
+    INDEX = 1 << 10
+    #: a variable receives a definitely-negative value (negative constant,
+    #: a subtraction result, or the return of a may-return-negative callee)
+    NEG_CONST = 1 << 11
+    #: a variable receives a possibly-zero value (zero constant or the
+    #: return of a may-return-zero callee)
+    ZERO_CONST = 1 << 12
+    #: a variable receives some statically known constant (any value)
+    ASSIGN_CONST = 1 << 13
+    #: a branch may resolve an integer comparison against zero
+    CMP_ZERO = 1 << 14
+    #: a branch may resolve an integer comparison against a nonzero constant
+    CMP_CONST = 1 << 15
+    #: a store writes through a pointer (UVA region initialization)
+    STORE = 1 << 16
+    #: memset/memcpy initializes a region
+    MEM_INIT = 1 << 17
+    #: a pointer escapes the analyzed scope
+    ESCAPE = 1 << 18
+    #: a call is handled externally (unknown callee, exceeded inline
+    #: depth, blocked recursion, unresolved function pointer)
+    EXTERNAL_CALL = 1 << 19
+    #: an externally-handled call defines its destination with an
+    #: arbitrary value
+    CALL_RETURN = 1 << 20
+    #: a function frame returns (where the memory-leak sweep fires)
+    RETURN = 1 << 21
+
+
+#: every kind a function could possibly generate
+ALL_EVENTS: EventKind = EventKind(
+    (max(kind.value for kind in EventKind) << 1) - 1
+)
+
+#: callee-name substrings treated as may-return-negative even for
+#: unknown externals.  Lives here (the dependency leaf) so both the
+#: underflow checker and the P1.5 scan key on the same list.
+NEGATIVE_RETURN_HINTS = ("find", "lookup", "index", "search", "get_id", "probe_id")
+
+
+def event_names(mask: int) -> List[str]:
+    """Sorted member names present in ``mask`` — for stats and debugging."""
+    return [kind.name for kind in iter_kinds(mask)]
+
+
+def iter_kinds(mask: int) -> Iterator[EventKind]:
+    """The individual :class:`EventKind` members set in ``mask``."""
+    for kind in EventKind:
+        if kind is EventKind.NONE:
+            continue
+        if mask & kind:
+            yield kind

@@ -1,0 +1,160 @@
+"""The two sound pruning layers built on the P1.5 event summaries.
+
+**Entry pruning.**  A checker can report inside an entry's exploration
+only if (a) some *trigger* kind — an event that can establish reportable
+state — occurs somewhere in the entry's transitive region, and (b) some
+*sink* kind — an event at which the checker invokes ``report`` — occurs
+there too.  Both conditions are one mask intersection against the
+entry's region summary.  An entry where no enabled checker passes both
+is skipped outright: its exploration dispatches no event any checker
+could react to with a report, so skipping it preserves the report set
+exactly.
+
+**Block pruning.**  Within an analyzed entry, a path that enters a basic
+block from which no *armed* checker's sink is reachable (through the
+entry function's CFG, counting events of inlined callee regions at their
+call sites, and ``Ret`` terminators as the memory-leak sweep's sink)
+cannot produce any further report: reports only fire at sink events, and
+none lies ahead.  The explorer abandons such a path.  State the pruned
+suffix would have established or cleared is irrelevant — it could only
+have influenced later sink events, of which there are none — and the
+surviving prefix dispatched exactly the events it always did, so
+report-order and dedup behaviour are byte-identical to the unpruned run.
+
+A checker that does not declare its event kinds (``trigger_events`` or
+``sink_events`` left empty, e.g. a user-supplied custom checker) makes
+both layers shut off: the pre-analysis cannot reason about what such a
+checker reacts to, so it conservatively deems everything relevant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..ir import Function, Program, Ret
+from .events import EventKind
+from .scan import ScanContext, block_events
+from .summary import EventSummaryIndex
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class RelevancePreAnalysis:
+    """Checker-relevance pre-analysis over one program (phase P1.5).
+
+    ``checkers`` are the live checker objects the explorer will run;
+    their declarative ``trigger_events``/``sink_events`` masks drive both
+    pruning layers.  ``scan_ctx`` carries the collector's may-return
+    facts (see :class:`~repro.presolve.scan.ScanContext`).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        checkers: Sequence,
+        scan_ctx: Optional[ScanContext] = None,
+        resolve_function_pointers: bool = False,
+    ):
+        self.program = program
+        self.checkers = list(checkers)
+        self.scan_ctx = scan_ctx or ScanContext()
+        self.index = EventSummaryIndex(
+            program,
+            scan_ctx=self.scan_ctx,
+            resolve_function_pointers=resolve_function_pointers,
+        )
+        #: pruning is sound only when every enabled checker declares its
+        #: trigger and sink kinds; one undeclared checker disables both layers
+        self.supported = bool(self.checkers) and all(
+            getattr(c, "trigger_events", EventKind.NONE) != EventKind.NONE
+            and getattr(c, "sink_events", EventKind.NONE) != EventKind.NONE
+            for c in self.checkers
+        )
+        self._dead_blocks: Dict[str, FrozenSet[int]] = {}
+
+    # -- entry pruning -------------------------------------------------------
+
+    def armed_checkers(self, entry: Function) -> List:
+        """Enabled checkers whose trigger *and* sink kinds both occur in
+        ``entry``'s transitive region."""
+        region = self.index.region_events(entry.name)
+        return [
+            c
+            for c in self.checkers
+            if (region & c.trigger_events) and (region & c.sink_events)
+        ]
+
+    def is_entry_relevant(self, entry: Function) -> bool:
+        if not self.supported:
+            return True
+        return bool(self.armed_checkers(entry))
+
+    def partition_entries(
+        self, entries: Sequence[Function]
+    ) -> Tuple[List[Function], List[str]]:
+        """Split the entry list into (kept, skipped-names), preserving order."""
+        if not self.supported:
+            return list(entries), []
+        kept: List[Function] = []
+        skipped: List[str] = []
+        for entry in entries:
+            if self.is_entry_relevant(entry):
+                kept.append(entry)
+            else:
+                skipped.append(entry.name)
+        return kept, skipped
+
+    # -- block pruning -------------------------------------------------------
+
+    def _armed_sink_mask(self, entry: Function) -> EventKind:
+        mask = EventKind.NONE
+        for checker in self.armed_checkers(entry):
+            mask |= checker.sink_events
+        return mask
+
+    def dead_blocks(self, entry: Function) -> FrozenSet[int]:
+        """Uids of ``entry``'s blocks from which no armed sink is
+        reachable — entering one ends the path without loss of reports.
+        Cached per function name (summaries are program-wide facts)."""
+        if not self.supported:
+            return _EMPTY
+        cached = self._dead_blocks.get(entry.name)
+        if cached is not None:
+            return cached
+        dead = self._compute_dead_blocks(entry)
+        self._dead_blocks[entry.name] = dead
+        return dead
+
+    def _compute_dead_blocks(self, entry: Function) -> FrozenSet[int]:
+        sinks = self._armed_sink_mask(entry)
+        if sinks == EventKind.NONE:
+            # Entry pruning already skips these; if explored anyway
+            # (escape hatch, direct calls), every block is prunable —
+            # but keep the walk intact rather than contradict the caller.
+            return _EMPTY
+        blocks = entry.blocks
+        generates: Dict[int, EventKind] = {}
+        for block in blocks:
+            result = block_events(block, self.scan_ctx)
+            mask = result.events
+            for callee in result.callees:
+                mask |= self.index.callee_region_events(callee)
+            if result.has_indirect_call:
+                mask |= self.index.indirect_pool
+            generates[block.uid] = mask
+
+        # Backward reachability of sink-generating blocks: iterate to a
+        # fixpoint (CFGs are small; reverse block order converges fast).
+        live: Dict[int, bool] = {
+            block.uid: bool(generates[block.uid] & sinks) for block in blocks
+        }
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                if live[block.uid]:
+                    continue
+                if any(live.get(succ.uid, False) for succ in block.successors()):
+                    live[block.uid] = True
+                    changed = True
+        return frozenset(block.uid for block in blocks if not live[block.uid])

@@ -1,0 +1,270 @@
+"""Static per-instruction event scan — the bottom of the P1.5 summary.
+
+Mirrors the event synthesis of :mod:`repro.core.analyzer` one abstract
+level up: for every instruction the explorer could execute, compute the
+set of :class:`~repro.presolve.events.EventKind` bits the corresponding
+runtime events would fall under.  The scan is deliberately
+flow-insensitive (a bag of kinds per block / per function); path
+sensitivity is exactly what the expensive phase adds.
+
+Call instructions contribute in two ways:
+
+* a *call edge* for the summary fixpoint (the callee's transitive kinds
+  flow into the caller), recorded by :func:`block_events` in
+  ``ScanResult.callees``;
+* their *havoc kinds* directly: any call — even to a defined function —
+  may be handled externally at exploration time (inline depth exceeded,
+  blocked recursion), in which case the explorer dispatches
+  ``ExternalCallEvent``/``CallReturnEvent``/escapes instead of walking
+  the body.  The scan therefore always includes those kinds, plus the
+  ``NEG_CONST``/``ZERO_CONST`` triggers the underflow and division
+  checkers derive from the collector's may-return facts and callee-name
+  hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..ir import (
+    AddrOf,
+    Alloc,
+    BasicBlock,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    DeclLocal,
+    Free,
+    Function,
+    Gep,
+    Jump,
+    Load,
+    LockOp,
+    Malloc,
+    MemSet,
+    Move,
+    PointerType,
+    Ret,
+    Store,
+    UnOp,
+    Var,
+    is_null_const,
+)
+from .events import NEGATIVE_RETURN_HINTS, EventKind
+
+_CMP_OPS = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+@dataclass
+class ScanContext:
+    """Program-level facts the scan consults for call instructions.
+
+    ``may_return_negative``/``may_return_zero`` are the collector's
+    closed return facts (:class:`~repro.core.collector.InformationCollector`);
+    duck-typed callables so this package never imports :mod:`repro.core`.
+    """
+
+    may_return_negative: Callable[[str], bool] = lambda name: False
+    may_return_zero: Callable[[str], bool] = lambda name: False
+
+
+@dataclass
+class ScanResult:
+    """Kinds one block generates directly, plus its outgoing call edges."""
+
+    events: EventKind = EventKind.NONE
+    #: names of directly called functions (fixpoint edges)
+    callees: List[str] = field(default_factory=list)
+    #: True when the block contains an indirect call (resolved separately)
+    has_indirect_call: bool = False
+
+
+def _const_value_kinds(value: int) -> EventKind:
+    """Kinds of an ``AssignConstEvent`` carrying ``value``."""
+    kinds = EventKind.ASSIGN_CONST
+    if value < 0:
+        kinds |= EventKind.NEG_CONST
+    elif value == 0:
+        kinds |= EventKind.ZERO_CONST
+    return kinds
+
+
+def _call_return_kinds(callee: str, ctx: ScanContext) -> EventKind:
+    """Trigger kinds of a ``CallReturnEvent`` from ``callee`` — mirrors
+    the underflow/div-zero checkers' CallReturn handling."""
+    kinds = EventKind.CALL_RETURN
+    if ctx.may_return_negative(callee) or any(h in callee for h in NEGATIVE_RETURN_HINTS):
+        kinds |= EventKind.NEG_CONST
+    if ctx.may_return_zero(callee):
+        kinds |= EventKind.ZERO_CONST
+    return kinds
+
+
+def _arg_kinds(args) -> EventKind:
+    """Kinds from evaluating/binding call arguments: escapes and uses for
+    variables, parameter-move constants (incl. NULL) for constants."""
+    kinds = EventKind.NONE
+    for arg in args:
+        if isinstance(arg, Var):
+            if isinstance(arg.type, PointerType):
+                kinds |= EventKind.ESCAPE
+            else:
+                kinds |= EventKind.USE
+        elif is_null_const(arg):
+            kinds |= EventKind.ASSIGN_NULL
+        elif isinstance(arg, Const):
+            kinds |= _const_value_kinds(arg.value)
+    return kinds
+
+
+def _comparison_kinds(inst: BinOp) -> EventKind:
+    """Kinds a branch on this comparison's result could later resolve to
+    (``_branch_events`` in the analyzer): null tests for pointer-vs-zero
+    comparisons, integer comparisons against constants otherwise."""
+    operands = (inst.lhs, inst.rhs)
+    consts = [op for op in operands if isinstance(op, Const)]
+    variables = [op for op in operands if isinstance(op, Var)]
+    if not consts or not variables:
+        return EventKind.NONE
+    const = consts[0]
+    var = variables[0]
+    if is_null_const(const) or (isinstance(var.type, PointerType) and const.value == 0):
+        return EventKind.BRANCH_NULL
+    if const.value == 0:
+        return EventKind.CMP_ZERO
+    return EventKind.CMP_CONST
+
+
+def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
+    """Fold one instruction's possible event kinds into ``result``."""
+    kinds = EventKind.NONE
+    if isinstance(inst, Move):
+        if isinstance(inst.src, Var):
+            kinds |= EventKind.USE
+            if inst.dst.is_global:
+                kinds |= EventKind.ESCAPE
+        elif is_null_const(inst.src):
+            kinds |= EventKind.ASSIGN_NULL
+        elif isinstance(inst.src, Const):
+            kinds |= _const_value_kinds(inst.src.value)
+    elif isinstance(inst, Load):
+        # DerefEvent + LoadEvent; a Load is also the UVA region sink.
+        kinds |= EventKind.DEREF | EventKind.USE
+    elif isinstance(inst, Store):
+        kinds |= EventKind.DEREF | EventKind.STORE
+        if isinstance(inst.src, Var):
+            kinds |= EventKind.USE
+            if isinstance(inst.src.type, PointerType):
+                kinds |= EventKind.ESCAPE
+        elif is_null_const(inst.src):
+            kinds |= EventKind.ASSIGN_NULL
+    elif isinstance(inst, Gep):
+        kinds |= EventKind.DEREF
+        if inst.index is not None:
+            kinds |= EventKind.INDEX
+            if isinstance(inst.index, Const) and inst.index.value < 0:
+                kinds |= EventKind.NEG_CONST
+    elif isinstance(inst, AddrOf):
+        pass
+    elif isinstance(inst, BinOp):
+        for operand in (inst.lhs, inst.rhs):
+            if isinstance(operand, Var):
+                kinds |= EventKind.USE
+        if inst.op in ("div", "mod"):
+            kinds |= EventKind.DIV
+            if isinstance(inst.rhs, Const) and inst.rhs.value == 0:
+                # A literal zero divisor reports at the DivEvent itself.
+                kinds |= EventKind.ZERO_CONST
+        if inst.op in _CMP_OPS:
+            kinds |= _comparison_kinds(inst)
+        # AssignConstEvent: folded value when both operands are constant,
+        # and the sub-operator trigger the underflow checker keys on.
+        kinds |= EventKind.ASSIGN_CONST
+        if inst.op == "sub":
+            kinds |= EventKind.NEG_CONST
+        if isinstance(inst.lhs, Const) and isinstance(inst.rhs, Const):
+            from ..smt.terms import _apply_op
+
+            try:
+                folded = _apply_op(inst.op, [inst.lhs.value, inst.rhs.value])
+            except ValueError:
+                folded = None
+            if folded is not None:
+                kinds |= _const_value_kinds(folded)
+    elif isinstance(inst, UnOp):
+        if isinstance(inst.src, Var):
+            kinds |= EventKind.USE
+        kinds |= EventKind.ASSIGN_CONST
+        if isinstance(inst.src, Const) and inst.op == "neg":
+            kinds |= _const_value_kinds(-inst.src.value)
+    elif isinstance(inst, Malloc):
+        kinds |= EventKind.ALLOC_HEAP
+        if not inst.zeroed:
+            kinds |= EventKind.ALLOC_UNINIT
+    elif isinstance(inst, Alloc):
+        if not inst.zeroed:
+            kinds |= EventKind.ALLOC_UNINIT
+    elif isinstance(inst, DeclLocal):
+        kinds |= EventKind.DECL_LOCAL
+    elif isinstance(inst, MemSet):
+        kinds |= EventKind.DEREF | EventKind.MEM_INIT
+    elif isinstance(inst, Free):
+        kinds |= EventKind.FREE
+    elif isinstance(inst, LockOp):
+        kinds |= EventKind.LOCK
+    elif isinstance(inst, Call):
+        result.callees.append(inst.callee)
+        # Havoc kinds: any call may be handled externally at run time.
+        kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
+        if inst.dst is not None:
+            kinds |= _call_return_kinds(inst.callee, ctx)
+        # A short argument list binds missing parameters to Const(0).
+        kinds |= EventKind.ZERO_CONST | EventKind.ASSIGN_CONST
+    elif isinstance(inst, CallIndirect):
+        result.has_indirect_call = True
+        kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
+        if inst.dst is not None:
+            kinds |= EventKind.CALL_RETURN
+    result.events |= kinds
+
+
+def _terminator_events(term) -> EventKind:
+    kinds = EventKind.NONE
+    if isinstance(term, Ret):
+        kinds |= EventKind.RETURN
+        value = term.value
+        if isinstance(value, Var):
+            kinds |= EventKind.USE | EventKind.ESCAPE
+        elif is_null_const(value):
+            # The caller's return-value move assigns NULL.
+            kinds |= EventKind.ASSIGN_NULL
+        elif isinstance(value, Const):
+            kinds |= _const_value_kinds(value.value)
+    elif isinstance(term, (Branch, Jump)):
+        pass
+    return kinds
+
+
+def block_events(block: BasicBlock, ctx: ScanContext) -> ScanResult:
+    """Kinds (and call edges) one basic block can generate directly."""
+    result = ScanResult()
+    for inst in block.instructions:
+        instruction_events(inst, ctx, result)
+    if block.terminator is not None:
+        result.events |= _terminator_events(block.terminator)
+    return result
+
+
+def function_direct_events(func: Function, ctx: ScanContext) -> ScanResult:
+    """Kinds (and call edges) ``func``'s own body can generate, before
+    closing over callees."""
+    result = ScanResult()
+    for block in func.blocks:
+        block_result = block_events(block, ctx)
+        result.events |= block_result.events
+        result.callees.extend(block_result.callees)
+        result.has_indirect_call = result.has_indirect_call or block_result.has_indirect_call
+    return result

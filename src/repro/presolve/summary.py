@@ -1,0 +1,152 @@
+"""Per-function typestate-event summaries and their call-graph fixpoint.
+
+``EventSummaryIndex`` computes, for every defined function, the set of
+event kinds the function can trigger *directly* (its own instructions,
+:mod:`repro.presolve.scan`) and *transitively* (closing the direct sets
+over the call graph with a worklist fixpoint).  The lattice is the
+powerset of :class:`~repro.presolve.events.EventKind` ordered by
+inclusion — finite height, monotone union transfer, so the fixpoint
+terminates in at most ``|kinds| × |functions|`` edge relaxations.
+
+Call edges:
+
+* **direct calls** — an edge to the callee by name; calls to *unknown*
+  functions (no definition in the program) have no body to summarize,
+  and their havoc kinds are already part of the caller's direct set;
+* **indirect calls** — when the engine is configured to resolve function
+  pointers, any function registered to an interface slot may be invoked,
+  so an indirect call site conservatively links to *every* registered
+  function (the engine's per-site (struct, field) resolution can only
+  pick a subset of those).  With resolution off the engine havocs the
+  call, which the direct scan already covers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..ir import Function, Program
+from .events import EventKind
+from .scan import ScanContext, ScanResult, function_direct_events
+
+
+class EventSummaryIndex:
+    """Direct and transitive event summaries for one program.
+
+    ``registered_functions`` are the possible indirect-call targets
+    (interface registrations); only consulted when
+    ``resolve_function_pointers`` is True, matching the engine.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        scan_ctx: Optional[ScanContext] = None,
+        resolve_function_pointers: bool = False,
+    ):
+        self.program = program
+        self.scan_ctx = scan_ctx or ScanContext()
+        self.resolve_function_pointers = resolve_function_pointers
+        #: per-function direct scan results (events + call edges)
+        self.direct: Dict[str, ScanResult] = {}
+        #: per-function transitive event masks (the fixpoint)
+        self.transitive: Dict[str, EventKind] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        functions: List[Function] = list(self.program.functions())
+        for func in functions:
+            self.direct[func.name] = function_direct_events(func, self.scan_ctx)
+
+        indirect_pool: EventKind = EventKind.NONE
+        registered: Set[str] = set()
+        if self.resolve_function_pointers:
+            registered = {
+                reg.function
+                for reg in self.program.registrations()
+                if self.program.lookup(reg.function) is not None
+            }
+
+        # Reverse edges: callee -> callers, to relax only affected nodes.
+        callers: Dict[str, List[str]] = {}
+        for name, result in self.direct.items():
+            self.transitive[name] = result.events
+            for callee in result.callees:
+                if callee in self.direct:
+                    callers.setdefault(callee, []).append(name)
+
+        # Worklist fixpoint over direct call edges.
+        work: List[str] = list(self.direct)
+        in_work: Set[str] = set(work)
+        while work:
+            name = work.pop()
+            in_work.discard(name)
+            mask = self.direct[name].events
+            for callee in self.direct[name].callees:
+                mask |= self.transitive.get(callee, EventKind.NONE)
+            if mask != self.transitive[name]:
+                self.transitive[name] = mask
+                for caller in callers.get(name, ()):
+                    if caller not in in_work:
+                        in_work.add(caller)
+                        work.append(caller)
+
+        # Indirect calls: a second, outer fixpoint.  The pool of kinds an
+        # indirect call can trigger is the union over registered targets,
+        # and feeding the pool into a function with an indirect call can
+        # enlarge the pool (a registered function may itself make
+        # indirect calls) — iterate until stable.
+        if registered:
+            while True:
+                pool = EventKind.NONE
+                for target in registered:
+                    pool |= self.transitive.get(target, EventKind.NONE)
+                changed = False
+                for name, result in self.direct.items():
+                    if not result.has_indirect_call:
+                        continue
+                    merged = self.transitive[name] | pool
+                    if merged != self.transitive[name]:
+                        self.transitive[name] = merged
+                        changed = True
+                if not changed:
+                    break
+                # Re-close over direct edges so callers of
+                # indirect-calling functions see the enlarged masks.
+                self._close_direct_edges(callers)
+            indirect_pool = pool
+        self.indirect_pool = indirect_pool
+
+    def _close_direct_edges(self, callers: Dict[str, List[str]]) -> None:
+        work: List[str] = list(self.direct)
+        in_work: Set[str] = set(work)
+        while work:
+            name = work.pop()
+            in_work.discard(name)
+            mask = self.transitive[name]
+            for callee in self.direct[name].callees:
+                mask |= self.transitive.get(callee, EventKind.NONE)
+            if mask != self.transitive[name]:
+                self.transitive[name] = mask
+                for caller in callers.get(name, ()):
+                    if caller not in in_work:
+                        in_work.add(caller)
+                        work.append(caller)
+
+    # -- queries -------------------------------------------------------------
+
+    def direct_events(self, name: str) -> EventKind:
+        result = self.direct.get(name)
+        return result.events if result is not None else EventKind.NONE
+
+    def region_events(self, name: str) -> EventKind:
+        """Every kind ``name`` can trigger directly or transitively."""
+        return self.transitive.get(name, EventKind.NONE)
+
+    def callee_region_events(self, callee: str) -> EventKind:
+        """Kinds a call to ``callee`` can trigger: its transitive region
+        when defined, nothing extra otherwise (the call site's own havoc
+        kinds are part of the *caller's* direct set)."""
+        return self.transitive.get(callee, EventKind.NONE)

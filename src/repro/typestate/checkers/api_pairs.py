@@ -31,6 +31,7 @@ from ..events import (
 from ..fsm import make_fsm
 from ..manager import Checker, PossibleBug, TrackerContext
 from ...ir import Var
+from ...presolve.events import EventKind
 
 PAIRED_API_FSM = make_fsm(
     "FSM_PAIR",
@@ -73,6 +74,11 @@ class PairedAPIChecker(Checker):
 
     kind = BugKind.DOUBLE_LOCK  # reported in the lock/pairing category
     fsm = PAIRED_API_FSM
+    relevant_events = EventKind.EXTERNAL_CALL | EventKind.ESCAPE | EventKind.RETURN
+    #: SA/SR only arise from an acquire/release API call
+    trigger_events = EventKind.EXTERNAL_CALL
+    #: double acquire/release report at the call, unreleased at the return
+    sink_events = EventKind.EXTERNAL_CALL | EventKind.RETURN
 
     def __init__(
         self,

@@ -20,6 +20,7 @@ from ..events import (
 from ..fsm import DIV_ZERO_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
 from ...ir import Const, Var
+from ...presolve.events import EventKind
 
 
 class DivByZeroChecker(Checker):
@@ -28,6 +29,15 @@ class DivByZeroChecker(Checker):
     name = "dbz"
     kind = BugKind.DIV_BY_ZERO
     fsm = DIV_ZERO_FSM
+    relevant_events = (
+        EventKind.ASSIGN_CONST | EventKind.ZERO_CONST | EventKind.CALL_RETURN
+        | EventKind.CMP_ZERO | EventKind.DIV
+    )
+    #: SMZ needs a possibly-zero value (ZERO_CONST covers zero constants,
+    #: may-return-zero callees, and literal zero divisors) or a taken
+    #: `== 0` test
+    trigger_events = EventKind.ZERO_CONST | EventKind.CMP_ZERO
+    sink_events = EventKind.DIV
 
     def __init__(self, may_return_zero=None):
         self.may_return_zero = may_return_zero or (lambda name: False)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..events import BugKind, Event, LockEvent
 from ..fsm import DOUBLE_LOCK_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
+from ...presolve.events import EventKind
 
 
 class DoubleLockChecker(Checker):
@@ -18,6 +19,9 @@ class DoubleLockChecker(Checker):
     name = "dl"
     kind = BugKind.DOUBLE_LOCK
     fsm = DOUBLE_LOCK_FSM
+    relevant_events = EventKind.LOCK
+    trigger_events = EventKind.LOCK
+    sink_events = EventKind.LOCK
 
     # State values are ("SL"|"SU", last_op_inst).
 

@@ -26,6 +26,7 @@ from ..events import (
 )
 from ..fsm import ML_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
+from ...presolve.events import EventKind
 
 
 class MemoryLeakChecker(Checker):
@@ -34,6 +35,15 @@ class MemoryLeakChecker(Checker):
     name = "ml"
     kind = BugKind.ML
     fsm = ML_FSM
+    relevant_events = (
+        EventKind.ALLOC_HEAP | EventKind.FREE | EventKind.BRANCH_NULL
+        | EventKind.ESCAPE | EventKind.RETURN
+    )
+    #: SNF only exists after a heap allocation
+    trigger_events = EventKind.ALLOC_HEAP
+    #: the sweep reports at frame returns — any block reaching a Ret is a
+    #: potential sink, so block pruning is a no-op for ML-armed entries
+    sink_events = EventKind.RETURN
 
     # State values are ("SNF"|"SF", alloc_inst, alloc_frame, escaped).
 

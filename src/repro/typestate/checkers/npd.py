@@ -18,6 +18,7 @@ from ..events import (
 )
 from ..fsm import NPD_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
+from ...presolve.events import EventKind
 
 
 class NullDereferenceChecker(Checker):
@@ -26,6 +27,13 @@ class NullDereferenceChecker(Checker):
     name = "npd"
     kind = BugKind.NPD
     fsm = NPD_FSM
+    relevant_events = (
+        EventKind.ASSIGN_NULL | EventKind.BRANCH_NULL | EventKind.DEREF | EventKind.CALL_RETURN
+    )
+    #: SN is only reachable through a null assignment or a taken null test
+    trigger_events = EventKind.ASSIGN_NULL | EventKind.BRANCH_NULL
+    #: reports fire exclusively at dereferences
+    sink_events = EventKind.DEREF
 
     def handle(self, event: Event, ctx: TrackerContext) -> None:
         if isinstance(event, AssignNullEvent):

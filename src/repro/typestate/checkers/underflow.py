@@ -22,8 +22,11 @@ from ..events import (
 from ..fsm import ARRAY_UNDERFLOW_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
 from ...ir import Const, Var
+from ...presolve.events import NEGATIVE_RETURN_HINTS, EventKind
 
-_NEGATIVE_RETURN_HINTS = ("find", "lookup", "index", "search", "get_id", "probe_id")
+#: back-compat alias; the canonical list lives in repro.presolve.events
+#: so the P1.5 scan and this checker key on the same names.
+_NEGATIVE_RETURN_HINTS = NEGATIVE_RETURN_HINTS
 
 
 class ArrayUnderflowChecker(Checker):
@@ -32,6 +35,15 @@ class ArrayUnderflowChecker(Checker):
     name = "aiu"
     kind = BugKind.ARRAY_UNDERFLOW
     fsm = ARRAY_UNDERFLOW_FSM
+    relevant_events = (
+        EventKind.ASSIGN_CONST | EventKind.NEG_CONST | EventKind.CALL_RETURN
+        | EventKind.CMP_ZERO | EventKind.CMP_CONST | EventKind.INDEX
+    )
+    #: SMN needs a definitely/possibly-negative value: a negative
+    #: constant, a subtraction, a may-return-negative callee (all
+    #: NEG_CONST — a negative constant index too), or a taken `< 0` test
+    trigger_events = EventKind.NEG_CONST | EventKind.CMP_ZERO
+    sink_events = EventKind.INDEX
 
     def __init__(self, may_return_negative=None):
         #: names of analyzed functions known to return a negative constant

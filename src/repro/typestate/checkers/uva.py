@@ -31,6 +31,7 @@ from ..events import (
 )
 from ..fsm import UVA_FSM
 from ..manager import Checker, PossibleBug, TrackerContext
+from ...presolve.events import EventKind
 
 _SCALAR_INIT = ("SI", None)
 _REGION_INIT = ("SI", None, frozenset())
@@ -42,6 +43,15 @@ class UninitializedAccessChecker(Checker):
     name = "uva"
     kind = BugKind.UVA
     fsm = UVA_FSM
+    relevant_events = (
+        EventKind.DECL_LOCAL | EventKind.ALLOC_UNINIT | EventKind.ALLOC_HEAP
+        | EventKind.ASSIGN_CONST | EventKind.MEM_INIT | EventKind.STORE
+        | EventKind.USE | EventKind.CALL_RETURN
+    )
+    #: SUI is only reachable via an uninitialized declaration/allocation
+    trigger_events = EventKind.DECL_LOCAL | EventKind.ALLOC_UNINIT
+    #: reports fire at scalar uses and region loads (both mapped to USE)
+    sink_events = EventKind.USE
 
     REGION = "uva.region"
 

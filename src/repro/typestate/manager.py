@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..alias import AliasGraph, Trail
 from ..ir import Instruction, Var
+from ..presolve.events import EventKind
 from .events import BugKind, Event
 from .fsm import FSM
 
@@ -207,6 +208,15 @@ class Checker:
     name: str = "checker"
     kind: BugKind = BugKind.NPD
     fsm: FSM = None
+    #: P1.5 relevance metadata (:mod:`repro.presolve`): every event kind
+    #: the checker reacts to at all ...
+    relevant_events: EventKind = EventKind.NONE
+    #: ... the kinds that can establish reportable (non-initial) state ...
+    trigger_events: EventKind = EventKind.NONE
+    #: ... and the kinds at which the checker can invoke ``report``.
+    #: Leaving trigger or sink at ``NONE`` (e.g. in a custom checker)
+    #: conservatively disables relevance pruning for the whole run.
+    sink_events: EventKind = EventKind.NONE
     #: state namespaces this checker stores under; NA-mode assignment sync
     #: copies each of them (a checker may keep several state families,
     #: e.g. UVA's scalar states vs. pointee-region states).

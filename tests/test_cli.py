@@ -91,9 +91,12 @@ def test_check_stats_table(buggy_file, clean_file, capsys):
 
 
 def test_check_workers_matches_sequential(buggy_file, clean_file, capsys):
-    code = main(["check", "--json", str(buggy_file), str(clean_file)])
+    # --no-prune keeps the clean entry analyzed; P1.5 entry pruning would
+    # drop it and leave too few entries to engage the parallel driver.
+    code = main(["check", "--json", "--no-prune", str(buggy_file), str(clean_file)])
     sequential = json.loads(capsys.readouterr().out)
-    code2 = main(["check", "--json", "--workers", "2", str(buggy_file), str(clean_file)])
+    code2 = main(["check", "--json", "--no-prune", "--workers", "2",
+                  str(buggy_file), str(clean_file)])
     parallel = json.loads(capsys.readouterr().out)
     assert code == code2 == 1
     assert sequential["bugs"] == parallel["bugs"]

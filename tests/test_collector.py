@@ -94,3 +94,22 @@ def test_position_metadata():
     info = collector.lookup("late")
     assert info.filename == "src/drv.c"
     assert info.line == 3
+
+
+def test_return_facts_close_through_deep_call_chains():
+    """Regression: propagation used a fixed 3 rounds, so a depth-5 return
+    chain (one level per round, anti-topological definition order) left
+    the outermost wrapper's fact un-set.  Closure must reach a fixpoint
+    regardless of chain depth or definition order."""
+    collector, _ = collector_for(
+        ("chain.c",
+         "int f1(int k) { return f2(k); }\n"
+         "int f2(int k) { return f3(k); }\n"
+         "int f3(int k) { return f4(k); }\n"
+         "int f4(int k) { return f5(k); }\n"
+         "int f5(int k) { if (k > 0) return -1; return 1; }"),
+    )
+    for name in ("f1", "f2", "f3", "f4", "f5"):
+        assert collector.may_return_negative(name), name
+    # No zero constant anywhere on the chain: the closure must not invent one.
+    assert not collector.may_return_zero("f1")

@@ -130,7 +130,10 @@ def test_path_budget_respected():
     # 20 independent branches would be ~1M paths; the budget caps it.
     branches = " ".join(f"if (a == {i}) a = a + 1;" for i in range(20))
     source = f"int f(int a) {{ {branches} return a; }}"
-    config = AnalysisConfig(max_paths_per_entry=50, max_steps_per_entry=100000)
+    # prune=False: a checker-irrelevant arithmetic entry would otherwise
+    # be skipped by P1.5 before the budget mechanics ever run.
+    config = AnalysisConfig(max_paths_per_entry=50, max_steps_per_entry=100000,
+                            prune=False)
     result = analyze(source, config=config)
     assert result.stats.explored_paths <= 50
     assert result.stats.budget_exhausted_entries == 1
@@ -138,7 +141,7 @@ def test_path_budget_respected():
 
 def test_step_budget_respected():
     source = "int f(int a) { " + " ".join("a = a + 1;" for _ in range(50)) + " return a; }"
-    config = AnalysisConfig(max_steps_per_entry=10)
+    config = AnalysisConfig(max_steps_per_entry=10, prune=False)
     result = analyze(source, config=config)
     assert result.stats.budget_exhausted_entries == 1
 
@@ -176,7 +179,7 @@ int fact(int n) {
     return n * fact(n - 1);
 }
 """)])
-    result = PATA(config=AnalysisConfig(max_paths_per_entry=100)).analyze(
+    result = PATA(config=AnalysisConfig(max_paths_per_entry=100, prune=False)).analyze(
         program, entries=[program.lookup("fact")]
     )
     assert result.stats.explored_paths >= 1
@@ -187,7 +190,7 @@ def test_mutual_recursion_terminates():
 int even(int n) { if (n == 0) return 1; return odd(n - 1); }
 int odd(int n) { if (n == 0) return 0; return even(n - 1); }
 """)])
-    result = PATA(config=AnalysisConfig(max_paths_per_entry=200)).analyze(
+    result = PATA(config=AnalysisConfig(max_paths_per_entry=200, prune=False)).analyze(
         program, entries=[program.lookup("even")]
     )
     assert result.stats.explored_paths >= 1

@@ -77,7 +77,7 @@ def test_budget_exhausted_resets_between_entries():
 
 def test_budget_exhausted_entries_counted_once():
     program = compile_program([("budget.c", BUDGET_SOURCE)])
-    config = AnalysisConfig(max_steps_per_entry=20)
+    config = AnalysisConfig(max_steps_per_entry=20, prune=False)
     result = PATA(config=config).analyze(program)
     assert result.stats.budget_exhausted_entries == 1
     flags = {e.name: e.budget_exhausted for e in result.stats.per_entry}
@@ -273,7 +273,7 @@ def test_unpicklable_program_falls_back_to_sequential(monkeypatch, caplog):
     monkeypatch.setattr(parallel_mod.pickle, "dumps", broken_dumps)
     program = compile_program([("multi.c", "int f(int a) { return a; }\nint g(int b) { return b; }")])
     with caplog.at_level(logging.WARNING, logger="repro.parallel"):
-        result = PATA(config=AnalysisConfig(workers=2)).analyze(program)
+        result = PATA(config=AnalysisConfig(workers=2, prune=False)).analyze(program)
     assert result.stats.workers_used == 1
     assert any("falling back to sequential" in r.message for r in caplog.records)
 
@@ -299,7 +299,7 @@ def test_custom_checker_objects_fall_back_to_sequential(caplog):
     with caplog.at_level(logging.WARNING, logger="repro.parallel"):
         result = PATA(
             checkers=[NullDereferenceChecker()],
-            config=AnalysisConfig(workers=2),
+            config=AnalysisConfig(workers=2, prune=False),
         ).analyze(program)
     assert result.stats.workers_used == 1
     assert any("custom checker" in r.message for r in caplog.records)
