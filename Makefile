@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,11 @@ bench-parallel:
 # Pruned-vs-unpruned P1.5 comparison; writes BENCH_prune.json.
 bench-prune:
 	$(PYTHON) -m pytest benchmarks/bench_components.py -k pruned_vs_unpruned -q --benchmark-disable
+
+# Taint checker vs the grep-regime baseline on the taintlab corpus;
+# writes BENCH_taint.json.
+bench-taint:
+	$(PYTHON) -m pytest benchmarks/bench_components.py -k taint_checker_vs_naive -q --benchmark-disable
 
 report:
 	$(PYTHON) -m repro eval all --markdown evaluation-report.md

@@ -228,6 +228,86 @@ def test_parallel_vs_sequential_entry_analysis(benchmark, harness):
     assert parallel.stats.workers_used == min(workers, parallel.stats.entry_functions)
 
 
+def test_taint_checker_vs_naive_baseline(benchmark, harness):
+    """The alias-aware SMT-discharged taint checker vs the grep-regime
+    ``TaintNaive`` baseline on the taint-heavy ``taintlab`` corpus; writes
+    ``BENCH_taint.json`` at the repo root with recall, bait false
+    positives, wall seconds, and the prune-preservation check.  The
+    checker must find every injected flow with zero bait hits, and
+    pruning must never change a report byte."""
+    import json
+    import pathlib
+    import time
+
+    from repro.baselines import TaintNaive
+    from repro.corpus import TAINTLAB, generate
+    from repro.lang import compile_program
+
+    corpus = generate(TAINTLAB)
+    program = compile_program(corpus.compiled_sources())
+
+    def found_uids(hits):
+        uids = set()
+        for gt in corpus.ground_truth:
+            for kind, path, line in hits:
+                if gt.covers(kind, path, line):
+                    uids.add(gt.uid)
+        return uids
+
+    def bait_hits(hits):
+        return [
+            (path, line)
+            for _, path, line in hits
+            if any(
+                b.path == path and b.line_start <= line <= b.line_end
+                for b in corpus.bait_regions
+            )
+        ]
+
+    def run_checker():
+        return PATA(checker_spec="taint").analyze(program)
+
+    started = time.perf_counter()
+    checker = benchmark.pedantic(run_checker, rounds=1, iterations=1)
+    checker_seconds = time.perf_counter() - started
+    checker_hits = [(r.kind, r.sink_file, r.sink_line) for r in checker.reports]
+
+    started = time.perf_counter()
+    naive = TaintNaive().analyze(program)
+    naive_seconds = time.perf_counter() - started
+    naive_hits = [(f.kind, f.file, f.line) for f in naive.findings]
+
+    unpruned = PATA(
+        checker_spec="taint", config=AnalysisConfig(prune=False)
+    ).analyze(program)
+    identical = [r.render() for r in checker.reports] == [
+        r.render() for r in unpruned.reports
+    ]
+
+    total = len(corpus.ground_truth)
+    checker_found = found_uids(checker_hits)
+    naive_found = found_uids(naive_hits)
+    payload = {
+        "corpus": "taintlab",
+        "injected_flows": total,
+        "checker_found": len(checker_found),
+        "checker_bait_false_positives": len(bait_hits(checker_hits)),
+        "checker_seconds": round(checker_seconds, 4),
+        "naive_found": len(naive_found),
+        "naive_bait_false_positives": len(bait_hits(naive_hits)),
+        "naive_seconds": round(naive_seconds, 4),
+        "dropped_false_bugs": checker.stats.dropped_false_bugs,
+        "entries_skipped": checker.stats.entries_skipped,
+        "identical_reports_with_prune_off": identical,
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_taint.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert len(checker_found) == total
+    assert not bait_hits(checker_hits)
+    assert len(naive_found) < total or bait_hits(naive_hits)
+    assert identical
+
+
 def test_pruned_vs_unpruned_entry_analysis(benchmark, harness):
     """The P1.5 relevance pre-analysis on vs off (``--no-prune``) on the
     largest generated corpus; writes ``BENCH_prune.json`` at the repo

@@ -10,16 +10,19 @@ from .infer_like import InferLike
 from .saber_like import DEFAULT_PTS_BUDGET, SaberLike
 from .svf_null import SVFNull
 from .pata_na import PataNA
+from .taint_naive import TaintNaive
 
 __all__ = [
     "BaselineTool", "ToolFinding", "ToolResult",
     "CppcheckLike", "CoccinelleLike", "SmatchLike", "CSALike", "InferLike",
-    "SaberLike", "SVFNull", "PataNA", "DEFAULT_PTS_BUDGET",
+    "SaberLike", "SVFNull", "PataNA", "TaintNaive", "DEFAULT_PTS_BUDGET",
 ]
 
 
 def all_baselines():
-    """The seven compared tools in Table 8's column order."""
+    """The seven compared tools in Table 8's column order.  ``TaintNaive``
+    is deliberately excluded: it benchmarks the taint checker
+    (``make bench-taint``), not the paper's comparison."""
     return [
         CppcheckLike(),
         CoccinelleLike(),

@@ -1,0 +1,73 @@
+"""Grep-regime taint baseline: per-function source/sink co-occurrence.
+
+The naive recipe auditors actually run first: flag any function that both
+calls a user-input intrinsic (``copy_from_user`` family, by name) *and*
+contains a sensitive sink (variable array index, variable divisor,
+variable allocation size or copy length).  Flow-insensitive, path-
+insensitive, alias-unaware, no sanitization reasoning — so every
+range-checked sibling is a false positive and any flow crossing a
+function boundary is missed.  The measuring stick the alias-aware
+SMT-discharged checker (:mod:`repro.taint`) is compared against in
+``make bench-taint``; deliberately **not** part of
+:func:`~repro.baselines.all_baselines` (Table 8's column order is fixed).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import BinOp, Call, Gep, Malloc, MemSet, Program, Var
+from ..presolve.events import TAINT_SOURCE_HINTS
+from ..typestate import BugKind
+from .base import BaselineTool, ToolFinding
+
+
+class TaintNaive(BaselineTool):
+    """The grep regime; see the module docstring."""
+
+    name = "taint-naive"
+    supported_kinds = (BugKind.TAINT,)
+
+    def _run(self, program: Program) -> List[ToolFinding]:
+        findings: List[ToolFinding] = []
+        for func in program.functions():
+            if func.is_declaration:
+                continue
+            has_source = False
+            sinks = []  # (inst, subject)
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if isinstance(inst, Call) and any(
+                        hint in inst.callee for hint in TAINT_SOURCE_HINTS
+                    ):
+                        has_source = True
+                    elif isinstance(inst, Gep) and isinstance(inst.index, Var):
+                        sinks.append((inst, inst.index.display_name()))
+                    elif (
+                        isinstance(inst, BinOp)
+                        and inst.op in ("div", "mod")
+                        and isinstance(inst.rhs, Var)
+                    ):
+                        sinks.append((inst, inst.rhs.display_name()))
+                    elif isinstance(inst, Malloc) and isinstance(inst.size, Var):
+                        sinks.append((inst, inst.size.display_name()))
+                    elif isinstance(inst, MemSet) and isinstance(inst.size, Var):
+                        sinks.append((inst, inst.size.display_name()))
+            if not has_source:
+                continue
+            seen = set()
+            for inst, subject in sinks:
+                key = (inst.loc.filename, inst.loc.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    ToolFinding(
+                        kind=BugKind.TAINT,
+                        file=inst.loc.filename,
+                        line=inst.loc.line,
+                        message=f"user input may reach sink '{subject}'",
+                        function=func.name,
+                    )
+                )
+        return findings

@@ -54,9 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="analyze mini-C source files")
-    check.add_argument("files", nargs="+", help="mini-C source files")
+    check.add_argument("files", nargs="*", help="mini-C source files")
     check.add_argument("--all-checkers", action="store_true",
-                       help="enable double-lock / underflow / div-zero checkers too")
+                       help="enable double-lock / underflow / div-zero checkers too "
+                            "(shorthand for --checkers all)")
+    check.add_argument("--checkers", metavar="SPEC", default=None,
+                       help="comma-separated checker names and/or aliases, "
+                            "e.g. 'npd,ml,taint' or 'default,taint' "
+                            "(see --list-checkers)")
+    check.add_argument("--list-checkers", action="store_true",
+                       help="print every registered checker (name, FSM states, "
+                            "presolve event masks) and exit")
     check.add_argument("--no-validate", action="store_true",
                        help="skip stage-2 path validation (report all possible bugs)")
     check.add_argument("--na", action="store_true",
@@ -106,8 +114,38 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
+def cmd_list_checkers() -> int:
+    """``check --list-checkers``: one block per registered checker."""
+    from .presolve.events import event_names
+    from .typestate import CHECKER_ALIASES, registered_checkers
+
+    def mask_names(mask) -> str:
+        names = event_names(mask)
+        return ", ".join(names) if names else "(none)"
+
+    for checker in registered_checkers():
+        fsm = checker.fsm
+        states = ", ".join(sorted(fsm.states))
+        print(f"{checker.name}  [{checker.kind.short}] {checker.kind.value}")
+        print(f"  fsm       {fsm.name}: {states} (initial {fsm.initial}, error {fsm.error})")
+        print(f"  relevant  {mask_names(checker.relevant_events)}")
+        print(f"  triggers  {mask_names(checker.trigger_events)}")
+        print(f"  sinks     {mask_names(checker.sink_events)}")
+    aliases = ", ".join(f"{alias} = {spec}" for alias, spec in CHECKER_ALIASES.items())
+    print(f"aliases: {aliases}")
+    return 0
+
+
 def cmd_check(args) -> int:
     """``check``: analyze mini-C files with PATA; exit 1 when bugs found."""
+    if args.list_checkers:
+        return cmd_list_checkers()
+    if not args.files:
+        print("error: no input files (or use --list-checkers)", file=sys.stderr)
+        return 2
+    if args.all_checkers and args.checkers:
+        print("error: --all-checkers and --checkers are mutually exclusive", file=sys.stderr)
+        return 2
     sources = []
     for name in args.files:
         path = pathlib.Path(name)
@@ -121,7 +159,12 @@ def cmd_check(args) -> int:
         config.max_paths_per_entry = args.max_paths
     if args.na:
         config = config.for_pata_na()
-    pata = PATA.with_all_checkers(config=config) if args.all_checkers else PATA(config=config)
+    spec = "all" if args.all_checkers else (args.checkers or "default")
+    try:
+        pata = PATA(config=config, checker_spec=spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = pata.analyze_sources(sources)
 
     confirmations = {}

@@ -19,7 +19,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..ir import Function, Program
 from ..lang import compile_program
-from ..typestate import Checker, all_checkers, default_checkers
+from ..typestate import Checker, checkers_from_spec
 from .analyzer import PathExplorer
 from .collector import InformationCollector
 from .config import AnalysisConfig
@@ -34,17 +34,29 @@ class PATA:
     """Path-sensitive and Alias-aware Typestate Analysis.
 
     ``checkers`` defaults to the paper's three primary checkers (NPD, UVA,
-    ML, §5.1); pass ``PATA.with_all_checkers()`` for the §5.5 set, or any
-    custom :class:`~repro.typestate.Checker` list.
+    ML, §5.1); pass ``PATA.with_all_checkers()`` for the §5.5 set, a
+    ``checker_spec`` string (any form accepted by
+    :func:`repro.typestate.checkers.checkers_from_spec`, e.g.
+    ``"npd,ml,taint"``), or any custom :class:`~repro.typestate.Checker`
+    list.  Spec strings are preferred for parallel runs — workers rebuild
+    checkers from the spec, while live objects force sequential analysis.
     """
 
     def __init__(
         self,
         checkers: Optional[List[Checker]] = None,
         config: Optional[AnalysisConfig] = None,
+        checker_spec: Optional[str] = None,
     ):
+        if checkers is not None and checker_spec is not None:
+            raise ValueError("pass either live checkers or a checker_spec, not both")
         self.config = config or AnalysisConfig()
         self._checkers = checkers
+        if checker_spec is not None:
+            # Validate eagerly so a bad spec fails at construction, not
+            # deep inside a worker process.
+            checkers_from_spec(checker_spec)
+        self._spec = checker_spec
 
     @classmethod
     def with_all_checkers(cls, config: Optional[AnalysisConfig] = None) -> "PATA":
@@ -150,20 +162,17 @@ class PATA:
         return self.analyze(compile_program(sources))
 
     def _checker_spec(self) -> Optional[str]:
-        """The name workers rebuild this PATA's checker set from, or
-        ``None`` when the caller supplied live checker objects (those are
-        not shipped across the process boundary; see
+        """The spec string workers rebuild this PATA's checker set from,
+        or ``None`` when the caller supplied live checker objects (those
+        are not shipped across the process boundary; see
         :func:`repro.typestate.checkers.checkers_from_spec`)."""
         if self._checkers is not None:
             return None
+        if self._spec is not None:
+            return self._spec
         return "all" if getattr(self, "_use_all", False) else "default"
 
     def _resolve_checkers(self, collector: InformationCollector) -> List[Checker]:
         if self._checkers is not None:
             return self._checkers
-        if getattr(self, "_use_all", False):
-            return all_checkers(
-                may_return_negative=collector.may_return_negative,
-                may_return_zero=collector.may_return_zero,
-            )
-        return default_checkers()
+        return checkers_from_spec(self._checker_spec(), collector)

@@ -35,6 +35,7 @@ _KIND_BY_NAME = {
     "DL": BugKind.DOUBLE_LOCK,
     "AIU": BugKind.ARRAY_UNDERFLOW,
     "DBZ": BugKind.DIV_BY_ZERO,
+    "TNT": BugKind.TAINT,
 }
 
 

@@ -89,5 +89,27 @@ TENCENTOS = OSProfile(
     kind_mix={"NPD": 0.36, "UVA": 0.30, "ML": 0.18, "DL": 0.06, "AIU": 0.06, "DBZ": 0.04},
 )
 
+#: Taint-focused corpus for exercising the taint checker end to end:
+#: every injected bug is a user-input → sensitive-sink flow, with the
+#: sanitized siblings as bait.  Deliberately *not* part of
+#: ``ALL_PROFILES``/``PROFILES_BY_NAME`` — the evaluation tables iterate
+#: those, and their numbers must not shift under the seventh checker.
+TAINTLAB = OSProfile(
+    name="taintlab",
+    version_label="demo",
+    seed=4242,
+    layout=[
+        ("drivers/char", "drivers", 0.45),
+        ("drivers/net", "drivers", 0.25),
+        ("ipc", "subsystem", 0.30),
+    ],
+    total_files=14,
+    snippets_per_file=(3, 6),
+    bug_rate={"drivers": 0.30, "subsystem": 0.20},
+    bait_rate=0.4,
+    excluded_fraction=0.0,
+    kind_mix={"TNT": 1.0},
+)
+
 ALL_PROFILES: List[OSProfile] = [LINUX, ZEPHYR, RIOT, TENCENTOS]
 PROFILES_BY_NAME: Dict[str, OSProfile] = {p.name: p for p in ALL_PROFILES}

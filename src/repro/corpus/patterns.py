@@ -965,6 +965,121 @@ int {dev}_consume_{uid}(int tag) {{
 
 # ===========================================================================
 # Registry
+def tnt_index_from_user(uid: str, rng: random.Random) -> Snippet:
+    """Taint: a user-supplied index reaches a table unchecked; the
+    range-checked sibling is bait (stage 2 discharges it as UNSAT)."""
+    s = Snippet(pattern="tnt_index_from_user")
+    dev = _devname(rng)
+    s.extend(f"""
+static int lut_{uid}[16];
+int read_user_idx_{uid}(void);
+
+int {dev}_peek_{uid}(void) {{
+    int idx = read_user_idx_{uid}();""")
+    start, end = s.extend(f"""
+    return lut_{uid}[idx];""")
+    s.bug(BugKind.TAINT, start, end, path_sensitive=True)
+    s.extend("}")
+    bait_start, bait_end = s.extend(f"""
+int {dev}_peek_safe_{uid}(void) {{
+    int idx = read_user_idx_{uid}();
+    if (idx < 0)
+        return -1;
+    if (idx > 15)
+        return -1;
+    return lut_{uid}[idx];
+}}""")
+    s.bait(BugKind.TAINT, bait_start, bait_end)
+    return s
+
+
+def tnt_alloc_len_field(uid: str, rng: random.Random) -> Snippet:
+    """Taint through a field alias: a callee stores user input into
+    ``r->len``; the caller allocates ``q->len`` bytes — the flow is only
+    visible when ``q`` and ``r`` share an alias class."""
+    s = Snippet(pattern="tnt_alloc_len_field")
+    dev = _devname(rng)
+    s.extend(f"""
+struct ureq_{uid} {{ int len; int mode; }};
+int read_user_len_{uid}(void);
+
+static void fetch_len_{uid}(struct ureq_{uid} *r) {{
+    r->len = read_user_len_{uid}();
+}}
+
+int {dev}_prep_{uid}(struct ureq_{uid} *q) {{
+    fetch_len_{uid}(q);
+    int n = q->len;""")
+    start, end = s.extend(f"""
+    char *buf = kmalloc(n);""")
+    s.bug(BugKind.TAINT, start, end, interprocedural=True, aliasing=True)
+    s.extend(f"""
+    if (buf == NULL)
+        return -1;
+    consume_buffer(buf);
+    free(buf);
+    return 0;
+}}""")
+    return s
+
+
+def tnt_div_copy_from_user(uid: str, rng: random.Random) -> Snippet:
+    """Taint through an out-buffer: ``copy_from_user(&chunk, ...)``
+    overwrites an initialized local through its address, then the local
+    divides — needs the deref-node taint *and* the translator's source
+    havoc (or the stale ``chunk == 1`` would hide the zero divisor)."""
+    s = Snippet(pattern="tnt_div_copy_from_user")
+    dev = _devname(rng)
+    s.extend(f"""
+int copy_from_user_{uid}(int *dst, int len);
+
+int {dev}_ratio_{uid}(int total) {{
+    int chunk = 1;
+    copy_from_user_{uid}(&chunk, 4);""")
+    start, end = s.extend(f"""
+    return total / chunk;""")
+    s.bug(BugKind.TAINT, start, end, aliasing=True, path_sensitive=True)
+    s.extend("}")
+    bait_start, bait_end = s.extend(f"""
+int {dev}_ratio_safe_{uid}(int total) {{
+    int chunk = 1;
+    copy_from_user_{uid}(&chunk, 4);
+    if (chunk == 0)
+        return 0;
+    return total / chunk;
+}}""")
+    s.bait(BugKind.TAINT, bait_start, bait_end)
+    return s
+
+
+def tnt_memcpy_len(uid: str, rng: random.Random) -> Snippet:
+    """Taint: a user-supplied count reaches a memset length unchecked;
+    the bounded sibling is bait."""
+    s = Snippet(pattern="tnt_memcpy_len")
+    dev = _devname(rng)
+    s.extend(f"""
+int read_user_cnt_{uid}(void);
+
+int {dev}_fill_{uid}(char *buf) {{
+    int n = read_user_cnt_{uid}();""")
+    start, end = s.extend(f"""
+    memset(buf, 0, n);""")
+    s.bug(BugKind.TAINT, start, end, path_sensitive=True)
+    s.extend(f"""
+    return n;
+}}""")
+    bait_start, bait_end = s.extend(f"""
+int {dev}_fill_safe_{uid}(char *buf) {{
+    int n = read_user_cnt_{uid}();
+    if (n > 4096)
+        return -1;
+    memset(buf, 0, n);
+    return n;
+}}""")
+    s.bait(BugKind.TAINT, bait_start, bait_end)
+    return s
+
+
 # ===========================================================================
 
 BUG_PATTERNS: Dict[str, List[PatternFn]] = {
@@ -981,6 +1096,12 @@ BUG_PATTERNS: Dict[str, List[PatternFn]] = {
     "DL": [dl_double_lock, dl_unlock_twice_goto],
     "AIU": [aiu_unchecked_index, aiu_subtraction_index],
     "DBZ": [dbz_div_by_ret, dbz_ratio_of_counts],
+    "TNT": [
+        tnt_index_from_user,
+        tnt_alloc_len_field,
+        tnt_div_copy_from_user,
+        tnt_memcpy_len,
+    ],
 }
 
 BAIT_PATTERNS: List[PatternFn] = [

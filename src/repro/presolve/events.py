@@ -80,6 +80,8 @@ class EventKind(IntFlag):
     CALL_RETURN = 1 << 20
     #: a function frame returns (where the memory-leak sweep fires)
     RETURN = 1 << 21
+    #: a call to a user-input intrinsic (a taint source by callee name)
+    TAINT_SOURCE = 1 << 22
 
 
 #: every kind a function could possibly generate
@@ -91,6 +93,15 @@ ALL_EVENTS: EventKind = EventKind(
 #: unknown externals.  Lives here (the dependency leaf) so both the
 #: underflow checker and the P1.5 scan key on the same list.
 NEGATIVE_RETURN_HINTS = ("find", "lookup", "index", "search", "get_id", "probe_id")
+
+#: callee-name substrings treated as user-input sources (the
+#: ``copy_from_user`` family).  Lives here (the dependency leaf) so the
+#: taint checker's default :class:`~repro.taint.TaintSpec`, the SMT
+#: translator's source havoc and the P1.5 scan all key on the same list;
+#: a custom spec whose source names are not covered by these substrings
+#: conservatively disables TAINT_SOURCE-based pruning (see
+#: :meth:`repro.taint.TaintSpec.covered_by_hints`).
+TAINT_SOURCE_HINTS = ("from_user", "get_user", "read_user", "recv_from", "user_input")
 
 
 def event_names(mask: int) -> List[str]:

@@ -53,7 +53,7 @@ from ..ir import (
     Var,
     is_null_const,
 )
-from .events import NEGATIVE_RETURN_HINTS, EventKind
+from .events import NEGATIVE_RETURN_HINTS, TAINT_SOURCE_HINTS, EventKind
 
 _CMP_OPS = {"eq", "ne", "lt", "le", "gt", "ge"}
 
@@ -219,6 +219,12 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
         result.callees.append(inst.callee)
         # Havoc kinds: any call may be handled externally at run time.
         kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
+        if any(hint in inst.callee for hint in TAINT_SOURCE_HINTS):
+            # The taint checker arms on both flavors of source call —
+            # value-returning (``n = get_user()``) and out-buffer
+            # (``copy_from_user(&req, ...)``, no dst) — so the bit is
+            # independent of ``inst.dst``.
+            kinds |= EventKind.TAINT_SOURCE
         if inst.dst is not None:
             kinds |= _call_return_kinds(inst.callee, ctx)
         # A short argument list binds missing parameters to Const(0).

@@ -43,11 +43,13 @@ from ..ir import (
     Load,
     Malloc,
     Move,
+    PointerType,
     Store,
     UnOp,
     Value,
     Var,
 )
+from ..presolve.events import TAINT_SOURCE_HINTS
 from .terms import App, Atom, Num, Sym, Term
 
 
@@ -158,9 +160,34 @@ class PathTranslator:
         elif isinstance(inst, DeclLocal):
             self.graph.detach(inst.var)
         elif isinstance(inst, (Call, CallIndirect)):
+            if isinstance(inst, Call) and any(
+                hint in inst.callee for hint in TAINT_SOURCE_HINTS
+            ):
+                self._havoc_source_pointees(inst)
             if inst.dst is not None:
                 self.graph.detach(inst.dst)  # unknown return value
         # Free / MemSet / LockOp constrain nothing.
+
+    def _havoc_source_pointees(self, inst: Call) -> None:
+        """A user-input source call overwrites its out-buffers: drop every
+        constraint on the region behind each pointer argument by moving
+        the whole pointee alias class to a fresh (unconstrained) node.
+
+        Without this, ``int chunk = 1; copy_from_user(&chunk, ...)`` would
+        keep ``chunk == 1`` alive and wrongly discharge the taint
+        checker's out-of-range atom at a later ``total / chunk`` sink.
+        ``handle_store_fresh`` alone only retargets the ``*`` edge — the
+        pointee's *variables* must migrate too, so later reads of any
+        alias (``chunk`` itself) see the fresh symbol.
+        """
+        for arg in inst.args:
+            if not (isinstance(arg, Var) and isinstance(arg.type, PointerType)):
+                continue
+            pointee = self.graph.deref_node(arg)
+            fresh = self.graph.handle_store_fresh(arg)
+            if pointee is not None:
+                for name in list(pointee.vars):
+                    self.graph._move_var(name, pointee, fresh)
 
     def _step_binop(self, inst: BinOp) -> None:
         lhs = self.term_of(inst.lhs)

@@ -1,0 +1,20 @@
+"""Alias-aware taint analysis (user input → sensitive sinks).
+
+A seventh typestate checker built on the same per-alias-set tracking as
+Table 2's FSMs: sources are ``copy_from_user``-style intrinsics declared
+in a :class:`TaintSpec`, sinks are array indexes, divisors, allocation
+sizes and copy lengths, and sanitization is path-sensitive — discharged
+by the stage-2 SMT validator rather than by an FSM transition.  See
+:mod:`repro.taint.checker` for the full model.
+"""
+
+from .checker import TaintChecker
+from .fsm import TAINT_FSM
+from .spec import DEFAULT_TAINT_SPEC, TaintSpec
+
+__all__ = [
+    "DEFAULT_TAINT_SPEC",
+    "TAINT_FSM",
+    "TaintChecker",
+    "TaintSpec",
+]

@@ -1,0 +1,201 @@
+"""Alias-aware, path-sensitive taint checker.
+
+Taint is a typestate like any other (Definition 3): the *tainted* mark
+lives per alias set, so user input written through one name is seen
+through every alias — ``copy_from_user(&r->len, ...)`` in a callee
+taints ``q->len`` in the caller when ``q`` aliases ``r``, with no extra
+dataflow machinery.
+
+* **Sources** come from the :class:`~repro.taint.spec.TaintSpec`: calls
+  whose return value is user input (``n = get_user_len()``) taint the
+  destination's alias set; calls that fill an out-buffer
+  (``copy_from_user(&chunk, ...)``) taint the alias set *behind* each
+  pointer argument.
+* **Propagation** is free for moves/loads in aware mode (alias-set
+  identity); arithmetic results inherit taint from their operands.
+* **Sinks** are array indexing, divisors, heap-allocation sizes and
+  memset/memcpy lengths.  A sink use of a tainted set reports a
+  :class:`~repro.typestate.manager.PossibleBug` whose
+  ``extra_requirement`` states the *out-of-range* condition (``idx < 0``,
+  ``div == 0``, ``size > max``).
+
+Sanitization is deliberately **not** an FSM transition here: a range
+check only helps on the paths it dominates, so it is discharged by
+stage 2 — the validator conjoins the out-of-range atom with the path
+constraints and drops the report iff the conjunction is UNSAT
+(:mod:`repro.smt.translate`).  A checked path like ``if (len > 4096)
+return;`` makes ``len > 4096`` unsatisfiable downstream; the unchecked
+path keeps it satisfiable and the report survives.
+"""
+
+from __future__ import annotations
+
+from ..ir import BinOp, PointerType, UnOp, Var
+from ..presolve.events import EventKind
+from ..typestate.events import (
+    AllocEvent,
+    AssignConstEvent,
+    BugKind,
+    CallReturnEvent,
+    DivEvent,
+    Event,
+    ExternalCallEvent,
+    IndexEvent,
+    LoadEvent,
+    MemInitEvent,
+)
+from ..typestate.manager import Checker, PossibleBug, TrackerContext
+from .fsm import TAINT_FSM
+from .spec import DEFAULT_TAINT_SPEC, TaintSpec
+
+#: conservative trigger mask when a custom spec's source names escape the
+#: global TAINT_SOURCE_HINTS: any externally-handled call could be a source.
+_FALLBACK_TRIGGERS = EventKind.EXTERNAL_CALL | EventKind.CALL_RETURN
+
+
+class TaintChecker(Checker):
+    """Taint checker; see the module docstring."""
+
+    name = "taint"
+    kind = BugKind.TAINT
+    fsm = TAINT_FSM
+    relevant_events = (
+        EventKind.TAINT_SOURCE | EventKind.EXTERNAL_CALL | EventKind.CALL_RETURN
+        | EventKind.ASSIGN_CONST | EventKind.USE | EventKind.DEREF
+        | EventKind.INDEX | EventKind.DIV | EventKind.ALLOC_HEAP | EventKind.MEM_INIT
+    )
+    sink_events = (
+        EventKind.INDEX | EventKind.DIV | EventKind.ALLOC_HEAP | EventKind.MEM_INIT
+    )
+
+    def __init__(self, spec: TaintSpec = DEFAULT_TAINT_SPEC):
+        self.spec = spec
+        # Pruning soundness (see TaintSpec.covered_by_hints): the precise
+        # TAINT_SOURCE trigger is only safe when the P1.5 scan marks every
+        # call this spec treats as a source.
+        if spec.covered_by_hints():
+            self.trigger_events = EventKind.TAINT_SOURCE
+        else:
+            self.trigger_events = _FALLBACK_TRIGGERS
+
+    # State values are ("ST", source_inst) / ("S0", None).
+
+    def handle(self, event: Event, ctx: TrackerContext) -> None:
+        if isinstance(event, ExternalCallEvent):
+            self._handle_external_call(event, ctx)
+        elif isinstance(event, CallReturnEvent):
+            self._handle_call_return(event, ctx)
+        elif isinstance(event, AssignConstEvent):
+            self._handle_assign(event, ctx)
+        elif isinstance(event, LoadEvent):
+            self._handle_load(event, ctx)
+        elif isinstance(event, IndexEvent):
+            if isinstance(event.index, Var):
+                self._sink(ctx, event, event.index, ("lt", 0),
+                           "user-controlled index '{0}' may be out of range")
+        elif isinstance(event, DivEvent):
+            if isinstance(event.divisor, Var):
+                self._sink(ctx, event, event.divisor, ("eq", 0),
+                           "user-controlled divisor '{0}' may be zero")
+        elif isinstance(event, AllocEvent):
+            size = getattr(event.inst, "size", None)
+            if event.heap and isinstance(size, Var):
+                self._sink(ctx, event, size, ("gt", self.spec.max_alloc),
+                           "user-controlled allocation size '{0}' is unbounded")
+        elif isinstance(event, MemInitEvent):
+            size = getattr(event.inst, "size", None)
+            if isinstance(size, Var):
+                self._sink(ctx, event, size, ("gt", self.spec.max_copy),
+                           "user-controlled copy length '{0}' is unbounded")
+
+    # -- sources -----------------------------------------------------------------
+
+    def _handle_external_call(self, event: ExternalCallEvent, ctx: TrackerContext) -> None:
+        if not self.spec.is_buffer_source(event.callee):
+            return
+        # Dispatched *before* the engine havocs the call (pre-call graph):
+        # the pointee of ``&chunk`` is still chunk's own alias class, and
+        # the pointee of ``&r->len`` is the field's value class — tainting
+        # the node marks every alias at once.
+        for arg in event.args:
+            if not (isinstance(arg, Var) and isinstance(arg.type, PointerType)):
+                continue
+            if ctx.alias_aware and ctx.graph is not None:
+                node = ctx.graph.deref_node(arg)
+                if node is None:
+                    # Nothing named the pointee yet; materialize it so a
+                    # later load through any alias lands on the same class.
+                    node = ctx.graph.handle_store_fresh(arg)
+                ctx.set_key(self.name, node.uid, ("ST", event.inst),
+                            fanout=max(1, len(node.vars)))
+            else:
+                # NA ablation: no pointee identity — track under a
+                # pseudo-key and propagate only through syntactic loads.
+                ctx.set_key(self.name, "*" + arg.name, ("ST", event.inst))
+
+    def _handle_call_return(self, event: CallReturnEvent, ctx: TrackerContext) -> None:
+        if self.spec.is_return_source(event.callee):
+            ctx.set(self.name, event.dst, ("ST", event.inst))
+        elif not ctx.alias_aware and self._state(ctx, event.dst) is not None:
+            # Aware mode gets the strong update from the engine's detach;
+            # name-keyed NA state must be cleared by hand.
+            ctx.set(self.name, event.dst, ("S0", None))
+
+    # -- propagation -------------------------------------------------------------
+
+    def _handle_assign(self, event: AssignConstEvent, ctx: TrackerContext) -> None:
+        inst = event.inst
+        if isinstance(inst, BinOp):
+            operands = (inst.lhs, inst.rhs)
+        elif isinstance(inst, UnOp):
+            operands = (inst.src,)
+        else:
+            operands = ()
+        for operand in operands:
+            if isinstance(operand, Var):
+                state = self._state(ctx, operand)
+                if state is not None:
+                    ctx.set(self.name, event.var, state)
+                    return
+        if not ctx.alias_aware and self._state(ctx, event.var) is not None:
+            ctx.set(self.name, event.var, ("S0", None))
+
+    def _handle_load(self, event: LoadEvent, ctx: TrackerContext) -> None:
+        if ctx.alias_aware:
+            return  # the load joined dst to the pointee class already
+        state = ctx.get_key(self.name, "*" + event.addr.name)
+        if state is not None and state[0] == "ST":
+            ctx.set(self.name, event.dst, state)
+        elif self._state(ctx, event.dst) is not None:
+            ctx.set(self.name, event.dst, ("S0", None))
+
+    # -- sinks -------------------------------------------------------------------
+
+    def _state(self, ctx: TrackerContext, var: Var):
+        state = ctx.get(self.name, var)
+        if state is not None and state[0] == "ST":
+            return state
+        return None
+
+    def _sink(self, ctx: TrackerContext, event: Event, var: Var, atom, message: str) -> None:
+        state = self._state(ctx, var)
+        if state is None:
+            return
+        subject = var.display_name()
+        op, const = atom
+        bug = PossibleBug(
+            kind=self.kind,
+            checker=self.name,
+            subject=subject,
+            source=state[1] if state[1] is not None else event.inst,
+            sink=event.inst,
+            message=message.format(subject),
+            alias_set=ctx.alias_names(var),
+        )
+        # Stage 2 must prove the out-of-range condition satisfiable under
+        # the path constraints; a dominating range check makes it UNSAT
+        # and discharges the report (path-sensitive sanitization).
+        bug.extra_requirement = (op, var.name, const)
+        ctx.report(bug)
+        # The set stays tainted: every distinct sink of this flow reports
+        # (dedup collapses same source/sink repeats, e.g. loop bodies).

@@ -1,0 +1,29 @@
+"""The taint typestate property as an FSM (Definition 2 shape).
+
+One state per alias set, like every other checker: S0 (untainted) moves
+to ST when a source call defines the set's value, and ST moves to the
+error state STS when the set's value is consumed at a sensitive sink
+(array index, divisor, allocation size, copy length).  ``sanitize``
+models a definite in-range proof; the *path-sensitive* part of
+sanitization is not an FSM input at all — it is the SMT discharge of the
+out-of-range atom at validation time (:mod:`repro.taint.checker`).
+"""
+
+from ..typestate.fsm import make_fsm
+
+TAINT_FSM = make_fsm(
+    "FSM_TAINT",
+    initial="S0",
+    error="STS",
+    transitions={
+        ("S0", "taint"): "ST",
+        ("ST", "sanitize"): "S0",
+        ("ST", "sink_use"): "STS",
+        # Post-report recovery: the set stays tainted so every later sink
+        # of the same source→value flow reports too ("finds every
+        # injected source→sink flow"); dedup collapses true repeats.
+        ("STS", "taint"): "ST",
+        ("STS", "sink_use"): "STS",
+        ("STS", "sanitize"): "S0",
+    },
+)

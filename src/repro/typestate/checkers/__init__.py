@@ -1,7 +1,10 @@
 """The shipped typestate checkers.
 
 ``default_checkers()`` returns the paper's three primary checkers (§5.1);
-``all_checkers()`` adds the three of the generality study (§5.5).
+``all_checkers()`` adds the three of the generality study (§5.5).  Checker
+*sets* are named by comma-separated specs (``"npd,ml,taint"``) resolved by
+:func:`checkers_from_spec`; ``"default"`` and ``"all"`` are aliases for
+the two historical sets.
 """
 
 from typing import Callable, List, Optional
@@ -25,8 +28,11 @@ __all__ = [
     "PairedAPIChecker", "DEFAULT_ACQUIRE_APIS", "DEFAULT_RELEASE_APIS",
     "default_checkers",
     "all_checkers",
+    "CHECKER_ALIASES",
+    "CHECKER_NAMES",
     "CHECKER_SPECS",
     "checkers_from_spec",
+    "registered_checkers",
 ]
 
 
@@ -39,7 +45,7 @@ def all_checkers(
     may_return_negative: Optional[Callable[[str], bool]] = None,
     may_return_zero: Optional[Callable[[str], bool]] = None,
 ) -> List[Checker]:
-    """The six shipped checkers (§5.1 + §5.5); the two callables feed the
+    """The six original checkers (§5.1 + §5.5); the two callables feed the
     collector's may-return facts to the underflow/div-zero checkers."""
     return default_checkers() + [
         DoubleLockChecker(),
@@ -48,26 +54,87 @@ def all_checkers(
     ]
 
 
-#: Named checker-set factories.  Worker processes of the parallel driver
-#: rebuild their checkers from one of these *names* — live checker
-#: objects are never pickled across the process boundary, because two of
-#: them close over per-program collector facts that each worker derives
-#: from its own unpickled :class:`~repro.ir.Program` copy.
-CHECKER_SPECS = ("default", "all")
+def _make_taint_checker(collector):
+    # Imported lazily: repro.taint depends on repro.typestate submodules,
+    # and this package is itself imported while repro.typestate initializes.
+    from ...taint import TaintChecker
+
+    return TaintChecker()
+
+
+#: individual checker factories, keyed by the checker's ``name`` attribute;
+#: each takes the information collector (or None) and returns a fresh
+#: instance.
+_CHECKER_FACTORIES = {
+    "npd": lambda collector: NullDereferenceChecker(),
+    "uva": lambda collector: UninitializedAccessChecker(),
+    "ml": lambda collector: MemoryLeakChecker(),
+    "dl": lambda collector: DoubleLockChecker(),
+    "aiu": lambda collector: ArrayUnderflowChecker(
+        collector.may_return_negative if collector else None
+    ),
+    "dbz": lambda collector: DivByZeroChecker(
+        collector.may_return_zero if collector else None
+    ),
+    "taint": _make_taint_checker,
+}
+
+#: every individually addressable checker name, in canonical order
+CHECKER_NAMES = tuple(_CHECKER_FACTORIES)
+
+#: named shorthands for common sets (kept for CLI/worker back-compat)
+CHECKER_ALIASES = {
+    "default": "npd,uva,ml",
+    "all": "npd,uva,ml,dl,aiu,dbz",
+}
+
+#: everything :func:`checkers_from_spec` accepts as a single token
+CHECKER_SPECS = CHECKER_NAMES + tuple(CHECKER_ALIASES)
+
+
+def _expand_spec(spec: str) -> List[str]:
+    """Comma-split ``spec``, expand aliases, dedup preserving first
+    occurrence.  Raises ValueError on unknown names."""
+    names: List[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        expanded = CHECKER_ALIASES.get(token, token).split(",")
+        for name in expanded:
+            if name not in _CHECKER_FACTORIES:
+                raise ValueError(
+                    f"unknown checker {name!r} in spec {spec!r} "
+                    f"(valid names: {', '.join(CHECKER_SPECS)})"
+                )
+            if name not in names:
+                names.append(name)
+    if not names:
+        raise ValueError(
+            f"empty checker spec {spec!r} (valid names: {', '.join(CHECKER_SPECS)})"
+        )
+    return names
 
 
 def checkers_from_spec(spec: str, collector=None) -> List[Checker]:
-    """Reconstruct a checker set from its spec name.
+    """Reconstruct a checker set from a spec string.
+
+    A spec is a comma-separated list of checker names and/or aliases —
+    ``"default"``, ``"all"``, ``"npd,ml,taint"``, ``"default,taint"`` —
+    deduplicated in first-occurrence order.  Worker processes of the
+    parallel driver rebuild their checkers from this *string* — live
+    checker objects are never pickled across the process boundary,
+    because some close over per-program collector facts that each worker
+    derives from its own unpickled :class:`~repro.ir.Program` copy.
 
     ``collector`` (an :class:`~repro.core.InformationCollector`) supplies
-    the may-return facts the ``"all"`` set's underflow/div-zero checkers
-    need; ``"default"`` ignores it.
+    the may-return facts the underflow/div-zero checkers need; sets that
+    exclude them ignore it.
     """
-    if spec == "default":
-        return default_checkers()
-    if spec == "all":
-        return all_checkers(
-            may_return_negative=collector.may_return_negative if collector else None,
-            may_return_zero=collector.may_return_zero if collector else None,
-        )
-    raise ValueError(f"unknown checker spec: {spec!r} (expected one of {CHECKER_SPECS})")
+    return [_CHECKER_FACTORIES[name](collector) for name in _expand_spec(spec)]
+
+
+def registered_checkers(collector=None) -> List[Checker]:
+    """One fresh instance of every registered checker, in canonical
+    order — the ``--list-checkers`` inventory."""
+    return [factory(collector) for factory in _CHECKER_FACTORIES.values()]

@@ -25,6 +25,7 @@ class BugKind(Enum):
     DOUBLE_LOCK = "double lock/unlock"
     ARRAY_UNDERFLOW = "array index underflow"
     DIV_BY_ZERO = "division by zero"
+    TAINT = "tainted data reaches sensitive sink"
 
     @property
     def short(self) -> str:

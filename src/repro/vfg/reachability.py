@@ -65,7 +65,11 @@ class SaberLeakDetector:
 
     def _check_site(self, func: Function, malloc_block, malloc: Malloc) -> Optional[LeakFinding]:
         flow_set = self.vfg.reachable_from(malloc.dst.name)
-        if self._escapes(func, flow_set):
+        site_objs = {
+            self._base_obj(obj)
+            for obj in self.vfg.points_to.points_to(malloc.dst.name)
+        }
+        if self._escapes(func, flow_set, site_objs):
             return None
         blocked: Set[int] = set()
         for block in func.blocks:
@@ -87,10 +91,36 @@ class SaberLeakDetector:
             )
         return None
 
-    def _escapes(self, func: Function, flow_set: Set[str]) -> bool:
+    @staticmethod
+    def _base_obj(obj):
+        """Strip ``("f", base, field)`` chains to the underlying
+        allocation/global object."""
+        while isinstance(obj, tuple) and obj and obj[0] == "f":
+            obj = obj[1]
+        return obj
+
+    def _aliases_site(self, name: str, site_objs) -> bool:
+        """Does ``name`` point (possibly through field addresses) into one
+        of the allocation site's objects?"""
+        if not site_objs:
+            return False
+        return any(
+            self._base_obj(obj) in site_objs
+            for obj in self.vfg.points_to.points_to(name)
+        )
+
+    def _escapes(self, func: Function, flow_set: Set[str], site_objs=frozenset()) -> bool:
         for block in func.blocks:
             for inst in block.instructions:
-                if isinstance(inst, Store) and isinstance(inst.src, Var) and inst.src.name in flow_set:
+                if isinstance(inst, Store) and isinstance(inst.src, Var) and (
+                    inst.src.name in flow_set
+                    # Alias-aware: storing an *interior* pointer
+                    # (``t = &p->hdr; *slot = t``) carries the object out
+                    # even though ``t`` never appears in the VFG flow set
+                    # (GEPs add no value-flow edge and pts(t) holds a
+                    # field object, not the allocation itself).
+                    or self._aliases_site(inst.src.name, site_objs)
+                ):
                     return True
                 if isinstance(inst, Move) and isinstance(inst.src, Var) and inst.src.name in flow_set and inst.dst.is_global:
                     return True

@@ -124,3 +124,52 @@ int f(int n, int bad) {
 def test_edge_count_positive():
     program = program_of("void f(void) { char *p = malloc(8); char *q = p; }")
     assert ValueFlowGraph(program).edge_count() >= 1
+
+
+def test_saber_escape_via_aliased_field_store():
+    # Regression: storing an *interior* pointer (&p->hdr) publishes the
+    # allocation even though the interior pointer's name never enters the
+    # VFG flow set (GEPs add no value-flow edge).  _escapes must consult
+    # the points-to base objects, not just name matches.
+    program = program_of(
+        """
+struct pkt { int hdr; int body; };
+int publish(int **slot) {
+    struct pkt *p = malloc(sizeof(struct pkt));
+    if (p == NULL)
+        return -1;
+    p->hdr = 7;
+    int *t = &p->hdr;
+    *slot = t;
+    return 0;
+}
+"""
+    )
+    assert SaberLeakDetector(program).detect() == []
+
+
+def test_saber_alias_escape_does_not_mask_real_leaks():
+    # The alias-aware escape check must not swallow an unrelated site:
+    # the second allocation still leaks on the early-error path.
+    program = program_of(
+        """
+struct pkt { int hdr; int body; };
+int mixed(int **slot, int n, int bad) {
+    struct pkt *p = malloc(sizeof(struct pkt));
+    if (p == NULL)
+        return -1;
+    int *t = &p->hdr;
+    *slot = t;
+    char *buf = malloc(n);
+    if (buf == NULL)
+        return -1;
+    if (bad)
+        return -9;
+    free(buf);
+    return 0;
+}
+"""
+    )
+    leaks = SaberLeakDetector(program).detect()
+    assert len(leaks) == 1
+    assert leaks[0].function == "mixed"
