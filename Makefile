@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,16 @@ bench-prune:
 # writes BENCH_taint.json.
 bench-taint:
 	$(PYTHON) -m pytest benchmarks/bench_components.py -k taint_checker_vs_naive -q --benchmark-disable
+
+# Race checker vs the lockset-only Eraser-regime baseline on the racelab
+# corpus; writes BENCH_race.json.
+bench-race:
+	$(PYTHON) -m pytest benchmarks/bench_components.py -k race_checker_vs_eraser -q --benchmark-disable
+
+# IR-verify every generated corpus module (all evaluation profiles plus
+# the taintlab/racelab checker corpora).
+lint-corpus:
+	$(PYTHON) -m pytest tests/test_corpus_verify.py -q
 
 report:
 	$(PYTHON) -m repro eval all --markdown evaluation-report.md

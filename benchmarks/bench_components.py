@@ -308,6 +308,92 @@ def test_taint_checker_vs_naive_baseline(benchmark, harness):
     assert identical
 
 
+def test_race_checker_vs_eraser_baseline(benchmark, harness):
+    """The alias-aware, SMT-discharged lockset race checker vs the
+    lockset-only ``EraserLike`` baseline on the race-heavy ``racelab``
+    corpus; writes ``BENCH_race.json`` at the repo root with recall, bait
+    false positives, wall seconds, and the prune-preservation check.
+    The checker must find every injected race with zero bait hits; the
+    baseline must report at least one flag-serialized pair that stage-2
+    pair validation discharges; and pruning must never change a report
+    byte."""
+    import json
+    import pathlib
+    import time
+
+    from repro.baselines import EraserLike
+    from repro.corpus import RACELAB, generate
+    from repro.lang import compile_program
+
+    corpus = generate(RACELAB)
+    program = compile_program(corpus.compiled_sources())
+
+    def found_uids(hits):
+        uids = set()
+        for gt in corpus.ground_truth:
+            for kind, path, line in hits:
+                if gt.covers(kind, path, line):
+                    uids.add(gt.uid)
+        return uids
+
+    def bait_hits(hits):
+        return [
+            (path, line)
+            for _, path, line in hits
+            if any(
+                b.path == path and b.line_start <= line <= b.line_end
+                for b in corpus.bait_regions
+            )
+        ]
+
+    def run_checker():
+        return PATA(checker_spec="race").analyze(program)
+
+    started = time.perf_counter()
+    checker = benchmark.pedantic(run_checker, rounds=1, iterations=1)
+    checker_seconds = time.perf_counter() - started
+    checker_hits = [(r.kind, r.sink_file, r.sink_line) for r in checker.reports]
+
+    started = time.perf_counter()
+    eraser = EraserLike().analyze(program)
+    eraser_seconds = time.perf_counter() - started
+    eraser_hits = [(f.kind, f.file, f.line) for f in eraser.findings]
+
+    unpruned = PATA(
+        checker_spec="race", config=AnalysisConfig(prune=False)
+    ).analyze(program)
+    identical = [r.render() for r in checker.reports] == [
+        r.render() for r in unpruned.reports
+    ]
+
+    total = len(corpus.ground_truth)
+    checker_found = found_uids(checker_hits)
+    eraser_found = found_uids(eraser_hits)
+    payload = {
+        "corpus": "racelab",
+        "injected_races": total,
+        "checker_found": len(checker_found),
+        "checker_bait_false_positives": len(bait_hits(checker_hits)),
+        "checker_seconds": round(checker_seconds, 4),
+        "eraser_found": len(eraser_found),
+        "eraser_bait_false_positives": len(bait_hits(eraser_hits)),
+        "eraser_seconds": round(eraser_seconds, 4),
+        "shared_accesses": checker.stats.shared_accesses,
+        "race_pairs_matched": checker.stats.race_pairs_matched,
+        "dropped_false_bugs": checker.stats.dropped_false_bugs,
+        "identical_reports_with_prune_off": identical,
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_race.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert len(checker_found) == total
+    assert not bait_hits(checker_hits)
+    # The lockset-only regime reports the flag-serialized pairs that
+    # stage 2 proves infeasible — the checker's precision edge.
+    assert bait_hits(eraser_hits)
+    assert checker.stats.dropped_false_bugs > 0
+    assert identical
+
+
 def test_pruned_vs_unpruned_entry_analysis(benchmark, harness):
     """The P1.5 relevance pre-analysis on vs off (``--no-prune``) on the
     largest generated corpus; writes ``BENCH_prune.json`` at the repo

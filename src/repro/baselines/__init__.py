@@ -11,18 +11,21 @@ from .saber_like import DEFAULT_PTS_BUDGET, SaberLike
 from .svf_null import SVFNull
 from .pata_na import PataNA
 from .taint_naive import TaintNaive
+from .eraser_like import EraserLike
 
 __all__ = [
     "BaselineTool", "ToolFinding", "ToolResult",
     "CppcheckLike", "CoccinelleLike", "SmatchLike", "CSALike", "InferLike",
-    "SaberLike", "SVFNull", "PataNA", "TaintNaive", "DEFAULT_PTS_BUDGET",
+    "SaberLike", "SVFNull", "PataNA", "TaintNaive", "EraserLike",
+    "DEFAULT_PTS_BUDGET",
 ]
 
 
 def all_baselines():
     """The seven compared tools in Table 8's column order.  ``TaintNaive``
-    is deliberately excluded: it benchmarks the taint checker
-    (``make bench-taint``), not the paper's comparison."""
+    and ``EraserLike`` are deliberately excluded: they benchmark the
+    taint and race checkers (``make bench-taint`` / ``make bench-race``),
+    not the paper's comparison."""
     return [
         CppcheckLike(),
         CoccinelleLike(),

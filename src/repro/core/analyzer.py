@@ -54,6 +54,7 @@ from ..ir import (
     Var,
     is_null_const,
 )
+from ..races.shared import SharedAccess
 from ..smt.terms import NEGATED_REL, SWAPPED_REL
 from ..typestate import (
     AllocEvent,
@@ -178,6 +179,14 @@ class PathExplorer:
         self.possible_bugs: List[PossibleBug] = []
         self.seen_bug_keys: Set[Tuple] = set()
         self.repeated_bugs = 0
+        #: shared-state accesses recorded by the race checker (P2.5
+        #: input).  Same accumulation contract as ``possible_bugs``:
+        #: shared across every entry this explorer walks — cross-entry
+        #: matching *needs* both sides — and deduplicated on the fly.
+        self.shared_accesses: List[SharedAccess] = []
+        self.seen_access_keys: Set[Tuple] = set()
+        self.repeated_accesses = 0
+        self.ctx.record_access_fn = self._record_access
         self.paths = 0
         self.steps = 0
         self.budget_exhausted = False
@@ -197,6 +206,27 @@ class PathExplorer:
         self.seen_bug_keys.add(key)
         bug.trace = tuple(self.trace)
         self.possible_bugs.append(bug)
+
+    def _record_access(self, key, is_write: bool, inst: Instruction, lockset) -> None:
+        """Record one shared-state access on the current path (the
+        :meth:`~repro.typestate.manager.TrackerContext.record_access`
+        hook).  Dedup *before* snapshotting the trace: path re-merges
+        and loop re-visits repeat the same (entry, key, inst, lockset)
+        access, and the first path's snapshot stands in for all."""
+        access = SharedAccess(
+            key=key,
+            is_write=is_write,
+            inst=inst,
+            entry=self.ctx.entry_function,
+            lockset=lockset,
+        )
+        dedup = access.dedup_key
+        if dedup in self.seen_access_keys:
+            self.repeated_accesses += 1
+            return
+        self.seen_access_keys.add(dedup)
+        access.trace = tuple(self.trace)
+        self.shared_accesses.append(access)
 
     def _dispatch(self, event) -> None:
         self.manager.dispatch(event, self.ctx)

@@ -124,6 +124,20 @@ class InformationCollector:
 
     # -- queries ------------------------------------------------------------
 
+    def shared_heap_sites(self) -> frozenset:
+        """Uids of malloc instructions whose objects escape their
+        allocating function (per the Saber-style VFG escape analysis) —
+        the heap objects the race detector treats as *shared*.  Computed
+        lazily and cached: only the race checker asks, and the VFG walk
+        is not free."""
+        cached = getattr(self, "_shared_heap_sites", None)
+        if cached is None:
+            from ..vfg import escaping_malloc_sites
+
+            cached = escaping_malloc_sites(self.program)
+            self._shared_heap_sites = cached
+        return cached
+
     def entry_functions(self) -> List[Function]:
         """PATA's analysis roots (AnalyzeCode, Fig. 6 line 1)."""
         return self.callgraph.entry_functions()

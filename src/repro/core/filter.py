@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..smt import SolveResult, Solver, translate_trace
+from ..smt import SolveResult, Solver, translate_trace, translate_trace_pair
 from ..typestate import PossibleBug
 from .report import BugReport
 
@@ -61,7 +61,13 @@ class BugFilter:
         if not self.validate_paths or not bug.trace:
             return True, None
         stats.validated += 1
-        translation = translate_trace(bug.trace, bug.extra_requirement, alias_aware=self.alias_aware)
+        if bug.second_trace:
+            # Pair finding (race matches): both paths must be jointly
+            # feasible — a guard contradiction across them discharges it.
+            translation = translate_trace_pair(
+                bug.trace, bug.second_trace, alias_aware=self.alias_aware)
+        else:
+            translation = translate_trace(bug.trace, bug.extra_requirement, alias_aware=self.alias_aware)
         stats.constraints_aware += translation.aware_constraints
         stats.constraints_unaware += translation.unaware_constraints
         solution = self.solver.solve(translation.atoms)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..ir import Function, Program
+from ..races.shared import SharedAccess
 from ..typestate import PossibleBug
 from ..typestate.checkers import checkers_from_spec
 from .analyzer import PathExplorer
@@ -62,10 +63,13 @@ def _fork_available() -> bool:
 @dataclass
 class EntryOutcome:
     """One entry function's exploration record: its stats row plus the
-    bugs *first sighted* while exploring it (after in-shard dedup)."""
+    bugs *first sighted* while exploring it (after in-shard dedup), and
+    the shared-state accesses the race checker recorded there (empty
+    unless a race checker is registered)."""
 
     stats: EntryStats
     bugs: List[PossibleBug] = field(default_factory=list)
+    accesses: List[SharedAccess] = field(default_factory=list)
 
 
 @dataclass
@@ -85,6 +89,7 @@ def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List
     outcomes: List[EntryOutcome] = []
     for entry in entries:
         before = len(explorer.possible_bugs)
+        accesses_before = len(explorer.shared_accesses)
         started = time.perf_counter()
         explorer.explore(entry)
         outcomes.append(
@@ -99,6 +104,7 @@ def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List
                     blocks_pruned=explorer.blocks_pruned,
                 ),
                 bugs=explorer.possible_bugs[before:],
+                accesses=explorer.shared_accesses[accesses_before:],
             )
         )
     return outcomes
@@ -233,15 +239,19 @@ def merge_shard_results(
     shards: Sequence[Sequence[Function]],
     results: Sequence[ShardResult],
     stats: AnalysisStats,
-) -> List[PossibleBug]:
-    """Fold shard results into ``stats`` and one deduplicated bug list,
-    visiting entries in ``entry_list`` order regardless of which shard
-    (or completion order) produced them.
+) -> Tuple[List[PossibleBug], List[SharedAccess]]:
+    """Fold shard results into ``stats`` and one deduplicated bug list
+    plus one deduplicated shared-access list, visiting entries in
+    ``entry_list`` order regardless of which shard (or completion
+    order) produced them.
 
     Dedup bookkeeping mirrors the sequential explorer exactly: a bug's
-    first sighting in global entry order is kept; every later sighting —
-    whether in-shard (already counted by that shard's explorer) or
-    cross-shard (dropped here) — counts toward ``dropped_repeated_bugs``.
+    (or access's) first sighting in global entry order is kept; every
+    later sighting — whether in-shard (already counted by that shard's
+    explorer) or cross-shard (dropped here) — is a repeat.  Cross-shard
+    access dedup matters because each shard's explorer only saw its own
+    entries: two shards can both record e.g. an access inside a helper
+    inlined from entries in different shards.
     """
     outcome_by_entry = {}
     for shard, result in zip(shards, results):
@@ -249,7 +259,9 @@ def merge_shard_results(
             outcome_by_entry[entry.name] = outcome
 
     merged: List[PossibleBug] = []
+    merged_accesses: List[SharedAccess] = []
     seen_bug_keys = set()
+    seen_access_keys = set()
     repeated = sum(result.repeated_bugs for result in results)
     for entry in entry_list:
         outcome = outcome_by_entry[entry.name]
@@ -267,7 +279,13 @@ def merge_shard_results(
                 continue
             seen_bug_keys.add(key)
             merged.append(bug)
+        for access in outcome.accesses:
+            access_key = access.dedup_key
+            if access_key in seen_access_keys:
+                continue
+            seen_access_keys.add(access_key)
+            merged_accesses.append(access)
     stats.typestates_aware = sum(result.aware_updates for result in results)
     stats.typestates_unaware = sum(result.unaware_updates for result in results)
     stats.dropped_repeated_bugs = repeated
-    return merged
+    return merged, merged_accesses

@@ -135,7 +135,19 @@ class PATA:
             )
             shards = [list(analyzed_list)]
             results = [shard_result(explorer, explore_entries(explorer, analyzed_list))]
-        possible_bugs = merge_shard_results(analyzed_list, shards, results, stats)
+        possible_bugs, shared_accesses = merge_shard_results(analyzed_list, shards, results, stats)
+        # P2.5: cross-entry race matching.  Accesses only exist when a
+        # race checker is registered; the matcher pairs same-key accesses
+        # from different entries with disjoint locksets (≥1 write) into
+        # stage-1 candidates carrying *both* path snapshots, which the
+        # P3 validator conjoins (translate_trace_pair).
+        if shared_accesses:
+            from ..races import match_races
+
+            race_bugs = match_races(shared_accesses)
+            stats.shared_accesses = len(shared_accesses)
+            stats.race_pairs_matched = len(race_bugs)
+            possible_bugs.extend(race_bugs)
         if skipped_names:
             # Re-interleave the skipped entries' zero rows so per_entry
             # stays in original entry-list order with or without pruning.

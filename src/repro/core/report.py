@@ -108,6 +108,10 @@ class AnalysisStats:
     time_seconds: float = 0.0
     #: worker processes that performed P2 (1 = in-process sequential)
     workers_used: int = 1
+    #: P2.5 race matching: distinct shared-state accesses recorded by
+    #: the race checker, and disjoint-lockset pairs sent to stage 2
+    shared_accesses: int = 0
+    race_pairs_matched: int = 0
     #: one record per analyzed entry function, in entry-list order
     per_entry: List[EntryStats] = field(default_factory=list)
 

@@ -9,7 +9,16 @@ from .spec import (
     Requirement,
 )
 from .generator import generate
-from .oses import ALL_PROFILES, LINUX, PROFILES_BY_NAME, RIOT, TAINTLAB, TENCENTOS, ZEPHYR
+from .oses import (
+    ALL_PROFILES,
+    LINUX,
+    PROFILES_BY_NAME,
+    RACELAB,
+    RIOT,
+    TAINTLAB,
+    TENCENTOS,
+    ZEPHYR,
+)
 from .metrics import (
     CONFIRM_PERCENT,
     MatchResult,
@@ -21,7 +30,7 @@ from .metrics import (
 __all__ = [
     "BaitRegion", "GeneratedFile", "GeneratedOS", "GroundTruthBug",
     "OSProfile", "Requirement", "generate",
-    "ALL_PROFILES", "LINUX", "PROFILES_BY_NAME", "RIOT", "TAINTLAB", "TENCENTOS", "ZEPHYR",
+    "ALL_PROFILES", "LINUX", "PROFILES_BY_NAME", "RACELAB", "RIOT", "TAINTLAB", "TENCENTOS", "ZEPHYR",
     "CONFIRM_PERCENT", "MatchResult", "is_confirmed", "match_findings",
     "reachable_truth",
 ]

@@ -36,6 +36,7 @@ _KIND_BY_NAME = {
     "AIU": BugKind.ARRAY_UNDERFLOW,
     "DBZ": BugKind.DIV_BY_ZERO,
     "TNT": BugKind.TAINT,
+    "RACE": BugKind.RACE,
 }
 
 

@@ -111,5 +111,29 @@ TAINTLAB = OSProfile(
     kind_mix={"TNT": 1.0},
 )
 
+#: Race-focused corpus for the lockset checker and its P2.5 cross-entry
+#: matching: every snippet is drawn from the RACE pool — three injected
+#: disjoint-lockset races plus two bait shapes (properly locked, and
+#: flag-serialized where only stage-2 pair validation stays silent).
+#: ``bug_rate=1.0`` keeps generic fillers out: ``filler_pool`` races on
+#: the OS-wide ``g_pool_head`` by design and would pollute the ground
+#: truth.  Like TAINTLAB, deliberately *not* part of ``ALL_PROFILES``.
+RACELAB = OSProfile(
+    name="racelab",
+    version_label="demo",
+    seed=9191,
+    layout=[
+        ("kernel/irq", "core", 0.40),
+        ("drivers/net", "drivers", 0.35),
+        ("block", "subsystem", 0.25),
+    ],
+    total_files=8,
+    snippets_per_file=(2, 4),
+    bug_rate={"core": 1.0, "drivers": 1.0, "subsystem": 1.0},
+    bait_rate=0.0,
+    excluded_fraction=0.0,
+    kind_mix={"RACE": 1.0},
+)
+
 ALL_PROFILES: List[OSProfile] = [LINUX, ZEPHYR, RIOT, TENCENTOS]
 PROFILES_BY_NAME: Dict[str, OSProfile] = {p.name: p for p in ALL_PROFILES}

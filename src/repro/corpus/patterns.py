@@ -1080,6 +1080,152 @@ int {dev}_fill_safe_{uid}(char *buf) {{
     return s
 
 
+def race_unlocked_counter(uid: str, rng: random.Random) -> Snippet:
+    """Race: the reader takes the lock, the writer forgot — the classic
+    lockset violation (disjoint locksets, one side writes)."""
+    s = Snippet(pattern="race_unlocked_counter")
+    dev = _devname(rng)
+    s.extend(f"""
+struct rc_{uid} {{ int lock; int count; }};
+static struct rc_{uid} g_rc_{uid};
+
+int {dev}_rd_{uid}(void) {{
+    struct rc_{uid} *s = &g_rc_{uid};
+    spin_lock(&s->lock);
+    int seen = s->count;
+    spin_unlock(&s->lock);
+    return seen;
+}}
+""")
+    start, end = s.extend(f"""
+void {dev}_tick_{uid}(void) {{
+    struct rc_{uid} *s = &g_rc_{uid};
+    s->count = s->count + 1;
+}}""")
+    s.bug(BugKind.RACE, start, end, aliasing=True)
+    return s
+
+
+def race_two_locks_wrong_lock(uid: str, rng: random.Random) -> Snippet:
+    """Race: both sides lock diligently — but different locks.  Only a
+    lock-*identity*-aware (alias-canonicalized) lockset catches this."""
+    s = Snippet(pattern="race_two_locks_wrong_lock")
+    dev = _devname(rng)
+    s.extend(f"""
+struct tl_{uid} {{ int alock; int block; int stat; }};
+static struct tl_{uid} g_tl_{uid};
+
+int {dev}_geta_{uid}(void) {{
+    struct tl_{uid} *s = &g_tl_{uid};
+    spin_lock(&s->alock);
+    int v = s->stat;
+    spin_unlock(&s->alock);
+    return v;
+}}
+""")
+    start, end = s.extend(f"""
+void {dev}_setb_{uid}(int v) {{
+    struct tl_{uid} *s = &g_tl_{uid};
+    spin_lock(&s->block);
+    s->stat = v;
+    spin_unlock(&s->block);
+}}""")
+    s.bug(BugKind.RACE, start, end, aliasing=True)
+    return s
+
+
+def race_published_heap(uid: str, rng: random.Random) -> Snippet:
+    """Race on an escaping heap object: pre-publication init is keyed to
+    the allocation site (race-free by construction); once the pointer is
+    stored to a global, unlocked field updates race with readers."""
+    s = Snippet(pattern="race_published_heap")
+    dev = _devname(rng)
+    s.extend(f"""
+struct pkt_{uid} {{ int seq; int len; }};
+static struct pkt_{uid} *g_cur_{uid};
+
+int {dev}_open_{uid}(void) {{
+    struct pkt_{uid} *p = kzalloc(sizeof(struct pkt_{uid}));
+    if (!p)
+        return -12;
+    p->seq = 0;
+    g_cur_{uid} = p;
+    return 0;
+}}
+""")
+    start, _ = s.extend(f"""
+int {dev}_poll_{uid}(void) {{
+    struct pkt_{uid} *p = g_cur_{uid};
+    if (!p)
+        return -11;
+    return p->seq;
+}}
+""")
+    _, end = s.extend(f"""
+void {dev}_bump_{uid}(void) {{
+    struct pkt_{uid} *p = g_cur_{uid};
+    if (p)
+        p->seq = p->seq + 1;
+}}""")
+    # One root cause, several conflicting pairs (pointer + field): the
+    # whole reader/updater region is one ground-truth bug.
+    s.bug(BugKind.RACE, start, end, aliasing=True, interprocedural=True)
+    return s
+
+
+def race_bait_locked(uid: str, rng: random.Random) -> Snippet:
+    """Bait: both sides hold the *same* lock — lock canonicalization must
+    resolve ``&s->lock`` on both paths to one identity and stay silent."""
+    s = Snippet(pattern="race_bait_locked")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+struct pr_{uid} {{ int lock; int hits; }};
+static struct pr_{uid} g_pr_{uid};
+
+int {dev}_rd_{uid}(void) {{
+    struct pr_{uid} *s = &g_pr_{uid};
+    spin_lock(&s->lock);
+    int v = s->hits;
+    spin_unlock(&s->lock);
+    return v;
+}}
+
+void {dev}_add_{uid}(int n) {{
+    struct pr_{uid} *s = &g_pr_{uid};
+    spin_lock(&s->lock);
+    s->hits = s->hits + n;
+    spin_unlock(&s->lock);
+}}""")
+    s.bait(BugKind.RACE, start, end)
+    return s
+
+
+def race_bait_flag_guarded(uid: str, rng: random.Random) -> Snippet:
+    """Bait: writer and reader are serialized by a mode flag — the two
+    accesses sit on paths whose guards contradict (``g_mode != 0`` vs
+    ``g_mode == 0``), so the pair is infeasible.  A lockset-only tool
+    (``eraser_like``) reports it; stage 2 conjoins both paths'
+    constraints, bridges the flag, and discharges the pair as UNSAT."""
+    s = Snippet(pattern="race_bait_flag_guarded")
+    dev = _devname(rng)
+    start, end = s.extend(f"""
+static int g_mode_{uid};
+static int g_stash_{uid};
+
+void {dev}_save_{uid}(int v) {{
+    if (g_mode_{uid} != 0)
+        g_stash_{uid} = v;
+}}
+
+int {dev}_load_{uid}(void) {{
+    if (g_mode_{uid} == 0)
+        return g_stash_{uid};
+    return 0;
+}}""")
+    s.bait(BugKind.RACE, start, end)
+    return s
+
+
 # ===========================================================================
 
 BUG_PATTERNS: Dict[str, List[PatternFn]] = {
@@ -1101,6 +1247,16 @@ BUG_PATTERNS: Dict[str, List[PatternFn]] = {
         tnt_alloc_len_field,
         tnt_div_copy_from_user,
         tnt_memcpy_len,
+    ],
+    # The two bait-only patterns ride in the RACE draw pool (not in
+    # BAIT_PATTERNS: that list feeds every historical profile's rng
+    # stream, and growing it would shift their generated corpora).
+    "RACE": [
+        race_unlocked_counter,
+        race_two_locks_wrong_lock,
+        race_published_heap,
+        race_bait_locked,
+        race_bait_flag_guarded,
     ],
 }
 

@@ -13,7 +13,9 @@ from typing import List
 
 from ..errors import IRError
 from .function import Function, Module, Program
-from .instructions import Branch, Jump, Ret, Unreachable
+from .instructions import Branch, Jump, LockOp, Ret, Unreachable
+from .types import PointerType
+from .values import Var
 
 
 def verify_function(func: Function) -> List[str]:
@@ -36,6 +38,25 @@ def verify_function(func: Function) -> List[str]:
         if not isinstance(term, (Branch, Jump, Ret, Unreachable)):
             problems.append(f"{func.name}: block {block.name} has unknown terminator {term!r}")
         for inst in block.instructions:
+            if isinstance(inst, LockOp):
+                # Lock intrinsics: exactly one operand, and it must be a
+                # pointer-typed variable — the lockset checkers key their
+                # state on the lock *object*, so a by-value or constant
+                # operand could never alias across functions.
+                ops = inst.operands()
+                if len(ops) != 1:
+                    problems.append(
+                        f"{func.name}: {inst.api} expects exactly one lock operand, got {len(ops)}"
+                    )
+                if not isinstance(inst.lock, Var):
+                    problems.append(
+                        f"{func.name}: {inst.api} lock operand must be a variable, got {inst.lock!r}"
+                    )
+                elif not isinstance(inst.lock.type, PointerType):
+                    problems.append(
+                        f"{func.name}: {inst.api} lock operand "
+                        f"'{inst.lock.display_name()}' must be pointer-typed, got {inst.lock.type}"
+                    )
             dst = inst.defined_var()
             if dst is not None and dst.name.startswith("%"):
                 prev = temp_defs.get(dst.name)

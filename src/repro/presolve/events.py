@@ -82,6 +82,10 @@ class EventKind(IntFlag):
     RETURN = 1 << 21
     #: a call to a user-input intrinsic (a taint source by callee name)
     TAINT_SOURCE = 1 << 22
+    #: a read or write that may touch *shared* state — a global variable,
+    #: or memory reached through a pointer (which may alias an escaped
+    #: heap object).  The race checker records accesses only at these.
+    SHARED_ACCESS = 1 << 23
 
 
 #: every kind a function could possibly generate

@@ -150,11 +150,14 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
             kinds |= EventKind.ASSIGN_NULL
         elif isinstance(inst.src, Const):
             kinds |= _const_value_kinds(inst.src.value)
+        if inst.dst.is_global or (isinstance(inst.src, Var) and inst.src.is_global):
+            kinds |= EventKind.SHARED_ACCESS
     elif isinstance(inst, Load):
         # DerefEvent + LoadEvent; a Load is also the UVA region sink.
-        kinds |= EventKind.DEREF | EventKind.USE
+        # Loads read through a pointer, which may reach shared state.
+        kinds |= EventKind.DEREF | EventKind.USE | EventKind.SHARED_ACCESS
     elif isinstance(inst, Store):
-        kinds |= EventKind.DEREF | EventKind.STORE
+        kinds |= EventKind.DEREF | EventKind.STORE | EventKind.SHARED_ACCESS
         if isinstance(inst.src, Var):
             kinds |= EventKind.USE
             if isinstance(inst.src.type, PointerType):
@@ -173,6 +176,8 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
         for operand in (inst.lhs, inst.rhs):
             if isinstance(operand, Var):
                 kinds |= EventKind.USE
+                if operand.is_global:
+                    kinds |= EventKind.SHARED_ACCESS
         if inst.op in ("div", "mod"):
             kinds |= EventKind.DIV
             if isinstance(inst.rhs, Const) and inst.rhs.value == 0:
@@ -197,6 +202,8 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
     elif isinstance(inst, UnOp):
         if isinstance(inst.src, Var):
             kinds |= EventKind.USE
+            if inst.src.is_global:
+                kinds |= EventKind.SHARED_ACCESS
         kinds |= EventKind.ASSIGN_CONST
         if isinstance(inst.src, Const) and inst.op == "neg":
             kinds |= _const_value_kinds(-inst.src.value)
@@ -210,7 +217,7 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
     elif isinstance(inst, DeclLocal):
         kinds |= EventKind.DECL_LOCAL
     elif isinstance(inst, MemSet):
-        kinds |= EventKind.DEREF | EventKind.MEM_INIT
+        kinds |= EventKind.DEREF | EventKind.MEM_INIT | EventKind.SHARED_ACCESS
     elif isinstance(inst, Free):
         kinds |= EventKind.FREE
     elif isinstance(inst, LockOp):
@@ -227,6 +234,10 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
             kinds |= EventKind.TAINT_SOURCE
         if inst.dst is not None:
             kinds |= _call_return_kinds(inst.callee, ctx)
+            if inst.dst.is_global:
+                kinds |= EventKind.SHARED_ACCESS
+        if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
+            kinds |= EventKind.SHARED_ACCESS
         # A short argument list binds missing parameters to Const(0).
         kinds |= EventKind.ZERO_CONST | EventKind.ASSIGN_CONST
     elif isinstance(inst, CallIndirect):
@@ -234,6 +245,10 @@ def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
         kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
         if inst.dst is not None:
             kinds |= EventKind.CALL_RETURN
+            if inst.dst.is_global:
+                kinds |= EventKind.SHARED_ACCESS
+        if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
+            kinds |= EventKind.SHARED_ACCESS
     result.events |= kinds
 
 
@@ -244,6 +259,8 @@ def _terminator_events(term) -> EventKind:
         value = term.value
         if isinstance(value, Var):
             kinds |= EventKind.USE | EventKind.ESCAPE
+            if value.is_global:
+                kinds |= EventKind.SHARED_ACCESS
         elif is_null_const(value):
             # The caller's return-value move assigns NULL.
             kinds |= EventKind.ASSIGN_NULL

@@ -1,0 +1,21 @@
+"""Alias-aware, path-sensitive lockset race detection.
+
+Per-path recording (:mod:`.checker`), canonical shared keys
+(:mod:`.shared`), and the cross-entry matching phase P2.5
+(:mod:`.match`).  See ``docs/engine-internals.md`` for the full design.
+"""
+
+from .checker import RaceChecker
+from .fsm import RACE_FSM
+from .match import match_races
+from .shared import SharedAccess, object_root, render_key, render_lockset
+
+__all__ = [
+    "RaceChecker",
+    "RACE_FSM",
+    "SharedAccess",
+    "match_races",
+    "object_root",
+    "render_key",
+    "render_lockset",
+]

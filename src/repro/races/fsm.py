@@ -1,0 +1,25 @@
+"""The race property as a (degenerate) typestate FSM.
+
+Unlike the Table 2 properties, a race is not a fact about one path: it
+is a *pair* of paths from different entries whose locksets fail to
+overlap.  No single-path automaton can recognize it, which is exactly
+why the detector adds the cross-entry matching phase P2.5.  The FSM
+below exists so the checker plugs into the same registry/CLI plumbing
+as every other property (``--list-checkers`` prints its states): one
+``conflict`` input — "a disjoint-lockset write/access pair was matched"
+— drives it to the error state.  It is stepped conceptually by the
+matcher, never by the path engine.
+"""
+
+from __future__ import annotations
+
+from ..typestate.fsm import make_fsm
+
+RACE_FSM = make_fsm(
+    "FSM_RACE",
+    initial="S0",
+    error="SRACE",
+    transitions={
+        ("S0", "conflict"): "SRACE",
+    },
+)

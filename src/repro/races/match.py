@@ -1,0 +1,101 @@
+"""Cross-entry race matching — phase **P2.5** of the extended pipeline.
+
+Runs in the parent process after the per-entry shard results are merged
+(deterministically, in entry order) and before the P3 bug filter.  Input
+is every :class:`~repro.races.shared.SharedAccess` the explorations
+recorded; output is stage-1 :class:`~repro.typestate.manager.PossibleBug`
+candidates in the lockset regime:
+
+two accesses to the same shared key **race** when
+
+* they come from different entry functions (two interface invocations
+  can interleave; with ``include_reentrant`` also from one entry, which
+  models an entry racing a second invocation of itself),
+* at least one is a write, and
+* their locksets are disjoint — no lock identity was held around both.
+
+Candidates carry *both* path snapshots (``trace`` and ``second_trace``);
+the P3 validator conjoins the two path conditions and drops the pair iff
+they are jointly unsatisfiable — e.g. a writer guarded by ``flag != 0``
+cannot race a reader guarded by ``flag == 0`` *of the same never-written
+flag*, which a pure lockset tool (the ``eraser_like`` baseline) reports.
+
+Matching is deterministic: groups iterate in sorted key order, accesses
+in a sorted canonical order, and repeats of an instruction pair collapse
+to the first combination — the same contract as the engine's bug dedup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..typestate.events import BugKind
+from ..typestate.manager import PossibleBug
+from .shared import SharedAccess, render_key, render_lockset
+
+#: matcher guardrail: beyond this many accesses to one key, pair only
+#: against the writes (keeps the quadratic pairing bounded on hot keys).
+_MAX_FULL_PAIRING = 256
+
+
+def _describe(access: SharedAccess) -> str:
+    verb = "write" if access.is_write else "read"
+    return f"{verb} in {access.entry} holding {render_lockset(access.lockset)}"
+
+
+def match_races(accesses: Iterable[SharedAccess],
+                include_reentrant: bool = False) -> List[PossibleBug]:
+    """Pair recorded accesses into stage-1 race candidates."""
+    by_key = {}
+    for access in accesses:
+        by_key.setdefault(access.key, []).append(access)
+    bugs: List[PossibleBug] = []
+    seen_pairs = set()
+    for key in sorted(by_key):
+        group = sorted(
+            by_key[key],
+            key=lambda a: (a.inst.uid, a.entry, not a.is_write,
+                           tuple(sorted(a.lockset))),
+        )
+        if len(group) > _MAX_FULL_PAIRING:
+            writers = [a for a in group if a.is_write]
+            pairs = ((w, other) for w in writers for other in group)
+        else:
+            pairs = ((group[i], group[j])
+                     for i in range(len(group))
+                     for j in range(i + 1, len(group)))
+        for first, second in pairs:
+            if first is second:
+                continue
+            if first.entry == second.entry and not include_reentrant:
+                continue
+            if not (first.is_write or second.is_write):
+                continue
+            if not first.lockset.isdisjoint(second.lockset):
+                continue
+            # Canonical orientation: the textually earlier instruction
+            # is the source; ties (same instruction inlined into two
+            # entries) break on the entry name.
+            source, sink = sorted(
+                (first, second), key=lambda a: (a.inst.uid, a.entry))
+            pair_key = (source.inst.uid, sink.inst.uid)
+            if pair_key in seen_pairs:
+                continue  # first path combination stands in for all
+            seen_pairs.add(pair_key)
+            subject = render_key(key)
+            bugs.append(PossibleBug(
+                kind=BugKind.RACE,
+                checker="race",
+                subject=subject,
+                source=source.inst,
+                sink=sink.inst,
+                message=(
+                    f"possible data race on '{subject}': "
+                    f"{_describe(source)} vs {_describe(sink)} "
+                    f"share no lock"
+                ),
+                trace=source.trace,
+                second_trace=sink.trace,
+                entry_function=f"{source.entry} vs {sink.entry}",
+            ))
+    return bugs

@@ -5,12 +5,12 @@ from .terms import App, Atom, Num, Sym, Term, eval_atom, eval_term, fold
 from .intervals import Interval, NEG_INF, POS_INF
 from .unionfind import OffsetUnionFind
 from .solver import Solution, SolveResult, Solver, solve
-from .translate import PathTranslator, Translation, translate_trace
+from .translate import PathTranslator, Translation, translate_trace, translate_trace_pair
 
 __all__ = [
     "App", "Atom", "Num", "Sym", "Term", "eval_atom", "eval_term", "fold",
     "Interval", "NEG_INF", "POS_INF",
     "OffsetUnionFind",
     "Solution", "SolveResult", "Solver", "solve",
-    "PathTranslator", "Translation", "translate_trace",
+    "PathTranslator", "Translation", "translate_trace", "translate_trace_pair",
 ]

@@ -349,3 +349,89 @@ def translate_trace(
     if alias_aware:
         return PathTranslator().translate(trace, extra_requirement)
     return NaPathTranslator().translate(trace, extra_requirement)
+
+
+def _trace_defined_globals(trace: Sequence[Tuple]) -> set:
+    """Global names a trace may (re)define: direct definition targets,
+    call-boundary moves, and address-taken globals (``&g`` lets later
+    stores write ``g`` through a pointer)."""
+    names = set()
+    for entry in trace:
+        tag = entry[0]
+        if tag in ("param", "retval"):
+            dst = entry[1]
+            if isinstance(dst, Var) and dst.is_global:
+                names.add(dst.name)
+        elif tag == "inst":
+            inst = entry[1]
+            if isinstance(inst, AddrOf) and inst.var.is_global:
+                names.add(inst.var.name)
+            dst = inst.defined_var()
+            if isinstance(dst, Var) and dst.is_global:
+                names.add(dst.name)
+    return names
+
+
+def translate_trace_pair(
+    trace_a: Sequence[Tuple],
+    trace_b: Sequence[Tuple],
+    alias_aware: bool = True,
+) -> Translation:
+    """Translate two independently recorded paths into one *joint*
+    constraint set — stage 2 for pair findings (the race detector's
+    P2.5 matches).
+
+    Each trace replays on its own translator, so their symbol spaces
+    are disjoint (alias-node uids are globally unique; the NA replay
+    offsets the second translator's counter).  The two worlds are then
+    **bridged**: a global that both paths read but neither may write is
+    one shared cell whose value neither execution changes, so its two
+    symbols are equated.  That single equality is what lets a
+    contradiction cross paths — a writer guarded by ``flag != 0`` and a
+    reader guarded by ``flag == 0`` become jointly UNSAT, and the pair
+    is discharged where a lockset-only tool keeps it.
+
+    Bridging is deliberately conservative: a global that either trace
+    defines, receives at a call boundary, or takes the address of stays
+    unbridged (its value may legitimately differ between the paths), as
+    does one the replay rebinds.  Fewer bridges mean fewer provable
+    contradictions — errors fall toward *keeping* the report, matching
+    the filter's "only a proven contradiction silences a finding"
+    contract.
+    """
+    defined = _trace_defined_globals(trace_a) | _trace_defined_globals(trace_b)
+    bridges: List[Atom] = []
+    if alias_aware:
+        first, second = PathTranslator(), PathTranslator()
+        result_a = first.translate(trace_a)
+        result_b = second.translate(trace_b)
+        for name in sorted(first.graph._node_of):
+            if not name.startswith("@") or name in defined:
+                continue
+            node_b = second.graph.node_of_name(name)
+            if node_b is None:
+                continue
+            # Bound exactly once on both replays: the name was only ever
+            # read, so one symbol denotes its value on the whole path.
+            if first.graph.journal.count(name) != 1 or second.graph.journal.count(name) != 1:
+                continue
+            node_a = first.graph.node_of_name(name)
+            bridges.append(Atom("eq", first._sym(node_a), second._sym(node_b)))
+    else:
+        first = NaPathTranslator()
+        result_a = first.translate(trace_a)
+        second = NaPathTranslator()
+        second._counter = first._counter  # keep the symbol spaces disjoint
+        result_b = second.translate(trace_b)
+        for name in sorted(first._env):
+            if not name.startswith("@") or name in defined:
+                continue
+            sym_b = second._env.get(name)
+            if sym_b is not None:
+                bridges.append(Atom("eq", first._env[name], sym_b))
+    return Translation(
+        atoms=result_a.atoms + result_b.atoms + bridges,
+        aware_constraints=result_a.aware_constraints + result_b.aware_constraints + len(bridges),
+        unaware_constraints=result_a.unaware_constraints + result_b.unaware_constraints + len(bridges),
+        symbols_used=result_a.symbols_used + result_b.symbols_used,
+    )

@@ -62,6 +62,17 @@ def _make_taint_checker(collector):
     return TaintChecker()
 
 
+def _make_race_checker(collector):
+    # Lazy for the same reason as taint.  The collector feeds the VFG
+    # escape facts that define the shared heap universe; without one
+    # (spec validation, --list-checkers) the checker sees only globals.
+    from ...races import RaceChecker
+
+    return RaceChecker(
+        shared_sites=collector.shared_heap_sites() if collector else frozenset()
+    )
+
+
 #: individual checker factories, keyed by the checker's ``name`` attribute;
 #: each takes the information collector (or None) and returns a fresh
 #: instance.
@@ -77,12 +88,16 @@ _CHECKER_FACTORIES = {
         collector.may_return_zero if collector else None
     ),
     "taint": _make_taint_checker,
+    "race": _make_race_checker,
 }
 
 #: every individually addressable checker name, in canonical order
 CHECKER_NAMES = tuple(_CHECKER_FACTORIES)
 
-#: named shorthands for common sets (kept for CLI/worker back-compat)
+#: named shorthands for common sets (kept for CLI/worker back-compat).
+#: ``race`` (like ``taint``) stays opt-in: it is not part of the paper's
+#: historical six, and its P2.5 matching phase has cost even on
+#: race-free code.
 CHECKER_ALIASES = {
     "default": "npd,uva,ml",
     "all": "npd,uva,ml,dl,aiu,dbz",

@@ -33,11 +33,18 @@ class DoubleLockChecker(Checker):
         if event.acquire:
             if status == "SL":
                 self._report(ctx, event, state[1], "acquired twice without release")
-            ctx.set(self.name, event.lock, ("SL", event.inst))
+                # Keep the ORIGINAL acquire site: a third acquire of the
+                # same alias set must still cite the true first acquire,
+                # not the second one that already reported.
+                ctx.set(self.name, event.lock, ("SL", state[1]))
+            else:
+                ctx.set(self.name, event.lock, ("SL", event.inst))
         else:
             if status == "SU":
                 self._report(ctx, event, state[1], "released twice without acquire")
-            ctx.set(self.name, event.lock, ("SU", event.inst))
+                ctx.set(self.name, event.lock, ("SU", state[1]))
+            else:
+                ctx.set(self.name, event.lock, ("SU", event.inst))
 
     def _report(self, ctx: TrackerContext, event: LockEvent, source, detail: str) -> None:
         ctx.report(

@@ -26,6 +26,7 @@ class BugKind(Enum):
     ARRAY_UNDERFLOW = "array index underflow"
     DIV_BY_ZERO = "division by zero"
     TAINT = "tainted data reaches sensitive sink"
+    RACE = "data race on shared state"
 
     @property
     def short(self) -> str:

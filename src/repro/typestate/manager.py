@@ -39,6 +39,11 @@ class PossibleBug:
     #: optional extra atom ("op", var_name, const) the validator must prove
     #: satisfiable together with the path constraints (underflow/div-zero).
     extra_requirement: Optional[Tuple[str, str, int]] = None
+    #: second path snapshot for *pair* findings (the race detector's
+    #: P2.5 matches): when non-empty, stage 2 validates the conjunction
+    #: of both paths' constraints (:func:`repro.smt.translate.translate_trace_pair`)
+    #: instead of a single path's.
+    second_trace: Tuple = ()
 
     @property
     def dedup_key(self) -> Tuple[str, int, int]:
@@ -133,6 +138,9 @@ class TrackerContext:
         self._known_function = known_function_fn
         self.frame_id = 0
         self.entry_function = ""
+        #: engine hook for shared-access recording (the race checker's
+        #: output channel); None when no recording engine is attached.
+        self.record_access_fn: Optional[Callable] = None
 
     # -- keys -------------------------------------------------------------------
 
@@ -194,6 +202,13 @@ class TrackerContext:
     def report(self, bug: PossibleBug) -> None:
         bug.entry_function = self.entry_function
         self._report(bug)
+
+    def record_access(self, key, is_write: bool, inst: Instruction, lockset) -> None:
+        """Record a shared-state access on the current path (race
+        detection, P2.5 input).  A no-op unless the engine attached its
+        recorder — checkers may call this unconditionally."""
+        if self.record_access_fn is not None:
+            self.record_access_fn(key, is_write, inst, lockset)
 
 
 class Checker:

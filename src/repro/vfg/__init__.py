@@ -1,6 +1,6 @@
 """Value-flow graph + source-sink reachability (the Saber regime)."""
 
 from .builder import ValueFlowGraph
-from .reachability import LeakFinding, SaberLeakDetector
+from .reachability import LeakFinding, SaberLeakDetector, escaping_malloc_sites
 
-__all__ = ["ValueFlowGraph", "LeakFinding", "SaberLeakDetector"]
+__all__ = ["ValueFlowGraph", "LeakFinding", "SaberLeakDetector", "escaping_malloc_sites"]

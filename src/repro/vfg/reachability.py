@@ -45,6 +45,15 @@ class LeakFinding:
         return self.malloc.loc.line
 
 
+def escaping_malloc_sites(program: Program, vfg: Optional[ValueFlowGraph] = None) -> "frozenset":
+    """Malloc-site uids whose objects escape their allocating function —
+    the heap side of the race detector's *shared* universe.  Reuses the
+    Saber detector's escape analysis (the same ``_escapes`` the leak
+    check consults, so "shared" and "not leaked because it escaped"
+    coincide by construction)."""
+    return SaberLeakDetector(program, vfg).escaping_sites()
+
+
 class SaberLeakDetector:
     """Value-flow source-sink leak detector; see the module docstring."""
 
@@ -132,6 +141,27 @@ class SaberLeakDetector:
             if isinstance(term, Ret) and isinstance(term.value, Var) and term.value.name in flow_set:
                 return True
         return False
+
+    def escaping_sites(self) -> "frozenset":
+        """Uids of the malloc instructions whose objects *escape* their
+        allocating function per :meth:`_escapes` — stored into memory or
+        a global, handed to an unknown external, or returned upward.
+        These are the heap objects other entry functions can observe,
+        which is what makes them *shared* for the race detector."""
+        sites: Set[int] = set()
+        for func in self.program.functions():
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if not isinstance(inst, Malloc):
+                        continue
+                    flow_set = self.vfg.reachable_from(inst.dst.name)
+                    site_objs = {
+                        self._base_obj(obj)
+                        for obj in self.vfg.points_to.points_to(inst.dst.name)
+                    }
+                    if self._escapes(func, flow_set, site_objs):
+                        sites.add(inst.uid)
+        return frozenset(sites)
 
     @staticmethod
     def _exit_reachable_avoiding(func: Function, start_block, blocked: Set[int]) -> bool:

@@ -126,8 +126,9 @@ def test_all_bug_patterns_found_by_pata():
         for fn in fns:
             snippet = fn("88011", rng)
             src = COMMON_DECLS + "\n" + "\n".join(snippet.lines) + "\n"
-            # "all,taint": the TNT patterns need the opt-in taint checker.
-            result = PATA(checker_spec="all,taint").analyze_sources([("p.c", src)])
+            # "all,taint,race": the TNT/RACE patterns need the opt-in
+            # taint and race checkers.
+            result = PATA(checker_spec="all,taint,race").analyze_sources([("p.c", src)])
             decls = COMMON_DECLS.count("\n") + 1
             for kind, start, end, _req in snippet.bugs:
                 lo, hi = decls + start + 1, decls + end + 1

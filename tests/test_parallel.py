@@ -337,7 +337,7 @@ int e2(struct s *p) { return helper(p); }
         explorer = PathExplorer(program, AnalysisConfig(), default_checkers())
         results.append(shard_result(explorer, explore_entries(explorer, shard)))
     stats = AnalysisStats()
-    merged = merge_shard_results(entries, shards, results, stats)
+    merged, _ = merge_shard_results(entries, shards, results, stats)
 
     # Both shards sight the same helper bug; the merge keeps the first
     # (entry-order) copy and books the other as a repeat — exactly what
@@ -345,6 +345,6 @@ int e2(struct s *p) { return helper(p); }
     explorer = PathExplorer(program, AnalysisConfig(), default_checkers())
     seq = shard_result(explorer, explore_entries(explorer, entries))
     seq_stats = AnalysisStats()
-    seq_merged = merge_shard_results(entries, [entries], [seq], seq_stats)
+    seq_merged, _ = merge_shard_results(entries, [entries], [seq], seq_stats)
     assert [str(b) for b in merged] == [str(b) for b in seq_merged]
     assert stats.dropped_repeated_bugs == seq_stats.dropped_repeated_bugs
