@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-incremental report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,11 @@ bench-taint:
 # corpus; writes BENCH_race.json.
 bench-race:
 	$(PYTHON) -m pytest benchmarks/bench_components.py -k race_checker_vs_eraser -q --benchmark-disable
+
+# Incremental cache cold/warm/one-function-edit comparison on the linux
+# corpus; writes BENCH_incremental.json.
+bench-incremental:
+	$(PYTHON) -m pytest benchmarks/bench_components.py -k incremental_cold_warm_edit -q --benchmark-disable
 
 # IR-verify every generated corpus module (all evaluation profiles plus
 # the taintlab/racelab checker corpora).

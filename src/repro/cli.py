@@ -80,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(P1.5) entry/path pruning")
     check.add_argument("--stats", action="store_true",
                        help="print a per-entry-function stats table")
+    check.add_argument("--stats-json", metavar="FILE", default=None,
+                       help="write the full stats counters (plus per-entry rows) "
+                            "as JSON to FILE ('-' = stdout)")
+    check.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="incremental-cache directory (created on first "
+                            "--cache rw run); reports are byte-identical with "
+                            "the cache cold, warm, or partially populated")
+    check.add_argument("--cache", choices=["off", "ro", "rw"], default="off",
+                       help="incremental cache mode: off (default), ro (reuse "
+                            "summaries, write nothing), rw (reuse and commit "
+                            "new summaries at exit)")
     check.add_argument("--confirm", action="store_true",
                        help="re-run each report in the concrete interpreter "
                             "over adversarial inputs and tag confirmed bugs")
@@ -153,8 +164,15 @@ def cmd_check(args) -> int:
             print(f"error: no such file: {name}", file=sys.stderr)
             return 2
         sources.append((str(path), path.read_text()))
+    if args.cache != "off" and not args.cache_dir:
+        print("error: --cache ro/rw requires --cache-dir PATH", file=sys.stderr)
+        return 2
+    if args.cache_dir and args.cache == "off":
+        print("warning: --cache-dir given but --cache is off; caching disabled",
+              file=sys.stderr)
     config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers,
-                            prune=not args.no_prune)
+                            prune=not args.no_prune,
+                            cache_dir=args.cache_dir, cache_mode=args.cache)
     if args.max_paths is not None:
         config.max_paths_per_entry = args.max_paths
     if args.na:
@@ -165,7 +183,20 @@ def cmd_check(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = pata.analyze_sources(sources)
+    if config.cache_active():
+        # Layer-0 frontend cache: unchanged files skip the parser and
+        # lowering entirely.  The store is committed here (parent
+        # process, before analysis) — PATA opens its own handle for the
+        # summary layers and performs the second, analysis-side commit.
+        from .incremental import compile_with_cache, open_store
+
+        store = open_store(config.cache_dir, config.cache_mode)
+        program = compile_with_cache(sources, store)
+        if store is not None:
+            store.commit()
+        result = pata.analyze(program)
+    else:
+        result = pata.analyze_sources(sources)
 
     confirmations = {}
     if args.confirm and result.reports:
@@ -176,6 +207,14 @@ def cmd_check(args) -> int:
         confirmer = DynamicConfirmer(program)
         for report, confirmation in zip(result.reports, confirmer.confirm_all(result.reports)):
             confirmations[id(report)] = confirmation
+
+    if args.stats_json:
+        stats_payload = {"version": __version__, **result.stats.to_dict()}
+        stats_text = json.dumps(stats_payload, indent=2)
+        if args.stats_json == "-":
+            print(stats_text)
+        else:
+            pathlib.Path(args.stats_json).write_text(stats_text + "\n")
 
     if args.json:
         payload = {
@@ -211,6 +250,10 @@ def cmd_check(args) -> int:
                 "entries_skipped": result.stats.entries_skipped,
                 "blocks_pruned": result.stats.blocks_pruned,
                 "paths_pruned": result.stats.paths_pruned,
+                "cache_hits": result.stats.cache_hits,
+                "cache_misses": result.stats.cache_misses,
+                "entries_cached": result.stats.entries_cached,
+                "entries_reanalyzed": result.stats.entries_reanalyzed,
                 **(
                     {
                         "per_entry": [
@@ -223,6 +266,7 @@ def cmd_check(args) -> int:
                                 "paths_pruned": e.paths_pruned,
                                 "blocks_pruned": e.blocks_pruned,
                                 "skipped": e.skipped,
+                                "cached": e.cached,
                             }
                             for e in result.stats.per_entry
                         ]

@@ -60,6 +60,18 @@ class AnalysisConfig:
     #: one thread per entry, §4): 1 = in-process sequential, 0 = one per
     #: CPU (os.cpu_count()), N > 1 = exactly N processes
     workers: int = 1
+    #: incremental-cache directory (None = caching off).  See
+    #: :mod:`repro.incremental`; results are byte-identical with the
+    #: cache on, off, or partially populated.
+    cache_dir: Optional[str] = None
+    #: "off" (ignore cache_dir), "ro" (read, never write — what worker
+    #: processes use), or "rw" (read, and commit new summaries at the
+    #: end of the run; the parent process is the single writer)
+    cache_mode: str = "off"
+
+    def cache_active(self) -> bool:
+        """Whether this run consults the incremental cache at all."""
+        return self.cache_dir is not None and self.cache_mode in ("ro", "rw")
 
     def resolved_workers(self) -> int:
         """The effective worker count (``0`` expands to the CPU count)."""

@@ -65,11 +65,20 @@ class EntryOutcome:
     """One entry function's exploration record: its stats row plus the
     bugs *first sighted* while exploring it (after in-shard dedup), and
     the shared-state accesses the race checker recorded there (empty
-    unless a race checker is registered)."""
+    unless a race checker is registered).
+
+    The three counters are this entry's *deltas* of the explorer's
+    cumulative typestate/repeat counters — each is a deterministic
+    function of the entry alone, which is what lets the incremental
+    cache serve a single entry's outcome and still reproduce the
+    whole-run ``--stats`` totals exactly."""
 
     stats: EntryStats
     bugs: List[PossibleBug] = field(default_factory=list)
     accesses: List[SharedAccess] = field(default_factory=list)
+    aware_updates: int = 0
+    unaware_updates: int = 0
+    repeated_bugs: int = 0
 
 
 @dataclass
@@ -82,14 +91,33 @@ class ShardResult:
     repeated_bugs: int = 0
 
 
-def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List[EntryOutcome]:
+def explore_entries(
+    explorer: PathExplorer,
+    entries: Sequence[Function],
+    per_entry_dedup: bool = False,
+) -> List[EntryOutcome]:
     """Walk ``entries`` in order through ``explorer``, slicing the shared
     ``possible_bugs`` list per entry.  Used by both the in-process path
-    and the worker processes, so their per-entry records agree exactly."""
+    and the worker processes, so their per-entry records agree exactly.
+
+    ``per_entry_dedup`` resets the explorer's cross-entry seen-key sets
+    before each entry, making every outcome's bug/access lists a function
+    of that entry *alone* — required whenever outcomes may be cached (a
+    cumulative list would silently omit bugs first sighted under an
+    entry that later changes).  The merged result is identical either
+    way: :func:`merge_shard_results` re-applies first-sighting-in-entry-
+    order dedup, and every drop it performs there is counted in the same
+    ``dropped_repeated_bugs`` total the cumulative mode produces."""
     outcomes: List[EntryOutcome] = []
     for entry in entries:
+        if per_entry_dedup:
+            explorer.seen_bug_keys.clear()
+            explorer.seen_access_keys.clear()
         before = len(explorer.possible_bugs)
         accesses_before = len(explorer.shared_accesses)
+        aware_before = explorer.store.aware_updates
+        unaware_before = explorer.store.unaware_updates
+        repeated_before = explorer.repeated_bugs
         started = time.perf_counter()
         explorer.explore(entry)
         outcomes.append(
@@ -105,6 +133,9 @@ def explore_entries(explorer: PathExplorer, entries: Sequence[Function]) -> List
                 ),
                 bugs=explorer.possible_bugs[before:],
                 accesses=explorer.shared_accesses[accesses_before:],
+                aware_updates=explorer.store.aware_updates - aware_before,
+                unaware_updates=explorer.store.unaware_updates - unaware_before,
+                repeated_bugs=explorer.repeated_bugs - repeated_before,
             )
         )
     return outcomes
@@ -135,8 +166,23 @@ def _run_shard(
         program = pickle.loads(program_bytes)
         collector = InformationCollector(program)
     checkers = checkers_from_spec(checker_spec, collector)
+    entries = []
+    for name in entry_names:
+        func = program.lookup(name)
+        if func is None:  # pragma: no cover - names come from this program
+            raise KeyError(f"entry function {name!r} not found in worker program")
+        entries.append(func)
     relevance = None
     if config.prune:
+        if config.cache_active():
+            # Workers touch the incremental cache strictly read-only:
+            # when every shard entry's relevance mask is cached (layer
+            # b), the shim replaces the summary-index build below.  Any
+            # miss falls through to the live pre-analysis.
+            from ..incremental import load_cached_masks
+
+            relevance = load_cached_masks(program, config, checker_spec, entries)
+    if config.prune and relevance is None:
         # Each worker rebuilds the P1.5 pre-analysis from its own program
         # copy: summaries are a deterministic function of (program,
         # checkers, config), and block uids survive fork and pickling, so
@@ -167,13 +213,10 @@ def _run_shard(
     assert not explorer.possible_bugs and not explorer.seen_bug_keys, (
         "worker shard must use a fresh PathExplorer"
     )
-    entries = []
-    for name in entry_names:
-        func = program.lookup(name)
-        if func is None:  # pragma: no cover - names come from this program
-            raise KeyError(f"entry function {name!r} not found in worker program")
-        entries.append(func)
-    return shard_result(explorer, explore_entries(explorer, entries))
+    return shard_result(
+        explorer,
+        explore_entries(explorer, entries, per_entry_dedup=config.cache_active()),
+    )
 
 
 def run_parallel(

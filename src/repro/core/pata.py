@@ -74,7 +74,22 @@ class PATA:
             from ..ir import optimize_program
 
             optimize_program(program)
-        collector = InformationCollector(program)
+            # Compile-time fingerprints print the unoptimized IR; after
+            # rewriting, they would poison every cache key.
+            program.__dict__.pop("_pata_fingerprints", None)
+        # Incremental cache (opt-in): fingerprint the program and open the
+        # summary store before P1, so cached collector facts can seed it.
+        # `incr` stays None when caching is off or cannot apply (live
+        # checker objects, wall-clock budgets) — every later cache branch
+        # collapses to today's behaviour then.
+        incr = None
+        if self.config.cache_active():
+            from ..incremental import open_incremental
+
+            incr = open_incremental(program, self.config, self._checker_spec())
+        collector = InformationCollector(
+            program, cached_facts=incr.cached_facts() if incr is not None else None
+        )
         stats = AnalysisStats(
             analyzed_files=len(program.modules),
             analyzed_lines=program.total_source_lines(),
@@ -86,10 +101,25 @@ class PATA:
         # here, *before* sharding, so skipped entries never reach a
         # worker; block pruning happens inside each explorer through the
         # `relevance` handle (workers rebuild their own, see parallel.py).
+        # With a warm cache the partition comes from cached relevance
+        # masks and per-entry outcomes instead, and the pre-analysis is
+        # only built when some dirty entry lacks a cached mask.
         relevance = None
         analyzed_list = list(entry_list)
         skipped_names: List[str] = []
-        if self.config.prune:
+        cached_outcomes = {}
+        if incr is not None:
+            plan = incr.plan(entry_list)
+            cached_outcomes = plan.cached
+            skipped_names = list(plan.skipped)
+            analyzed_list = plan.dirty
+            if self.config.prune and plan.dirty and not plan.needs_relevance:
+                from ..incremental import CachedRelevance
+
+                relevance = CachedRelevance(plan.masks)
+        if self.config.prune and relevance is None and (
+            incr is None or (plan.needs_relevance and analyzed_list)
+        ):
             from ..presolve import RelevancePreAnalysis, ScanContext
 
             relevance = RelevancePreAnalysis(
@@ -101,8 +131,9 @@ class PATA:
                 ),
                 resolve_function_pointers=self.config.resolve_function_pointers,
             )
-            analyzed_list, skipped_names = relevance.partition_entries(entry_list)
-            stats.entries_skipped = len(skipped_names)
+            analyzed_list, live_skipped = relevance.partition_entries(analyzed_list)
+            skipped_names.extend(live_skipped)
+        stats.entries_skipped = len(skipped_names)
 
         # P2: explore every entry — sharded across worker processes when
         # configured (the paper's thread-per-entry, §4), in-process
@@ -134,8 +165,43 @@ class PATA:
                 relevance=relevance,
             )
             shards = [list(analyzed_list)]
-            results = [shard_result(explorer, explore_entries(explorer, analyzed_list))]
-        possible_bugs, shared_accesses = merge_shard_results(analyzed_list, shards, results, stats)
+            results = [
+                shard_result(
+                    explorer,
+                    explore_entries(
+                        explorer, analyzed_list, per_entry_dedup=incr is not None
+                    ),
+                )
+            ]
+        if incr is not None:
+            stats.entries_reanalyzed = len(analyzed_list)
+        merge_list = analyzed_list
+        if cached_outcomes:
+            # Splice the cache hits in as one extra pseudo-shard; the
+            # deterministic entry-order merge below then treats them
+            # exactly like freshly explored outcomes, so mixed
+            # cached/fresh runs dedup — and race-match — identically to
+            # a cold run.
+            from .parallel import ShardResult
+
+            hit_entries = [f for f in entry_list if f.name in cached_outcomes]
+            hit_outcomes = [cached_outcomes[f.name] for f in hit_entries]
+            shards = list(shards) + [hit_entries]
+            results = list(results) + [
+                ShardResult(
+                    entries=hit_outcomes,
+                    aware_updates=sum(o.aware_updates for o in hit_outcomes),
+                    unaware_updates=sum(o.unaware_updates for o in hit_outcomes),
+                    repeated_bugs=sum(o.repeated_bugs for o in hit_outcomes),
+                )
+            ]
+            explored = {func.name for func in analyzed_list}
+            merge_list = [
+                func for func in entry_list
+                if func.name in explored or func.name in cached_outcomes
+            ]
+            stats.entries_cached = len(hit_entries)
+        possible_bugs, shared_accesses = merge_shard_results(merge_list, shards, results, stats)
         # P2.5: cross-entry race matching.  Accesses only exist when a
         # race checker is registered; the matcher pairs same-key accesses
         # from different entries with disjoint locksets (≥1 write) into
@@ -155,6 +221,19 @@ class PATA:
             for name in skipped_names:
                 by_name[name] = EntryStats(name=name, skipped=True)
             stats.per_entry = [by_name[func.name] for func in entry_list]
+
+        if incr is not None:
+            # Parent-only, single-writer commit of all cache layers (a
+            # no-op under --cache ro).  Staged before P3 so the cached
+            # outcomes are the same objects the filter validates.
+            outcome_by_name = {}
+            for shard, result in zip(shards, results):
+                for func, outcome in zip(shard, result.entries):
+                    outcome_by_name[func.name] = outcome
+            incr.commit(collector, relevance, analyzed_list, outcome_by_name, skipped_names)
+            stats.cache_hits = incr.store.hits
+            stats.cache_misses = incr.store.misses
+            stats.cache_corrupt = incr.store.corrupt
 
         bug_filter = BugFilter(
             self.config.validate_paths,

@@ -81,6 +81,9 @@ class EntryStats:
     blocks_pruned: int = 0
     #: True when the P1.5 entry pruning skipped this entry outright
     skipped: bool = False
+    #: True when this entry's outcome was loaded from the incremental
+    #: cache rather than explored (wall_seconds is 0 by definition then)
+    cached: bool = False
 
 
 @dataclass
@@ -112,16 +115,42 @@ class AnalysisStats:
     #: the race checker, and disjoint-lockset pairs sent to stage 2
     shared_accesses: int = 0
     race_pairs_matched: int = 0
+    #: incremental cache (zero unless ``--cache`` is active): object
+    #: store hits/misses across all layers, objects that failed their
+    #: checksum, entries served from cache, entries this run explored
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    entries_cached: int = 0
+    entries_reanalyzed: int = 0
     #: one record per analyzed entry function, in entry-list order
     per_entry: List[EntryStats] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-ready view of every counter plus the per-entry rows
+        (CLI ``--stats-json``).  Scalars only — safe to ``json.dump``."""
+        scalars = {
+            name: value
+            for name, value in vars(self).items()
+            if isinstance(value, (int, float, bool))
+        }
+        scalars["per_entry"] = [dict(vars(e)) for e in self.per_entry]
+        return scalars
+
     def render_entry_table(self) -> str:
         """ASCII table of the per-entry records (CLI ``--stats``)."""
+
+        def status(e: EntryStats) -> str:
+            if e.skipped:
+                return "skipped"
+            if e.cached:
+                return "cached"
+            return "exhausted" if e.budget_exhausted else "ok"
+
         headers = ["entry", "paths", "steps", "pruned", "seconds", "budget"]
         rows = [
             [e.name, str(e.paths), str(e.steps), str(e.paths_pruned),
-             f"{e.wall_seconds:.3f}",
-             "skipped" if e.skipped else ("exhausted" if e.budget_exhausted else "ok")]
+             f"{e.wall_seconds:.3f}", status(e)]
             for e in self.per_entry
         ]
         widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)

@@ -1,0 +1,59 @@
+"""Incremental analysis: a content-addressed summary cache with
+callgraph-closure invalidation (warm-start PATA).
+
+The subsystem splits into four modules:
+
+* :mod:`.fingerprint` — key derivation: canonical-print function
+  fingerprints, SCC-condensed transitive closure keys, the
+  indirect-dispatch pool stamp, checker-spec and config fingerprints;
+* :mod:`.store` — the on-disk object store: checksummed reads, staged
+  single-writer atomic commits, versioned header;
+* :mod:`.coords` — stable instruction coordinates and outcome
+  rehydration across process boundaries (uids are process-local);
+* :mod:`.engine` — orchestration: :class:`IncrementalContext` drives
+  plan/load/commit inside :meth:`repro.core.pata.PATA.analyze`;
+  :func:`compile_with_cache` is the frontend (layer-0) cache.
+
+Cache layers (see :mod:`.engine` for the key table): compiled modules,
+P1 collector facts, P1.5 relevance masks, per-entry P2 outcomes.
+Corruption, version skew, and stale coordinates all degrade to warned
+misses — a cache can make a run faster, never wrong.
+"""
+
+from .coords import CoordIndex, StaleEntry, renumber_program
+from .engine import (
+    CachedRelevance,
+    IncrementalContext,
+    IncrementalPlan,
+    compile_with_cache,
+    load_cached_masks,
+    open_incremental,
+)
+from .fingerprint import (
+    TransitiveKeys,
+    engine_config_fingerprint,
+    function_fingerprints,
+    presolve_config_fingerprint,
+    spec_fingerprint,
+)
+from .store import CACHE_FORMAT, CacheStore, open_store
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CacheStore",
+    "CachedRelevance",
+    "CoordIndex",
+    "IncrementalContext",
+    "IncrementalPlan",
+    "StaleEntry",
+    "TransitiveKeys",
+    "compile_with_cache",
+    "engine_config_fingerprint",
+    "function_fingerprints",
+    "load_cached_masks",
+    "open_incremental",
+    "open_store",
+    "presolve_config_fingerprint",
+    "renumber_program",
+    "spec_fingerprint",
+]

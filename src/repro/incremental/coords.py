@@ -1,0 +1,217 @@
+"""Stable instruction coordinates and cross-run rehydration.
+
+Instruction and block ``uid``\\ s are *process-local* counters: a cached
+P2 outcome unpickled in a later run carries uids that mean nothing to —
+or worse, collide with — the current program.  This module gives every
+instruction, terminator, and block a **coordinate** that *is* stable
+across runs for an unchanged function::
+
+    (function name, block index, instruction index)   # -1 = terminator
+
+A cache hit's entry has an unchanged callgraph closure (that is what the
+transitive key certifies), so every instruction its traces mention still
+sits at the same coordinate in the current program; rehydration swaps
+each unpickled copy for the current program's own object.  After that a
+cached outcome is indistinguishable from one the current run explored:
+uid-based dedup keys, race-matcher sort orders, and ``heap#<uid>``
+shared-state roots all agree with freshly analyzed entries.
+
+The module also owns :func:`renumber_program` — after assembling a
+program from cached (unpickled) modules, every uid is reassigned from
+the live process counters so they cannot collide with IR compiled fresh
+in the same process.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir import Instruction, Program, Terminator
+
+#: coordinate of one instruction: (function, block index, instruction
+#: index); the terminator of a block sits at instruction index -1
+Coord = Tuple[str, int, int]
+
+_HEAP_ROOT = re.compile(r"heap#(\d+)")
+
+
+class StaleEntry(Exception):
+    """A cached object references a coordinate the current program does
+    not have (or vice versa) — the entry predates the current cache-key
+    scheme or the key derivation missed a dependency.  Callers treat it
+    as a miss; soundness never rests on this path being unreachable."""
+
+
+def _walk(program: Program) -> Iterator[Tuple[Coord, object]]:
+    for func in program.functions():
+        for block_index, block in enumerate(func.blocks):
+            for inst_index, inst in enumerate(block.instructions):
+                yield (func.name, block_index, inst_index), inst
+            if block.terminator is not None:
+                yield (func.name, block_index, -1), block.terminator
+
+
+class CoordIndex:
+    """Bidirectional uid ⇄ coordinate maps over one program, built once
+    per analysis (one linear walk) and shared by every snapshot/
+    rehydrate call."""
+
+    def __init__(self, program: Program):
+        self.by_uid: Dict[int, Coord] = {}
+        self.by_coord: Dict[Coord, object] = {}
+        for coord, inst in _walk(program):
+            self.by_uid[inst.uid] = coord
+            self.by_coord[coord] = inst
+
+    def coord_of(self, uid: int) -> Coord:
+        try:
+            return self.by_uid[uid]
+        except KeyError:
+            raise StaleEntry(f"uid {uid} has no coordinate in this program")
+
+    def resolve(self, coord) -> object:
+        inst = self.by_coord.get(tuple(coord))
+        if inst is None:
+            raise StaleEntry(f"coordinate {coord!r} not present in this program")
+        return inst
+
+    # -- block coordinates (layer b: dead-block masks) -----------------------
+
+    def block_coords(self, func, uids) -> List[int]:
+        """Dead-block uids of ``func`` → sorted stable block indexes."""
+        index_of = {block.uid: i for i, block in enumerate(func.blocks)}
+        out = []
+        for uid in uids:
+            if uid not in index_of:
+                raise StaleEntry(f"block uid {uid} not in function {func.name}")
+            out.append(index_of[uid])
+        return sorted(out)
+
+    @staticmethod
+    def resolve_block_coords(func, indexes) -> frozenset:
+        """Stable block indexes → the current function's block uids."""
+        blocks = func.blocks
+        try:
+            return frozenset(blocks[i].uid for i in indexes)
+        except IndexError:
+            raise StaleEntry(
+                f"block index out of range for function {func.name}"
+            )
+
+
+# -- outcome snapshot / rehydrate -------------------------------------------
+
+
+def _is_inst(obj) -> bool:
+    return isinstance(obj, (Instruction, Terminator))
+
+
+def _trace_uids(trace) -> Iterator[int]:
+    for step in trace:
+        for item in step:
+            if _is_inst(item):
+                yield item.uid
+
+
+def _key_uids(key) -> Iterator[int]:
+    for match in _HEAP_ROOT.finditer(key[0]):
+        yield int(match.group(1))
+
+
+def outcome_coords(outcome, index: CoordIndex) -> Dict[int, Coord]:
+    """uid → coordinate for every instruction a cached outcome mentions:
+    bug sources/sinks, trace steps, access instructions, and the malloc
+    uids embedded in ``heap#N`` shared-state roots (keys and locksets).
+    Stored alongside the pickled outcome; the loading run inverts it."""
+    coords: Dict[int, Coord] = {}
+
+    def note(uid: int) -> None:
+        if uid not in coords:
+            coords[uid] = index.coord_of(uid)
+
+    for bug in outcome.bugs:
+        note(bug.source.uid)
+        note(bug.sink.uid)
+        for uid in _trace_uids(bug.trace):
+            note(uid)
+        for uid in _trace_uids(bug.second_trace):
+            note(uid)
+    for access in outcome.accesses:
+        note(access.inst.uid)
+        for uid in _trace_uids(access.trace):
+            note(uid)
+        for uid in _key_uids(access.key):
+            note(uid)
+        for lock in access.lockset:
+            for uid in _key_uids(lock):
+                note(uid)
+    return coords
+
+
+def rehydrate_outcome(outcome, coords: Dict[int, Coord], index: CoordIndex):
+    """Swap every unpickled instruction (and ``heap#N`` root) in
+    ``outcome`` for the current program's object at the recorded
+    coordinate, **in place**.  Raises :class:`StaleEntry` when any
+    coordinate no longer resolves — the caller downgrades to a miss."""
+
+    resolved: Dict[int, object] = {
+        uid: index.resolve(coord) for uid, coord in coords.items()
+    }
+
+    def map_inst(inst):
+        try:
+            return resolved[inst.uid]
+        except KeyError:
+            raise StaleEntry(f"uid {inst.uid} missing from coordinate table")
+
+    def map_trace(trace) -> Tuple:
+        return tuple(
+            tuple(map_inst(item) if _is_inst(item) else item for item in step)
+            for step in trace
+        )
+
+    def map_root(root: str) -> str:
+        def sub(match) -> str:
+            old = int(match.group(1))
+            try:
+                return f"heap#{resolved[old].uid}"
+            except KeyError:
+                raise StaleEntry(f"heap uid {old} missing from coordinate table")
+        return _HEAP_ROOT.sub(sub, root)
+
+    def map_key(key):
+        return (map_root(key[0]), key[1])
+
+    for bug in outcome.bugs:
+        bug.source = map_inst(bug.source)
+        bug.sink = map_inst(bug.sink)
+        bug.trace = map_trace(bug.trace)
+        if bug.second_trace:
+            bug.second_trace = map_trace(bug.second_trace)
+    for access in outcome.accesses:
+        access.inst = map_inst(access.inst)
+        access.trace = map_trace(access.trace)
+        access.key = map_key(access.key)
+        access.lockset = frozenset(map_key(lock) for lock in access.lockset)
+    return outcome
+
+
+def renumber_program(program: Program) -> None:
+    """Reassign every block/instruction/terminator uid from the live
+    process counters, in deterministic program order.  Mandatory after
+    assembling a program from unpickled cached modules: their pickled
+    uids come from another process's counters and could collide with IR
+    compiled fresh in this one (colliding dedup keys silently drop
+    reports)."""
+    from ..ir.function import _block_ids
+    from ..ir.instructions import _ids
+
+    for module in program.modules:
+        for func in module.functions.values():
+            for block in func.blocks:
+                block.uid = next(_block_ids)
+                for inst in block.instructions:
+                    inst.uid = next(_ids)
+                if block.terminator is not None:
+                    block.terminator.uid = next(_ids)

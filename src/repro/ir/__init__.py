@@ -52,7 +52,14 @@ from .instructions import (
 )
 from .function import BasicBlock, Function, InterfaceRegistration, Module, Program
 from .builder import IRBuilder
-from .printer import format_block, format_function, format_module
+from .printer import (
+    canonical_function_print,
+    canonical_module_environment,
+    canonical_program_print,
+    format_block,
+    format_function,
+    format_module,
+)
 from .verify import assert_valid, verify_function, verify_module, verify_program
 from .passes import (
     fold_constants,
@@ -74,6 +81,7 @@ __all__ = [
     "BasicBlock", "Function", "InterfaceRegistration", "Module", "Program",
     "IRBuilder",
     "format_block", "format_function", "format_module",
+    "canonical_function_print", "canonical_module_environment", "canonical_program_print",
     "assert_valid", "verify_function", "verify_module", "verify_program",
     "fold_constants", "optimize_function", "optimize_module",
     "optimize_program", "remove_unreachable_blocks", "thread_jumps",

@@ -1,4 +1,18 @@
-"""Textual rendering of IR modules/functions, for debugging and tests."""
+"""Textual rendering of IR modules/functions, for debugging and tests.
+
+Two families of renderers live here:
+
+* ``format_*`` — the debugging forms, unchanged since the IR landed;
+* ``canonical_*`` — **byte-deterministic** forms used as content-address
+  keys by the incremental cache (:mod:`repro.incremental`).  They extend
+  the debugging forms with source locations (a cached bug report renders
+  ``file:line``, so two functions that differ only in line numbers must
+  fingerprint differently) and sort every container whose order is not
+  semantically meaningful (structs, globals) by name, so the output is
+  identical across processes, hash seeds, and dict insertion orders.
+  Blocks, instructions, struct fields, and registrations keep their
+  declared order — that order *is* semantics.
+"""
 
 from __future__ import annotations
 
@@ -29,6 +43,75 @@ def format_function(func: Function) -> str:
         return f"{prefix}declare {func.return_type} @{func.name}({params})"
     body = "\n".join(format_block(b) for b in func.blocks)
     return f"{header}\n{body}\n}}"
+
+
+def canonical_function_print(func: Function) -> str:
+    """Byte-deterministic rendering of one function, locations included.
+
+    This is the incremental cache's per-function content key: any change
+    that can alter analysis results or report rendering — instruction
+    stream, types, flags (``static``/``interface``), or source positions
+    — must change this string.  Conversely it must be bit-identical for
+    an unchanged function regardless of process, ``PYTHONHASHSEED``, or
+    compile order (uids are deliberately excluded: they are
+    process-local)."""
+    params = ", ".join(f"{p.type} {p}" for p in func.params)
+    flags = []
+    if func.is_static:
+        flags.append("static")
+    if func.is_interface:
+        flags.append("interface")
+    if func.variadic:
+        flags.append("variadic")
+    prefix = (" ".join(flags) + " ") if flags else ""
+    lines = [
+        f"{prefix}define {func.return_type} @{func.name}({params})"
+        f" ; {func.filename}:{func.line}"
+    ]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst} ; {inst.loc}")
+        if block.terminator is not None:
+            term = block.terminator
+            lines.append(f"  {term} ; {term.loc}")
+    return "\n".join(lines)
+
+
+def canonical_module_environment(module: Module) -> str:
+    """Byte-deterministic rendering of a module's non-function contents:
+    struct layouts, globals, and interface registrations.  Structs and
+    globals sort by name (their dict order is an artifact of declaration
+    interleaving); struct *fields* and registrations keep declared order
+    (field order is layout, registration order feeds indirect-target
+    resolution)."""
+    parts = [f"module {module.name}"]
+    for name in sorted(module.structs):
+        struct = module.structs[name]
+        fields = "; ".join(f"{ty} {fname}" for fname, ty in struct.fields.items())
+        parts.append(f"struct {name} {{ {fields} }}")
+    for name in sorted(module.globals):
+        parts.append(f"global {module.globals[name].type} {name}")
+    for reg in module.registrations:
+        parts.append(
+            f"register .{reg.field} = {reg.function} in {reg.struct_var}"
+            f" ({reg.struct_type.name if reg.struct_type is not None else '?'})"
+        )
+    return "\n".join(parts)
+
+
+def canonical_program_print(program) -> str:
+    """Byte-deterministic rendering of a whole program: module
+    environments plus every function, modules sorted by name.  Used by
+    the printer-determinism regression test; the cache fingerprints
+    functions individually rather than hashing this."""
+    chunks = []
+    for module in sorted(program.modules, key=lambda m: m.name):
+        chunks.append(canonical_module_environment(module))
+        for func in module.functions.values():
+            if not func.is_declaration:
+                chunks.append(canonical_function_print(func))
+    return "\n\n".join(chunks)
 
 
 def format_module(module: Module) -> str:

@@ -1,0 +1,528 @@
+"""Incremental-analysis subsystem tests (store, fingerprints, invalidation).
+
+Four layers of coverage:
+
+* the object store: atomic commits, checksummed reads, corruption and
+  version skew degrading to warned misses;
+* key derivation: canonical-printer byte-determinism across processes
+  and hash seeds, closure-exact invalidation, pool-stamp invalidation,
+  spec canonicalization;
+* PATA-level warm starts: a leaf-callee edit re-analyzes exactly its
+  caller closure, a registration added to the indirect-call pool
+  invalidates only entries that may dispatch into it, a checker-spec
+  change re-runs layers b/c but reuses layer-a facts;
+* the CLI surface: ``--cache``/``--cache-dir`` validation, warm-run
+  equivalence, ``--stats-json``.
+
+The cold/warm/mixed byte-equality sweep lives in
+``test_incremental_differential.py``.
+"""
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.cli import main as cli_main
+from repro.corpus import PROFILES_BY_NAME, generate
+from repro.incremental import (
+    CacheStore,
+    TransitiveKeys,
+    compile_with_cache,
+    open_store,
+    spec_fingerprint,
+)
+from repro.lang import compile_program
+
+
+# ---------------------------------------------------------------------------
+# Shared fixtures: a three-entry program with a clean closure structure
+# ---------------------------------------------------------------------------
+
+HELPER_V1 = r"""
+static int helper(int n) {
+    return n + 1;
+}
+int top(int n) {
+    int *p = malloc(8);
+    *p = helper(n);
+    free(p);
+    return 0;
+}
+"""
+
+HELPER_V2 = r"""
+static int helper(int n) {
+    return n + 2;
+}
+int top(int n) {
+    int *p = malloc(8);
+    *p = helper(n);
+    free(p);
+    return 0;
+}
+"""
+
+OTHER = r"""
+int other(int n) {
+    int *q = malloc(8);
+    if (!q) return -1;
+    *q = n;
+    free(q);
+    return 0;
+}
+"""
+
+THIRD = r"""
+int third(int n) {
+    int *r = malloc(8);
+    if (!r) return -1;
+    *r = n * 2;
+    free(r);
+    return 0;
+}
+"""
+
+
+def _sources(helper=HELPER_V1):
+    return [("a.c", helper), ("b.c", OTHER), ("c.c", THIRD)]
+
+
+def _analyze(sources, cache_dir=None, cache_mode="off", workers=1, spec="default",
+             **config_kwargs):
+    config = AnalysisConfig(workers=workers, cache_dir=cache_dir,
+                            cache_mode=cache_mode, **config_kwargs)
+    pata = PATA(config=config, checker_spec=spec)
+    if config.cache_active():
+        store = open_store(cache_dir, cache_mode)
+        program = compile_with_cache(sources, store)
+        if store is not None:
+            store.commit()
+        return pata.analyze(program)
+    return pata.analyze(compile_program(sources))
+
+
+def _report_text(result):
+    return "\n\n".join(r.render() for r in result.reports)
+
+
+def _entry_status(result):
+    """name -> 'cached' | 'skipped' | 'analyzed' for every entry row."""
+    out = {}
+    for row in result.stats.per_entry:
+        out[row.name] = "cached" if row.cached else ("skipped" if row.skipped else "analyzed")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Object store
+# ---------------------------------------------------------------------------
+
+
+def test_store_roundtrip_across_instances(tmp_path):
+    store = CacheStore(str(tmp_path), "rw")
+    key = CacheStore.object_key("test", "object")
+    store.put(key, {"payload": [1, 2, 3]})
+    # Staged values are visible before the commit...
+    assert store.get(key) == {"payload": [1, 2, 3]}
+    assert store.commit() == 1
+    # ...and durable after it, from a fresh handle.
+    again = CacheStore(str(tmp_path), "ro")
+    assert again.get(key) == {"payload": [1, 2, 3]}
+    assert again.hits == 1 and again.misses == 0
+
+
+def test_store_ro_mode_never_writes(tmp_path):
+    store = CacheStore(str(tmp_path / "cache"), "ro")
+    key = CacheStore.object_key("test", "ro")
+    store.put(key, "value")
+    assert store.commit() == 0
+    assert store.get(key) is None
+    assert not (tmp_path / "cache" / "objects").exists() or not any(
+        (tmp_path / "cache" / "objects").rglob("*.bin")
+    )
+
+
+def test_store_put_skips_existing_objects(tmp_path):
+    store = CacheStore(str(tmp_path), "rw")
+    key = CacheStore.object_key("test", "dup")
+    store.put(key, "value")
+    store.commit()
+    second = CacheStore(str(tmp_path), "rw")
+    second.put(key, "value")
+    assert second.commit() == 0  # same key => same content; nothing rewritten
+
+
+@pytest.mark.parametrize("damage", ["truncate", "bitflip", "garbage", "empty"])
+def test_store_corruption_is_a_warned_miss(tmp_path, caplog, damage):
+    store = CacheStore(str(tmp_path), "rw")
+    key = CacheStore.object_key("test", "corrupt", damage)
+    store.put(key, list(range(100)))
+    store.commit()
+    [path] = list((tmp_path / "objects").rglob("*.bin"))
+    blob = path.read_bytes()
+    if damage == "truncate":
+        path.write_bytes(blob[: len(blob) // 2])
+    elif damage == "bitflip":
+        path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+    elif damage == "garbage":
+        path.write_bytes(b"not a cache object at all")
+    else:
+        path.write_bytes(b"")
+    victim = CacheStore(str(tmp_path), "ro")
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        assert victim.get(key) is None
+    assert victim.misses == 1 and victim.corrupt == 1
+    assert any("treating as a miss" in r.message for r in caplog.records)
+
+
+def test_store_version_skew_warns_and_misses(tmp_path, caplog):
+    store = CacheStore(str(tmp_path), "rw")
+    store.put(CacheStore.object_key("test", "v"), 1)
+    store.commit()
+    (tmp_path / "meta.json").write_text(json.dumps({"format": 0, "engine": "0.0.0"}))
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        CacheStore(str(tmp_path), "ro")
+    assert any("written by engine" in r.message for r in caplog.records)
+
+
+def test_open_store_unopenable_dir_is_none(tmp_path, caplog):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file where the cache dir should be")
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        assert open_store(str(blocker), "rw") is None
+    assert open_store(None, "rw") is None
+    assert open_store(str(tmp_path), "off") is None
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: canonical printer byte-determinism across processes
+# ---------------------------------------------------------------------------
+
+_PRINT_SNIPPET = r"""
+import hashlib, sys
+from repro.corpus import PROFILES_BY_NAME, generate
+from repro.ir import canonical_program_print
+from repro.lang import compile_program
+
+corpus = generate(PROFILES_BY_NAME["linux"].scaled(0.1))
+program = compile_program(corpus.compiled_sources())
+text = canonical_program_print(program)
+sys.stdout.write(hashlib.sha256(text.encode()).hexdigest())
+"""
+
+
+def test_canonical_print_identical_across_subprocesses():
+    """Two separate interpreters with different hash seeds must print the
+    corpus byte-identically — the property every cache key rests on."""
+    digests = []
+    for seed in ("1", "424242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        src_dir = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = f"{src_dir}{os.pathsep}" + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _PRINT_SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        digests.append(proc.stdout.strip())
+    assert digests[0] == digests[1]
+    assert len(digests[0]) == 64
+
+
+def test_canonical_print_sensitive_to_line_shifts():
+    """Reports render file:line, so a pure line shift must re-fingerprint
+    the shifted functions."""
+    shifted = "\n// leading comment\n" + HELPER_V1
+    keys_a = TransitiveKeys(compile_program([("a.c", HELPER_V1)]))
+    keys_b = TransitiveKeys(compile_program([("a.c", shifted)]))
+    assert keys_a.key("top") != keys_b.key("top")
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3a: closure-exact invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_leaf_edit_invalidates_exactly_caller_closure():
+    keys_v1 = TransitiveKeys(compile_program(_sources(HELPER_V1)))
+    keys_v2 = TransitiveKeys(compile_program(_sources(HELPER_V2)))
+    assert keys_v1.key("helper") != keys_v2.key("helper")
+    assert keys_v1.key("top") != keys_v2.key("top")
+    assert keys_v1.key("other") == keys_v2.key("other")
+    assert keys_v1.key("third") == keys_v2.key("third")
+
+
+def test_recursive_cycle_keys_are_stable_and_shared():
+    mutual = r"""
+int ping(int n);
+int pong(int n) { if (n > 0) return ping(n - 1); return 0; }
+int ping(int n) { if (n > 0) return pong(n - 1); return 1; }
+"""
+    keys = TransitiveKeys(compile_program([("m.c", mutual)]))
+    again = TransitiveKeys(compile_program([("m.c", mutual)]))
+    assert keys.key("ping") == again.key("ping")
+    assert keys.key("pong") == again.key("pong")
+
+
+DISPATCH = r"""
+struct msg { int len; };
+struct handler_ops { int (*consume)(struct msg *m); };
+static int raw_consume(struct msg *m) {
+    return m->len;
+}
+static struct handler_ops raw_ops = { .consume = raw_consume };
+int dispatch(struct handler_ops *ops, struct msg *m) {
+    if (!m)
+        return ops->consume(m);
+    return 0;
+}
+struct dispatch_reg { int (*d)(struct handler_ops *o, struct msg *m); };
+static struct dispatch_reg dr = { .d = dispatch };
+"""
+
+EXTRA_REGISTRATION = r"""
+struct msg2 { int len; };
+struct handler_ops2 { int (*consume2)(struct msg2 *m); };
+static int checked_consume(struct msg2 *m) {
+    if (!m) return 0;
+    return m->len;
+}
+static struct handler_ops2 safe_ops = { .consume2 = checked_consume };
+"""
+
+
+def test_pool_addition_invalidates_only_indirect_dispatchers():
+    base = [("d.c", DISPATCH), ("b.c", OTHER)]
+    grown = base + [("e.c", EXTRA_REGISTRATION)]
+    keys_base = TransitiveKeys(compile_program(base), resolve_function_pointers=True)
+    keys_grown = TransitiveKeys(compile_program(grown), resolve_function_pointers=True)
+    assert keys_base.pool_stamp != keys_grown.pool_stamp
+    assert keys_base.key("dispatch") != keys_grown.key("dispatch")
+    assert keys_base.key("other") == keys_grown.key("other")
+    # With resolution off the pool never participates.
+    off_base = TransitiveKeys(compile_program(base))
+    off_grown = TransitiveKeys(compile_program(grown))
+    assert off_base.key("dispatch") == off_grown.key("dispatch")
+
+
+def test_spec_fingerprint_canonicalizes_aliases():
+    assert spec_fingerprint("default") == spec_fingerprint("npd,uva,ml")
+    assert spec_fingerprint("default") != spec_fingerprint("all")
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3b: PATA-level warm-start invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_warm_run_serves_every_entry_from_cache(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = _analyze(_sources(), cache, "rw")
+    warm = _analyze(_sources(), cache, "rw")
+    assert _report_text(cold) == _report_text(warm)
+    assert warm.stats.entries_reanalyzed == 0
+    assert warm.stats.entries_cached == cold.stats.entries_reanalyzed > 0
+    for row in warm.stats.per_entry:
+        if row.cached:
+            assert row.wall_seconds == 0.0
+
+
+def test_leaf_edit_reanalyzes_exactly_dirty_closure(tmp_path):
+    cache = str(tmp_path / "cache")
+    _analyze(_sources(HELPER_V1), cache, "rw")
+    warm = _analyze(_sources(HELPER_V2), cache, "rw")
+    status = _entry_status(warm)
+    assert status["top"] == "analyzed"  # helper is in top's closure
+    assert status["other"] == "cached"
+    assert status["third"] == "cached"
+    assert warm.stats.entries_reanalyzed == 1
+    baseline = _analyze(_sources(HELPER_V2))
+    assert _report_text(warm) == _report_text(baseline)
+
+
+def test_pool_addition_reanalyzes_only_dispatching_entries(tmp_path):
+    cache = str(tmp_path / "cache")
+    base = [("d.c", DISPATCH), ("b.c", OTHER)]
+    grown = base + [("e.c", EXTRA_REGISTRATION)]
+    _analyze(base, cache, "rw", resolve_function_pointers=True)
+    warm = _analyze(grown, cache, "rw", resolve_function_pointers=True)
+    status = _entry_status(warm)
+    assert status["dispatch"] == "analyzed"
+    assert status["other"] == "cached"
+    baseline = _analyze(grown, resolve_function_pointers=True)
+    assert _report_text(warm) == _report_text(baseline)
+
+
+def test_spec_change_reuses_facts_but_not_outcomes(tmp_path):
+    cache = str(tmp_path / "cache")
+    _analyze(_sources(), cache, "rw", spec="npd")
+    warm = _analyze(_sources(), cache, "rw", spec="all")
+    # Layer c (and b) are spec-keyed: nothing served from cache...
+    assert warm.stats.entries_cached == 0
+    # ...but layer-a facts are spec-independent and hit.
+    assert warm.stats.cache_hits > 0
+    baseline = _analyze(_sources(), spec="all")
+    assert _report_text(warm) == _report_text(baseline)
+
+
+def test_budget_change_reuses_masks_but_not_outcomes(tmp_path):
+    cache = str(tmp_path / "cache")
+    _analyze(_sources(), cache, "rw")
+    warm = _analyze(_sources(), cache, "rw", max_paths_per_entry=1999)
+    # The engine fingerprint changed (layer c misses) but the narrow
+    # presolve fingerprint did not (layer b hits feed CachedRelevance).
+    assert warm.stats.entries_cached == 0
+    assert warm.stats.entries_reanalyzed > 0
+    baseline = _analyze(_sources(), max_paths_per_entry=1999)
+    assert _report_text(warm) == _report_text(baseline)
+
+
+def test_ro_mode_reads_but_never_writes(tmp_path):
+    cache = tmp_path / "cache"
+    _analyze(_sources(), str(cache), "rw")
+    before = sorted(p.name for p in cache.rglob("*.bin"))
+    warm = _analyze(_sources(), str(cache), "ro")
+    assert warm.stats.entries_reanalyzed == 0
+    assert sorted(p.name for p in cache.rglob("*.bin")) == before
+    # An ro run against an empty cache analyzes everything and writes nothing.
+    empty = tmp_path / "empty"
+    cold_ro = _analyze(_sources(), str(empty), "ro")
+    assert cold_ro.stats.entries_cached == 0
+    assert not list(empty.rglob("*.bin"))
+
+
+def test_corrupted_cache_objects_fall_back_cleanly(tmp_path, caplog):
+    cache = tmp_path / "cache"
+    cold = _analyze(_sources(), str(cache), "rw")
+    for path in cache.rglob("*.bin"):
+        path.write_bytes(path.read_bytes()[:16])
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        warm = _analyze(_sources(), str(cache), "rw")
+    assert _report_text(warm) == _report_text(cold)
+    assert warm.stats.entries_cached == 0
+    assert warm.stats.cache_corrupt > 0
+    assert any("treating as a miss" in r.message for r in caplog.records)
+    # The corrupt objects were rewritten; a third run is fully warm again.
+    healed = _analyze(_sources(), str(cache), "rw")
+    assert healed.stats.entries_reanalyzed == 0
+
+
+def test_live_checker_objects_disable_cache_with_warning(tmp_path, caplog):
+    from repro.typestate import default_checkers
+
+    config = AnalysisConfig(cache_dir=str(tmp_path / "cache"), cache_mode="rw")
+    pata = PATA(checkers=default_checkers(), config=config)
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        result = pata.analyze(compile_program(_sources()))
+    assert result.stats.entries_cached == 0
+    assert any("custom checker objects" in r.message for r in caplog.records)
+
+
+def test_entry_time_limit_disables_cache_with_warning(tmp_path, caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        result = _analyze(_sources(), str(tmp_path / "cache"), "rw",
+                          entry_time_limit=30.0)
+    assert result.stats.entries_cached == 0
+    assert result.stats.cache_hits == 0
+    assert any("entry_time_limit" in r.message for r in caplog.records)
+    # Only layer-0 modules were written — a second limited run still
+    # re-analyzes everything.
+    again = _analyze(_sources(), str(tmp_path / "cache"), "rw",
+                     entry_time_limit=30.0)
+    assert again.stats.entries_cached == 0
+
+
+def test_warm_totals_match_cold_totals(tmp_path):
+    """--stats consistency: a fully-warm run reproduces every
+    deterministic counter of the cold run (timings aside)."""
+    profile = PROFILES_BY_NAME["zephyr"].scaled(0.2)
+    sources = generate(profile).compiled_sources()
+    cache = str(tmp_path / "cache")
+    cold = _analyze(sources, cache, "rw", spec="all")
+    warm = _analyze(sources, cache, "rw", spec="all")
+    for field in ("explored_paths", "executed_steps", "typestates_aware",
+                  "typestates_unaware", "dropped_repeated_bugs",
+                  "dropped_false_bugs", "entries_skipped", "blocks_pruned",
+                  "paths_pruned", "shared_accesses", "race_pairs_matched",
+                  "budget_exhausted_entries"):
+        assert getattr(warm.stats, field) == getattr(cold.stats, field), field
+    assert warm.stats.entries_cached == cold.stats.entries_reanalyzed
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def _write_sources(tmp_path, sources):
+    paths = []
+    for name, text in sources:
+        path = tmp_path / name
+        path.write_text(text)
+        paths.append(str(path))
+    return paths
+
+
+def test_cli_cache_requires_dir(tmp_path, capsys):
+    paths = _write_sources(tmp_path, _sources())
+    assert cli_main(["check", "--cache", "rw", *paths]) == 2
+    assert "--cache-dir" in capsys.readouterr().err
+
+
+def test_cli_cache_dir_without_mode_warns(tmp_path, capsys):
+    paths = _write_sources(tmp_path, _sources())
+    code = cli_main(["check", "--cache-dir", str(tmp_path / "c"), *paths])
+    err = capsys.readouterr().err
+    assert "caching disabled" in err
+    assert code in (0, 1)
+
+
+def test_cli_warm_run_identical_output(tmp_path, capsys):
+    paths = _write_sources(tmp_path, _sources())
+    cache = str(tmp_path / "cache")
+    code_cold = cli_main(["check", "--cache", "rw", "--cache-dir", cache, *paths])
+    out_cold = capsys.readouterr().out
+    code_warm = cli_main(["check", "--cache", "rw", "--cache-dir", cache, *paths])
+    out_warm = capsys.readouterr().out
+    assert code_cold == code_warm
+    assert out_cold == out_warm
+
+
+def test_cli_stats_json(tmp_path, capsys):
+    paths = _write_sources(tmp_path, _sources())
+    cache = str(tmp_path / "cache")
+    stats_file = tmp_path / "stats.json"
+    cli_main(["check", "--cache", "rw", "--cache-dir", cache,
+              "--stats-json", str(stats_file), *paths])
+    capsys.readouterr()
+    payload = json.loads(stats_file.read_text())
+    assert payload["entries_reanalyzed"] > 0
+    assert payload["entries_cached"] == 0
+    assert isinstance(payload["per_entry"], list) and payload["per_entry"]
+    cli_main(["check", "--cache", "rw", "--cache-dir", cache,
+              "--stats-json", str(stats_file), *paths])
+    capsys.readouterr()
+    warm = json.loads(stats_file.read_text())
+    assert warm["entries_reanalyzed"] == 0
+    assert warm["entries_cached"] == payload["entries_reanalyzed"]
+    assert warm["cache_hits"] > 0
+    # The deterministic totals agree between the two runs.
+    assert warm["explored_paths"] == payload["explored_paths"]
+    assert warm["executed_steps"] == payload["executed_steps"]
+
+
+def test_cli_stats_table_marks_cached_rows(tmp_path, capsys):
+    paths = _write_sources(tmp_path, _sources())
+    cache = str(tmp_path / "cache")
+    cli_main(["check", "--cache", "rw", "--cache-dir", cache, *paths])
+    capsys.readouterr()
+    cli_main(["check", "--stats", "--cache", "rw", "--cache-dir", cache, *paths])
+    out = capsys.readouterr().out
+    assert "cached" in out

@@ -1,0 +1,120 @@
+"""Warm-start differential suite (the incremental cache's soundness bar).
+
+For every checker spec, a corpus analyzed **cold** (empty cache),
+**warm** (fully populated cache), and **mixed** (half the cache objects
+deleted, so cached and freshly explored entries interleave) must produce
+byte-identical reports — and the deterministic stats totals must agree
+— at workers 1 and workers 4.  The mixed leg is the sharp edge: it
+exercises outcome rehydration, per-entry dedup reconciliation, and
+cross-entry race matching over a blend of cached and fresh SharedAccess
+tuples.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.corpus import PROFILES_BY_NAME, generate
+from repro.incremental import compile_with_cache, open_store
+from repro.lang import compile_program
+
+SPECS = ["default", "all", "npd,uva", "race", "taint,npd"]
+
+_DETERMINISTIC_TOTALS = (
+    "explored_paths", "executed_steps", "typestates_aware",
+    "typestates_unaware", "dropped_repeated_bugs", "dropped_false_bugs",
+    "validated_paths", "budget_exhausted_entries", "entries_skipped",
+    "blocks_pruned", "paths_pruned", "shared_accesses", "race_pairs_matched",
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_sources():
+    profile = PROFILES_BY_NAME["zephyr"].scaled(0.25)
+    return generate(profile).compiled_sources()
+
+
+def _run(sources, spec, workers, cache_dir=None):
+    config = AnalysisConfig(workers=workers, cache_dir=cache_dir,
+                            cache_mode="rw" if cache_dir else "off")
+    pata = PATA(config=config, checker_spec=spec)
+    if config.cache_active():
+        store = open_store(cache_dir, "rw")
+        program = compile_with_cache(sources, store)
+        if store is not None:
+            store.commit()
+        return pata.analyze(program)
+    return pata.analyze(compile_program(sources))
+
+
+def _text(result):
+    return "\n\n".join(r.render() for r in result.reports)
+
+
+def _delete_half(cache_dir):
+    import pathlib
+
+    objects = sorted(pathlib.Path(cache_dir).rglob("*.bin"))
+    assert objects, "differential mixed leg needs a populated cache"
+    for path in objects[::2]:
+        path.unlink()
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("spec", SPECS)
+def test_cold_warm_mixed_reports_identical(corpus_sources, tmp_path, spec, workers):
+    cache = str(tmp_path / f"cache-{spec.replace(',', '_')}-{workers}")
+    baseline = _run(corpus_sources, spec, workers)
+    cold = _run(corpus_sources, spec, workers, cache)
+    warm = _run(corpus_sources, spec, workers, cache)
+    _delete_half(cache)
+    mixed = _run(corpus_sources, spec, workers, cache)
+
+    expected = _text(baseline)
+    assert _text(cold) == expected
+    assert _text(warm) == expected
+    assert _text(mixed) == expected
+
+    assert warm.stats.entries_reanalyzed == 0
+    assert warm.stats.entries_cached > 0
+    # The mixed run blends cached and freshly explored entries.
+    assert mixed.stats.entries_cached + mixed.stats.entries_reanalyzed > 0
+
+    for run in (cold, warm, mixed):
+        for name in _DETERMINISTIC_TOTALS:
+            assert getattr(run.stats, name) == getattr(baseline.stats, name), (
+                f"{name} diverged under spec={spec} workers={workers}"
+            )
+
+
+def test_warm_cache_crosses_worker_counts(corpus_sources, tmp_path):
+    """A cache written by a sequential run must warm a parallel run and
+    vice versa — summaries are keyed on content, never on sharding."""
+    cache = str(tmp_path / "cache")
+    baseline = _run(corpus_sources, "all", 1)
+    cold_seq = _run(corpus_sources, "all", 1, cache)
+    warm_par = _run(corpus_sources, "all", 4, cache)
+    assert _text(warm_par) == _text(cold_seq) == _text(baseline)
+    assert warm_par.stats.entries_reanalyzed == 0
+
+    other = str(tmp_path / "cache-par")
+    cold_par = _run(corpus_sources, "all", 4, other)
+    warm_seq = _run(corpus_sources, "all", 1, other)
+    assert _text(warm_seq) == _text(cold_par) == _text(baseline)
+    assert warm_seq.stats.entries_reanalyzed == 0
+
+
+def test_edited_function_differential(corpus_sources, tmp_path):
+    """After editing one source file, the warm run must equal a from-
+    scratch run of the edited program, re-analyzing only a subset."""
+    cache = str(tmp_path / "cache")
+    cold = _run(corpus_sources, "all", 1, cache)
+    total = cold.stats.entries_reanalyzed
+    name, text = corpus_sources[1]
+    edited = list(corpus_sources)
+    edited[1] = (name, text.replace("return 0;", "return 0 + 0;", 1))
+    baseline = _run(edited, "all", 1)
+    warm = _run(edited, "all", 1, cache)
+    assert _text(warm) == _text(baseline)
+    assert warm.stats.entries_reanalyzed < total
