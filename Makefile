@@ -21,8 +21,11 @@ bench-quick:
 
 # Sequential-vs-parallel P2 comparison; writes BENCH_parallel.json.
 # Override workers with e.g. `make bench-parallel REPRO_BENCH_WORKERS=2`.
+# Scaling only shows at corpus scale: default 4.0 here (not the global
+# bench default of 1.0) so P2 dominates the Amdahl serial phases.
+REPRO_BENCH_SCALE ?= 4.0
 bench-parallel:
-	REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest benchmarks/bench_components.py -k parallel_vs_sequential -q --benchmark-disable
+	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest benchmarks/bench_components.py -k parallel_vs_sequential -q --benchmark-disable
 
 # Pruned-vs-unpruned P1.5 comparison; writes BENCH_prune.json.
 bench-prune:

@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--workers", type=int, default=1, metavar="N",
                        help="worker processes for entry analysis "
                             "(1 = sequential, 0 = one per CPU)")
+    check.add_argument("--batch-size", type=int, default=0, metavar="N",
+                       help="entries per dispatched work batch (0 = auto-size "
+                            "for ~--dispatch-factor batches per worker)")
+    check.add_argument("--dispatch-factor", type=int, default=4, metavar="K",
+                       help="with auto batch sizing, target batches pulled per "
+                            "worker (higher = finer work stealing)")
+    check.add_argument("--start-method", choices=["fork", "spawn"], default=None,
+                       help="worker start method (default: fork where available; "
+                            "spawn forces the portable rebuild-once path)")
     check.add_argument("--no-prune", action="store_true",
                        help="disable the checker-relevance pre-analysis "
                             "(P1.5) entry/path pruning")
@@ -172,6 +181,9 @@ def cmd_check(args) -> int:
               file=sys.stderr)
     config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers,
                             prune=not args.no_prune,
+                            parallel_batch_size=args.batch_size,
+                            parallel_dispatch_factor=args.dispatch_factor,
+                            parallel_start_method=args.start_method,
                             cache_dir=args.cache_dir, cache_mode=args.cache)
     if args.max_paths is not None:
         config.max_paths_per_entry = args.max_paths
@@ -247,6 +259,7 @@ def cmd_check(args) -> int:
                 "dropped_repeated": result.stats.dropped_repeated_bugs,
                 "time_seconds": result.stats.time_seconds,
                 "workers": result.stats.workers_used,
+                "batches": result.stats.batches_dispatched,
                 "entries_skipped": result.stats.entries_skipped,
                 "blocks_pruned": result.stats.blocks_pruned,
                 "paths_pruned": result.stats.paths_pruned,

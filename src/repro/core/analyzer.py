@@ -120,9 +120,10 @@ class PathExplorer:
     a repeat (§4 P3), counted in ``repeated_bugs`` rather than reported
     twice.  Everything else is per-entry and is reset or cleared by
     :meth:`explore`.  Consequently a parallel driver must give each
-    worker shard a *fresh* explorer and deduplicate across shards itself
-    (see :mod:`repro.core.parallel`); reusing one explorer for two shards
-    would silently drop bugs that the sequential run reports.
+    batch a *fresh* explorer in per-entry-dedup mode and re-apply the
+    dedup in entry order itself (see :mod:`repro.core.parallel`); reusing
+    one accumulating explorer for two batches would silently drop bugs
+    that the sequential run reports.
     """
 
     def __init__(

@@ -60,6 +60,21 @@ class AnalysisConfig:
     #: one thread per entry, §4): 1 = in-process sequential, 0 = one per
     #: CPU (os.cpu_count()), N > 1 = exactly N processes
     workers: int = 1
+    #: entries per dispatched work batch (0 = auto: size the batches so
+    #: each worker pulls ~``parallel_dispatch_factor`` of them, which
+    #: balances queue-round-trip amortization against work stealing).
+    #: Batches are the streaming executor's unit of dispatch *and* of
+    #: result pickling, so this also bounds peak result-message size
+    parallel_batch_size: int = 0
+    #: with auto batch sizing, the target number of batches each worker
+    #: pulls over the run; higher = finer-grained stealing, more queue
+    #: round trips
+    parallel_dispatch_factor: int = 4
+    #: multiprocessing start method for worker processes: None = fork
+    #: where the platform has it (workers inherit the program zero-copy),
+    #: else spawn (workers unpickle the program once at initialization);
+    #: "spawn" forces the portable path — useful for differential testing
+    parallel_start_method: Optional[str] = None
     #: incremental-cache directory (None = caching off).  See
     #: :mod:`repro.incremental`; results are byte-identical with the
     #: cache on, off, or partially populated.
@@ -78,6 +93,20 @@ class AnalysisConfig:
         if self.workers == 0:
             return os.cpu_count() or 1
         return max(1, self.workers)
+
+    def resolved_batch_size(self, entry_count: int, workers: int) -> int:
+        """The effective entries-per-batch for a parallel run.
+
+        ``0`` auto-sizes: enough batches that each worker pulls about
+        ``parallel_dispatch_factor`` of them, so one slow batch steals at
+        most ``1/factor`` of a worker's fair share of wall-clock, while a
+        tiny entry list still dispatches one entry per batch (maximum
+        stealing) rather than one fat shard per worker.
+        """
+        if self.parallel_batch_size > 0:
+            return self.parallel_batch_size
+        factor = max(1, self.parallel_dispatch_factor)
+        return max(1, -(-entry_count // (max(1, workers) * factor)))
 
     def for_pata_na(self) -> "AnalysisConfig":
         """The ablation of Table 6: no alias relationships in typestate

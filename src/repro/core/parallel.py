@@ -1,29 +1,40 @@
 """Parallel entry-function analysis — the paper's per-entry-thread P2 (§4).
 
 The paper analyzes each entry function on its own thread; this module
-shards the entry list across worker *processes* (CPython threads would
-serialize on the GIL for this CPU-bound walk).  The protocol:
+streams the entry list through persistent worker *processes* (CPython
+threads would serialize on the GIL for this CPU-bound walk).  The
+protocol:
 
-* the parent shards the entry list round-robin and hands every worker a
-  slice of entry *names* and a checker *spec name* — live checker
-  objects never cross the process boundary (see
-  :func:`repro.typestate.checkers.checkers_from_spec`);
-* workers receive the :class:`~repro.ir.Program` zero-copy via fork
-  inheritance where the platform allows it, and as pickled bytes
-  otherwise (each worker then unpickles its own copy and derives its own
-  :class:`~repro.core.collector.InformationCollector`);
-* each worker runs a **fresh** :class:`~repro.core.analyzer.PathExplorer`
-  over its shard and returns a picklable :class:`ShardResult`;
-* the parent merges shard results **in entry-list order**, regardless of
-  completion order, deduplicating across shards with the same
-  ``dedup_key`` logic the sequential explorer applies in-process —
-  instruction uids survive both fork and pickling, so cross-worker
-  duplicates collapse exactly as they do today.
+* each worker initializes **once** — inheriting the parent's
+  :class:`~repro.ir.Program`, :class:`~repro.core.collector.
+  InformationCollector`, and P1.5 relevance handle zero-copy via fork
+  where the platform allows it, or unpickling one program copy (seeded
+  with the parent's collector facts and precomputed dead-block masks)
+  under spawn — and then pulls small entry *batches* from the pool's
+  shared call queue until it drains.  Work-stealing by construction: a
+  pathological entry delays only the batch it sits in, never a whole
+  per-worker shard;
+* the parent sorts entries by instruction count, largest first, so the
+  expensive entries dispatch while every worker is still busy and the
+  cheap tail levels the finish;
+* each batch returns a small ``(entry name, EntryOutcome)`` chunk —
+  bounding peak pickle size to one batch, never a whole shard — and the
+  parent folds chunks into its outcome map as they complete;
+* live checker objects never cross the process boundary: workers rebuild
+  their checker set from a *spec name* (see
+  :func:`repro.typestate.checkers.checkers_from_spec`) at initialization;
+* the final merge (:func:`merge_outcomes`) visits entries in
+  ``entry_list`` order regardless of completion order, deduplicating
+  with the same ``dedup_key`` logic the sequential explorer applies
+  in-process — instruction uids survive both fork and pickling, so
+  cross-worker duplicates collapse exactly as they do today.
 
 Determinism: every field of the merged result except wall-clock timings
 is identical to the sequential run's, byte for byte.  Any failure to
-parallelize (unpicklable program or results, pool setup failure, worker
-crash) logs a one-line warning and the caller falls back to the
+parallelize (unpicklable program, pool setup failure, worker crash) logs
+a one-line warning, cancels every not-yet-started batch
+(``cancel_futures`` — surviving workers must not burn CPU the
+sequential fallback is about to need), and the caller falls back to the
 in-process path — never a crash.
 """
 
@@ -31,11 +42,12 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..ir import Function, Program
 from ..races.shared import SharedAccess
@@ -48,11 +60,12 @@ from .report import AnalysisStats, EntryStats
 
 log = logging.getLogger("repro.parallel")
 
-#: (program, collector) a forked worker inherits from the parent — set
-#: around pool use, read once per shard in :func:`_run_shard`.  Fork
-#: inheritance skips re-pickling a multi-megabyte program per worker,
-#: which would otherwise rival the analysis itself in cost.
-_FORK_STATE: Optional[Tuple[Program, InformationCollector]] = None
+#: test-only crash injection: a worker raises when a batch contains this
+#: entry name (see tests/test_parallel.py's cancel-on-failure regression)
+_CRASH_ENV = "REPRO_PARALLEL_TEST_CRASH_ENTRY"
+#: test-only observability: workers touch one file per completed batch
+#: under this directory, so tests can count how many batches actually ran
+_TOUCH_ENV = "REPRO_PARALLEL_TEST_TOUCH_DIR"
 
 
 def _fork_available() -> bool:
@@ -63,7 +76,7 @@ def _fork_available() -> bool:
 @dataclass
 class EntryOutcome:
     """One entry function's exploration record: its stats row plus the
-    bugs *first sighted* while exploring it (after in-shard dedup), and
+    bugs *first sighted* while exploring it (after per-entry dedup), and
     the shared-state accesses the race checker recorded there (empty
     unless a race checker is registered).
 
@@ -83,12 +96,23 @@ class EntryOutcome:
 
 @dataclass
 class ShardResult:
-    """Everything one shard (sequential run = the single shard) returns."""
+    """Everything one contiguous run of entries through a single explorer
+    returns (the sequential path is the single-shard case)."""
 
     entries: List[EntryOutcome] = field(default_factory=list)
     aware_updates: int = 0
     unaware_updates: int = 0
     repeated_bugs: int = 0
+
+
+@dataclass
+class ParallelRun:
+    """What :func:`run_parallel` hands back: every explored entry's
+    outcome (keyed by entry name), plus how the run was shaped."""
+
+    outcomes: Dict[str, EntryOutcome] = field(default_factory=dict)
+    workers: int = 1
+    batches: int = 0
 
 
 def explore_entries(
@@ -102,11 +126,12 @@ def explore_entries(
 
     ``per_entry_dedup`` resets the explorer's cross-entry seen-key sets
     before each entry, making every outcome's bug/access lists a function
-    of that entry *alone* — required whenever outcomes may be cached (a
-    cumulative list would silently omit bugs first sighted under an
-    entry that later changes).  The merged result is identical either
-    way: :func:`merge_shard_results` re-applies first-sighting-in-entry-
-    order dedup, and every drop it performs there is counted in the same
+    of that entry *alone* — required whenever outcomes may be cached or
+    produced by different workers (a cumulative list would silently omit
+    bugs first sighted under an entry that happened to run earlier in the
+    same process).  The merged result is identical either way:
+    :func:`merge_outcomes` re-applies first-sighting-in-entry-order
+    dedup, and every drop it performs there is counted in the same
     ``dropped_repeated_bugs`` total the cumulative mode produces."""
     outcomes: List[EntryOutcome] = []
     for entry in entries:
@@ -151,72 +176,149 @@ def shard_result(explorer: PathExplorer, outcomes: List[EntryOutcome]) -> ShardR
     )
 
 
-def _run_shard(
-    program_bytes: Optional[bytes],
-    config: AnalysisConfig,
-    checker_spec: str,
-    entry_names: List[str],
-) -> ShardResult:
-    """Worker-process body: rebuild the world (or inherit it, under fork)
-    and explore one shard of entries."""
-    if program_bytes is None:
-        assert _FORK_STATE is not None, "fork-mode shard without inherited state"
-        program, collector = _FORK_STATE
+# ---------------------------------------------------------------------------
+# Worker side: initialize-once world, then stream batches
+# ---------------------------------------------------------------------------
+
+
+class PrecomputedRelevance:
+    """A read-only stand-in for
+    :class:`~repro.presolve.prune.RelevancePreAnalysis` built from
+    dead-block uid sets the *parent* already computed: same
+    ``dead_blocks`` surface the explorer consumes, none of the
+    summary-index build cost.  Block uids are assigned at IR construction
+    and survive both fork and pickling, so the sets index the worker's
+    program copy exactly."""
+
+    supported = True
+
+    def __init__(self, masks: Dict[str, FrozenSet[int]]):
+        self._masks = masks
+
+    def dead_blocks(self, entry: Function) -> FrozenSet[int]:
+        return self._masks.get(entry.name, frozenset())
+
+
+@dataclass
+class _WorkerInit:
+    """Everything one worker needs to build its world, exactly once.
+
+    Fork mode passes the live objects (``program``/``collector``/
+    ``relevance``) — initargs reach forked children through inherited
+    memory, never the pickle machinery.  Spawn mode passes the program
+    as bytes pickled *once in the parent* (so an unpicklable program
+    fails fast, before any process starts) plus the parent collector's
+    may-return facts and precomputed dead-block masks, sparing every
+    spawned worker the P1 fixpoint re-derivation and the entire P1.5
+    summary-index build."""
+
+    config: AnalysisConfig
+    checker_spec: str
+    program: Optional[Program] = None
+    collector: Optional[InformationCollector] = None
+    relevance: Optional[object] = None
+    program_bytes: Optional[bytes] = None
+    cached_facts: Optional[Dict[str, Tuple[bool, bool]]] = None
+    dead_masks: Optional[Dict[str, FrozenSet[int]]] = None
+
+
+@dataclass
+class _WorkerWorld:
+    """The per-process state every batch reuses."""
+
+    program: Program
+    config: AnalysisConfig
+    checkers: list
+    collector: InformationCollector
+    relevance: Optional[object]
+
+
+#: built by :func:`_init_worker` when the process starts, read by every
+#: batch that process executes
+_WORLD: Optional[_WorkerWorld] = None
+
+
+def _init_worker(init: _WorkerInit) -> None:
+    """Pool initializer: runs once per worker process, before any batch."""
+    global _WORLD
+    if init.program is not None:
+        program = init.program
+        collector = init.collector
+        relevance = init.relevance
     else:
-        program = pickle.loads(program_bytes)
-        collector = InformationCollector(program)
-    checkers = checkers_from_spec(checker_spec, collector)
+        program = pickle.loads(init.program_bytes)
+        collector = InformationCollector(program, cached_facts=init.cached_facts)
+        relevance = (
+            PrecomputedRelevance(init.dead_masks)
+            if init.dead_masks is not None
+            else None
+        )
+    checkers = checkers_from_spec(init.checker_spec, collector)
+    _WORLD = _WorkerWorld(program, init.config, checkers, collector, relevance)
+
+
+def _run_batch(entry_names: List[str]) -> List[Tuple[str, EntryOutcome]]:
+    """Worker-process batch body: explore one small batch of entries
+    against the initialize-once world and return its outcome chunk.
+
+    Each batch gets a **fresh** :class:`PathExplorer` (construction is
+    cheap; the expensive state — program, collector facts, relevance —
+    lives in the world) running with per-entry dedup, so every returned
+    outcome is a function of its entry alone, independent of which
+    worker pulled which batch in which order."""
+    world = _WORLD
+    assert world is not None, "worker batch before initializer ran"
+    crash = os.environ.get(_CRASH_ENV)
+    if crash and crash in entry_names:
+        raise RuntimeError(f"injected test crash on entry {crash!r}")
     entries = []
     for name in entry_names:
-        func = program.lookup(name)
+        func = world.program.lookup(name)
         if func is None:  # pragma: no cover - names come from this program
             raise KeyError(f"entry function {name!r} not found in worker program")
         entries.append(func)
-    relevance = None
-    if config.prune:
-        if config.cache_active():
-            # Workers touch the incremental cache strictly read-only:
-            # when every shard entry's relevance mask is cached (layer
-            # b), the shim replaces the summary-index build below.  Any
-            # miss falls through to the live pre-analysis.
-            from ..incremental import load_cached_masks
-
-            relevance = load_cached_masks(program, config, checker_spec, entries)
-    if config.prune and relevance is None:
-        # Each worker rebuilds the P1.5 pre-analysis from its own program
-        # copy: summaries are a deterministic function of (program,
-        # checkers, config), and block uids survive fork and pickling, so
-        # every worker's dead-block sets agree with the sequential run's.
-        from ..presolve import RelevancePreAnalysis, ScanContext
-
-        relevance = RelevancePreAnalysis(
-            program,
-            checkers,
-            ScanContext(
-                may_return_negative=collector.may_return_negative,
-                may_return_zero=collector.may_return_zero,
-            ),
-            resolve_function_pointers=config.resolve_function_pointers,
-        )
     explorer = PathExplorer(
-        program,
-        config,
-        checkers,
+        world.program,
+        world.config,
+        world.checkers,
         indirect_resolver=(
-            collector.indirect_targets if config.resolve_function_pointers else None
+            world.collector.indirect_targets
+            if world.config.resolve_function_pointers
+            else None
         ),
-        relevance=relevance,
+        relevance=world.relevance,
     )
-    # Contract (PathExplorer docstring): possible_bugs/seen_bug_keys
-    # accumulate across every entry an explorer sees, so each shard must
-    # start from a fresh explorer or cross-shard merging double-drops.
-    assert not explorer.possible_bugs and not explorer.seen_bug_keys, (
-        "worker shard must use a fresh PathExplorer"
-    )
-    return shard_result(
-        explorer,
-        explore_entries(explorer, entries, per_entry_dedup=config.cache_active()),
-    )
+    outcomes = explore_entries(explorer, entries, per_entry_dedup=True)
+    touch_dir = os.environ.get(_TOUCH_ENV)
+    if touch_dir:
+        with open(os.path.join(touch_dir, f"batch-{os.getpid()}-{entry_names[0]}"), "w"):
+            pass
+    return list(zip(entry_names, outcomes))
+
+
+# ---------------------------------------------------------------------------
+# Parent side: size-sorted batching, streaming dispatch, incremental fold
+# ---------------------------------------------------------------------------
+
+
+def _entry_cost(func: Function) -> int:
+    """Dispatch-order cost proxy: the entry's own instruction count.
+    Exact path-explosion cost is unknowable up front; instruction count
+    is free (already computed for P1's function database) and correlates
+    well enough that the big entries land in the first batches."""
+    return func.instruction_count()
+
+
+def _make_batches(
+    entry_list: Sequence[Function], batch_size: int
+) -> List[List[str]]:
+    """Size-sorted (largest first, ties in entry-list order — the sort is
+    stable) name batches of at most ``batch_size`` entries each."""
+    ordered = sorted(entry_list, key=lambda func: -_entry_cost(func))
+    return [
+        [func.name for func in ordered[start : start + batch_size]]
+        for start in range(0, len(ordered), batch_size)
+    ]
 
 
 def run_parallel(
@@ -225,21 +327,31 @@ def run_parallel(
     checker_spec: str,
     entry_list: Sequence[Function],
     collector: Optional[InformationCollector] = None,
-) -> Optional[Tuple[List[List[Function]], List[ShardResult]]]:
-    """Shard ``entry_list`` across worker processes.
+    relevance: Optional[object] = None,
+) -> Optional[ParallelRun]:
+    """Stream ``entry_list`` through a pool of persistent workers.
 
-    Returns ``(shards, results)`` aligned index-for-index, or ``None``
-    when parallel execution is unavailable (the caller then runs the
-    in-process path; a one-line warning explains why — never a crash).
+    Returns a :class:`ParallelRun` with one outcome per entry, or
+    ``None`` when parallel execution is unavailable or fails mid-run
+    (the caller then runs the in-process path; a one-line warning
+    explains why — never a crash).  On a mid-run worker failure every
+    not-yet-started batch is cancelled before falling back, so the pool
+    does not race the sequential re-run for CPU.
     """
-    global _FORK_STATE
-    workers = config.resolved_workers()
-    use_fork = _fork_available()
-    program_bytes = None
-    if not use_fork:
+    workers = min(config.resolved_workers(), len(entry_list))
+    use_fork = _fork_available() and config.parallel_start_method != "spawn"
+    if use_fork:
+        init = _WorkerInit(
+            config=config,
+            checker_spec=checker_spec,
+            program=program,
+            collector=collector or InformationCollector(program),
+            relevance=relevance,
+        )
+    else:
         # Spawned workers must receive the program by value; an
-        # unpicklable program cannot be analyzed in parallel.  (Fork-mode
-        # failures — e.g. unpicklable *results* — surface from
+        # unpicklable program cannot be analyzed in parallel.  (Worker
+        # crashes — e.g. unpicklable *results* — surface from
         # future.result() below and take the same fallback.)
         try:
             program_bytes = pickle.dumps(program)
@@ -249,63 +361,90 @@ def run_parallel(
                 "falling back to sequential", exc,
             )
             return None
-    nshards = min(workers, len(entry_list))
-    # Round-robin keeps shards balanced when entry cost correlates with
-    # position (generated corpora emit similar entries in runs).
-    shards = [list(entry_list[i::nshards]) for i in range(nshards)]
+        cached_facts = None
+        if collector is not None:
+            cached_facts = {
+                name: (info.may_return_negative, info.may_return_zero)
+                for name, info in collector.functions.items()
+            }
+        dead_masks = None
+        if config.prune and relevance is not None:
+            dead_masks = {
+                func.name: frozenset(relevance.dead_blocks(func))
+                for func in entry_list
+            }
+        init = _WorkerInit(
+            config=config,
+            checker_spec=checker_spec,
+            program_bytes=program_bytes,
+            cached_facts=cached_facts,
+            dead_masks=dead_masks,
+        )
+    batch_size = config.resolved_batch_size(len(entry_list), workers)
+    batches = _make_batches(entry_list, batch_size)
+    outcomes: Dict[str, EntryOutcome] = {}
     try:
-        if use_fork:
-            _FORK_STATE = (program, collector or InformationCollector(program))
-        mp_context = multiprocessing.get_context("fork") if use_fork else None
-        with ProcessPoolExecutor(max_workers=nshards, mp_context=mp_context) as pool:
-            futures = [
-                pool.submit(
-                    _run_shard,
-                    program_bytes,
-                    config,
-                    checker_spec,
-                    [func.name for func in shard],
-                )
-                for shard in shards
-            ]
-            results = [future.result() for future in futures]
+        mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(init,),
+        ) as pool:
+            futures = [pool.submit(_run_batch, batch) for batch in batches]
+            try:
+                for future in as_completed(futures):
+                    for name, outcome in future.result():
+                        outcomes[name] = outcome
+            except BaseException:
+                # One failed batch fails the whole parallel attempt; the
+                # queued remainder must not keep running (double work —
+                # the sequential fallback re-explores everything).
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
     except Exception as exc:
         log.warning("parallel analysis failed (%s); falling back to sequential", exc)
         return None
-    finally:
-        _FORK_STATE = None
-    return shards, results
+    if len(outcomes) != len(entry_list):  # pragma: no cover - defensive
+        log.warning(
+            "parallel analysis returned %d/%d outcomes; falling back to sequential",
+            len(outcomes), len(entry_list),
+        )
+        return None
+    return ParallelRun(outcomes=outcomes, workers=workers, batches=len(batches))
 
 
-def merge_shard_results(
+# ---------------------------------------------------------------------------
+# Deterministic merge
+# ---------------------------------------------------------------------------
+
+
+def merge_outcomes(
     entry_list: Sequence[Function],
-    shards: Sequence[Sequence[Function]],
-    results: Sequence[ShardResult],
+    outcome_by_entry: Dict[str, EntryOutcome],
     stats: AnalysisStats,
 ) -> Tuple[List[PossibleBug], List[SharedAccess]]:
-    """Fold shard results into ``stats`` and one deduplicated bug list
-    plus one deduplicated shared-access list, visiting entries in
-    ``entry_list`` order regardless of which shard (or completion
+    """Fold per-entry outcomes into ``stats`` and one deduplicated bug
+    list plus one deduplicated shared-access list, visiting entries in
+    ``entry_list`` order regardless of which process (or completion
     order) produced them.
 
     Dedup bookkeeping mirrors the sequential explorer exactly: a bug's
     (or access's) first sighting in global entry order is kept; every
-    later sighting — whether in-shard (already counted by that shard's
-    explorer) or cross-shard (dropped here) — is a repeat.  Cross-shard
-    access dedup matters because each shard's explorer only saw its own
-    entries: two shards can both record e.g. an access inside a helper
-    inlined from entries in different shards.
+    later sighting — whether already dropped where the outcome was
+    produced (counted in that outcome's ``repeated_bugs`` delta) or
+    dropped here — is a repeat.  Cross-process access dedup matters
+    because each worker's explorer only saw its own batches: two workers
+    can both record e.g. an access inside a helper inlined from entries
+    they explored independently.
     """
-    outcome_by_entry = {}
-    for shard, result in zip(shards, results):
-        for entry, outcome in zip(shard, result.entries):
-            outcome_by_entry[entry.name] = outcome
-
     merged: List[PossibleBug] = []
     merged_accesses: List[SharedAccess] = []
     seen_bug_keys = set()
     seen_access_keys = set()
-    repeated = sum(result.repeated_bugs for result in results)
+    repeated = 0
+    aware = 0
+    unaware = 0
     for entry in entry_list:
         outcome = outcome_by_entry[entry.name]
         stats.per_entry.append(outcome.stats)
@@ -315,6 +454,9 @@ def merge_shard_results(
             stats.budget_exhausted_entries += 1
         stats.blocks_pruned += outcome.stats.blocks_pruned
         stats.paths_pruned += outcome.stats.paths_pruned
+        repeated += outcome.repeated_bugs
+        aware += outcome.aware_updates
+        unaware += outcome.unaware_updates
         for bug in outcome.bugs:
             key = bug.dedup_key
             if key in seen_bug_keys:
@@ -328,7 +470,26 @@ def merge_shard_results(
                 continue
             seen_access_keys.add(access_key)
             merged_accesses.append(access)
-    stats.typestates_aware = sum(result.aware_updates for result in results)
-    stats.typestates_unaware = sum(result.unaware_updates for result in results)
+    stats.typestates_aware = aware
+    stats.typestates_unaware = unaware
     stats.dropped_repeated_bugs = repeated
     return merged, merged_accesses
+
+
+def merge_shard_results(
+    entry_list: Sequence[Function],
+    shards: Sequence[Sequence[Function]],
+    results: Sequence[ShardResult],
+    stats: AnalysisStats,
+) -> Tuple[List[PossibleBug], List[SharedAccess]]:
+    """Shard-shaped adapter over :func:`merge_outcomes` (the sequential
+    path and older callers package outcomes as :class:`ShardResult`
+    lists).  Summing per-outcome deltas reproduces each shard's
+    cumulative counters exactly — every counter increment happens inside
+    some entry's ``explore()`` window — so the fold needs nothing from
+    the shard wrapper itself."""
+    outcome_by_entry: Dict[str, EntryOutcome] = {}
+    for shard, result in zip(shards, results):
+        for entry, outcome in zip(shard, result.entries):
+            outcome_by_entry[entry.name] = outcome
+    return merge_outcomes(entry_list, outcome_by_entry, stats)

@@ -24,7 +24,7 @@ from .analyzer import PathExplorer
 from .collector import InformationCollector
 from .config import AnalysisConfig
 from .filter import BugFilter
-from .parallel import explore_entries, merge_shard_results, run_parallel, shard_result
+from .parallel import explore_entries, merge_outcomes, run_parallel
 from .report import AnalysisResult, AnalysisStats, EntryStats
 
 log = logging.getLogger("repro.parallel")
@@ -87,6 +87,7 @@ class PATA:
             from ..incremental import open_incremental
 
             incr = open_incremental(program, self.config, self._checker_spec())
+        phase_started = time.monotonic()
         collector = InformationCollector(
             program, cached_facts=incr.cached_facts() if incr is not None else None
         )
@@ -96,14 +97,18 @@ class PATA:
         )
         entry_list = entries if entries is not None else collector.entry_functions()
         stats.entry_functions = len(entry_list)
+        stats.time_collect_seconds = time.monotonic() - phase_started
 
         # P1.5: checker-relevance pre-analysis.  Entry pruning happens
-        # here, *before* sharding, so skipped entries never reach a
+        # here, *before* dispatch, so skipped entries never reach a
         # worker; block pruning happens inside each explorer through the
-        # `relevance` handle (workers rebuild their own, see parallel.py).
-        # With a warm cache the partition comes from cached relevance
-        # masks and per-entry outcomes instead, and the pre-analysis is
-        # only built when some dirty entry lacks a cached mask.
+        # `relevance` handle (workers inherit the parent's via fork, or
+        # receive its precomputed dead-block masks under spawn — see
+        # parallel.py).  With a warm cache the partition comes from
+        # cached relevance masks and per-entry outcomes instead, and the
+        # pre-analysis is only built when some dirty entry lacks a
+        # cached mask.
+        phase_started = time.monotonic()
         relevance = None
         analyzed_list = list(entry_list)
         skipped_names: List[str] = []
@@ -134,13 +139,16 @@ class PATA:
             analyzed_list, live_skipped = relevance.partition_entries(analyzed_list)
             skipped_names.extend(live_skipped)
         stats.entries_skipped = len(skipped_names)
+        stats.time_presolve_seconds = time.monotonic() - phase_started
 
-        # P2: explore every entry — sharded across worker processes when
-        # configured (the paper's thread-per-entry, §4), in-process
-        # otherwise.  Both paths produce per-shard results merged by the
-        # same deterministic entry-order fold, so reports and stats are
+        # P2: explore every entry — streamed in size-sorted batches
+        # through persistent worker processes when configured (the
+        # paper's thread-per-entry, §4), in-process otherwise.  Both
+        # paths produce per-entry outcomes merged by the same
+        # deterministic entry-order fold, so reports and stats are
         # identical either way (timings aside).
-        shard_data = None
+        phase_started = time.monotonic()
+        outcome_by_name = None
         if self.config.resolved_workers() > 1 and len(analyzed_list) > 1:
             spec = self._checker_spec()
             if spec is None:
@@ -149,11 +157,15 @@ class PATA:
                     "be rebuilt in workers; falling back to sequential"
                 )
             else:
-                shard_data = run_parallel(program, self.config, spec, analyzed_list, collector)
-        if shard_data is not None:
-            shards, results = shard_data
-            stats.workers_used = len(shards)
-        else:
+                run = run_parallel(
+                    program, self.config, spec, analyzed_list, collector,
+                    relevance=relevance,
+                )
+                if run is not None:
+                    outcome_by_name = run.outcomes
+                    stats.workers_used = run.workers
+                    stats.batches_dispatched = run.batches
+        if outcome_by_name is None:
             checkers = self._resolve_checkers(collector)
             explorer = PathExplorer(
                 program,
@@ -164,49 +176,37 @@ class PATA:
                 ),
                 relevance=relevance,
             )
-            shards = [list(analyzed_list)]
-            results = [
-                shard_result(
-                    explorer,
-                    explore_entries(
-                        explorer, analyzed_list, per_entry_dedup=incr is not None
-                    ),
-                )
-            ]
+            outcomes = explore_entries(
+                explorer, analyzed_list, per_entry_dedup=incr is not None
+            )
+            outcome_by_name = {
+                func.name: outcome for func, outcome in zip(analyzed_list, outcomes)
+            }
+        stats.time_explore_seconds = time.monotonic() - phase_started
         if incr is not None:
             stats.entries_reanalyzed = len(analyzed_list)
+        merge_map = outcome_by_name
         merge_list = analyzed_list
         if cached_outcomes:
-            # Splice the cache hits in as one extra pseudo-shard; the
+            # Splice the cache hits straight into the outcome map; the
             # deterministic entry-order merge below then treats them
             # exactly like freshly explored outcomes, so mixed
             # cached/fresh runs dedup — and race-match — identically to
             # a cold run.
-            from .parallel import ShardResult
-
-            hit_entries = [f for f in entry_list if f.name in cached_outcomes]
-            hit_outcomes = [cached_outcomes[f.name] for f in hit_entries]
-            shards = list(shards) + [hit_entries]
-            results = list(results) + [
-                ShardResult(
-                    entries=hit_outcomes,
-                    aware_updates=sum(o.aware_updates for o in hit_outcomes),
-                    unaware_updates=sum(o.unaware_updates for o in hit_outcomes),
-                    repeated_bugs=sum(o.repeated_bugs for o in hit_outcomes),
-                )
-            ]
+            merge_map = {**outcome_by_name, **cached_outcomes}
             explored = {func.name for func in analyzed_list}
             merge_list = [
                 func for func in entry_list
                 if func.name in explored or func.name in cached_outcomes
             ]
-            stats.entries_cached = len(hit_entries)
-        possible_bugs, shared_accesses = merge_shard_results(merge_list, shards, results, stats)
+            stats.entries_cached = len(merge_list) - len(analyzed_list)
+        possible_bugs, shared_accesses = merge_outcomes(merge_list, merge_map, stats)
         # P2.5: cross-entry race matching.  Accesses only exist when a
         # race checker is registered; the matcher pairs same-key accesses
         # from different entries with disjoint locksets (≥1 write) into
         # stage-1 candidates carrying *both* path snapshots, which the
         # P3 validator conjoins (translate_trace_pair).
+        phase_started = time.monotonic()
         if shared_accesses:
             from ..races import match_races
 
@@ -214,6 +214,7 @@ class PATA:
             stats.shared_accesses = len(shared_accesses)
             stats.race_pairs_matched = len(race_bugs)
             possible_bugs.extend(race_bugs)
+        stats.time_match_seconds = time.monotonic() - phase_started
         if skipped_names:
             # Re-interleave the skipped entries' zero rows so per_entry
             # stays in original entry-list order with or without pruning.
@@ -225,16 +226,17 @@ class PATA:
         if incr is not None:
             # Parent-only, single-writer commit of all cache layers (a
             # no-op under --cache ro).  Staged before P3 so the cached
-            # outcomes are the same objects the filter validates.
-            outcome_by_name = {}
-            for shard, result in zip(shards, results):
-                for func, outcome in zip(shard, result.entries):
-                    outcome_by_name[func.name] = outcome
-            incr.commit(collector, relevance, analyzed_list, outcome_by_name, skipped_names)
+            # outcomes are the same objects the filter validates.  The
+            # map holds both executors' products: worker batches and the
+            # in-process path emit the same per-entry-pure EntryOutcome
+            # objects, so their coordinates stage identically (cache
+            # hits are skipped inside commit via ``stats.cached``).
+            incr.commit(collector, relevance, analyzed_list, merge_map, skipped_names)
             stats.cache_hits = incr.store.hits
             stats.cache_misses = incr.store.misses
             stats.cache_corrupt = incr.store.corrupt
 
+        phase_started = time.monotonic()
         bug_filter = BugFilter(
             self.config.validate_paths,
             self.config.solver_max_search_nodes,
@@ -245,6 +247,7 @@ class PATA:
         stats.validated_paths = filtered.stats.validated
         stats.smt_constraints_aware = filtered.stats.constraints_aware
         stats.smt_constraints_unaware = filtered.stats.constraints_unaware
+        stats.time_filter_seconds = time.monotonic() - phase_started
         stats.time_seconds = time.monotonic() - started
         return AnalysisResult(reports=filtered.reports, stats=stats)
 

@@ -109,8 +109,21 @@ class AnalysisStats:
     blocks_pruned: int = 0
     paths_pruned: int = 0
     time_seconds: float = 0.0
+    #: per-phase wall-clock breakdown of ``time_seconds``: P1 collector,
+    #: P1.5 relevance pre-analysis (incl. the cache plan), P2 entry
+    #: exploration (the parallelizable phase), P2.5 race matching, and
+    #: P3 validation.  These are the honest denominators for any speedup
+    #: claim — only ``time_explore_seconds`` scales with workers
+    time_collect_seconds: float = 0.0
+    time_presolve_seconds: float = 0.0
+    time_explore_seconds: float = 0.0
+    time_match_seconds: float = 0.0
+    time_filter_seconds: float = 0.0
     #: worker processes that performed P2 (1 = in-process sequential)
     workers_used: int = 1
+    #: entry batches dispatched to the worker pool (0 = in-process run);
+    #: batches, not shards, are the streaming executor's stealing unit
+    batches_dispatched: int = 0
     #: P2.5 race matching: distinct shared-state accesses recorded by
     #: the race checker, and disjoint-lockset pairs sent to stage 2
     shared_accesses: int = 0

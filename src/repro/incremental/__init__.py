@@ -26,7 +26,6 @@ from .engine import (
     IncrementalContext,
     IncrementalPlan,
     compile_with_cache,
-    load_cached_masks,
     open_incremental,
 )
 from .fingerprint import (
@@ -50,7 +49,6 @@ __all__ = [
     "compile_with_cache",
     "engine_config_fingerprint",
     "function_fingerprints",
-    "load_cached_masks",
     "open_incremental",
     "open_store",
     "presolve_config_fingerprint",

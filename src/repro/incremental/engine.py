@@ -12,8 +12,9 @@ caching and the checker set is spec-addressable), it:
   current program;
 * after the dirty entries are explored, stages all three layers and
   flushes them with the store's single :meth:`~.store.CacheStore.commit`
-  — the parent process is the only writer; worker processes touch the
-  store strictly read-only through :func:`load_cached_masks`.
+  — the parent process is the only store client: worker processes never
+  open it (the parent ships them its collector facts and relevance
+  masks directly, see :mod:`repro.core.parallel`).
 
 Layer keys, and what each deliberately excludes:
 
@@ -404,38 +405,6 @@ def open_incremental(program: Program, config, checker_spec: Optional[str]):
         return IncrementalContext(store, program, config, checker_spec)
     except Exception as exc:
         log.warning("incremental cache disabled: %s", exc)
-        return None
-
-
-def load_cached_masks(program: Program, config, checker_spec: str,
-                      entries: List[Function]) -> Optional[CachedRelevance]:
-    """Worker-side, read-only layer-(b) lookup: a :class:`CachedRelevance`
-    covering *every* entry of one shard, or ``None`` (any miss — the
-    worker then builds the live pre-analysis exactly as before).  Opens
-    its own store in ``ro`` mode regardless of the parent's mode, so the
-    single-writer protocol holds even under ``--cache rw``."""
-    store = open_store(config.cache_dir, "ro")
-    if store is None:
-        return None
-    try:
-        keys = TransitiveKeys(program, config.resolve_function_pointers)
-        spec_fp = spec_fingerprint(checker_spec)
-        presolve_fp = presolve_config_fingerprint(config)
-        masks: Dict[str, FrozenSet[int]] = {}
-        for entry in entries:
-            mask = store.get(
-                _mask_key(entry.name, keys.key(entry.name), spec_fp, presolve_fp)
-            )
-            if not isinstance(mask, dict) or not mask.get("relevant", False):
-                # A miss, or a mask the parent's entry pruning should
-                # have honoured — either way the worker cannot trust
-                # the shim for this shard.
-                return None
-            masks[entry.name] = CoordIndex.resolve_block_coords(
-                entry, mask.get("dead", ())
-            )
-        return CachedRelevance(masks)
-    except (StaleEntry, KeyError):
         return None
 
 

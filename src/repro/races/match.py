@@ -1,6 +1,6 @@
 """Cross-entry race matching — phase **P2.5** of the extended pipeline.
 
-Runs in the parent process after the per-entry shard results are merged
+Runs in the parent process after the per-entry outcomes are merged
 (deterministically, in entry order) and before the P3 bug filter.  Input
 is every :class:`~repro.races.shared.SharedAccess` the explorations
 recorded; output is stage-1 :class:`~repro.typestate.manager.PossibleBug`

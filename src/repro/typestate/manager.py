@@ -54,7 +54,7 @@ class PossibleBug:
         pickling, so a bug found in a worker process (whose ``Program``
         is an unpickled copy of the parent's) carries the *same* dedup
         key as the parent would compute — the parallel driver's
-        cross-shard merge collapses duplicates exactly like the
+        entry-order merge collapses cross-worker duplicates exactly like the
         in-process ``seen_bug_keys`` set does.  A
         :class:`TypestateManager`'s checkers are never shipped to
         workers; they are rebuilt there from a spec name

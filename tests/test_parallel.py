@@ -189,22 +189,77 @@ def test_entry_order_does_not_change_results():
 
 
 # ---------------------------------------------------------------------------
-# Satellite 3: fresh-explorer-per-shard contract
+# Worker world + batch body (the persistent-executor seams, in-process)
 # ---------------------------------------------------------------------------
 
 
-def test_worker_shard_asserts_fresh_explorer():
-    """_run_shard refuses an explorer with accumulated bug state; the
-    public seam is exercised here via the same assertion."""
+def test_worker_init_and_batch_spawn_payload():
+    """The spawn-style worker world (program by bytes, facts seeded, no
+    live objects) explores a batch and returns per-entry-pure outcomes
+    in batch order."""
     import pickle
 
-    from repro.core.parallel import _run_shard
+    import repro.core.parallel as parallel_mod
+    from repro.core.parallel import _WorkerInit, _init_worker, _run_batch
 
     program = compile_program([("budget.c", BUDGET_SOURCE)])
-    result = _run_shard(
-        pickle.dumps(program), AnalysisConfig(), "default", ["heavy", "light"]
+    collector = InformationCollector(program)
+    facts = {
+        name: (info.may_return_negative, info.may_return_zero)
+        for name, info in collector.functions.items()
+    }
+    init = _WorkerInit(
+        config=AnalysisConfig(),
+        checker_spec="default",
+        program_bytes=pickle.dumps(program),
+        cached_facts=facts,
+        dead_masks={},
     )
-    assert [o.stats.name for o in result.entries] == ["heavy", "light"]
+    try:
+        _init_worker(init)
+        chunk = _run_batch(["heavy", "light"])
+    finally:
+        parallel_mod._WORLD = None
+    assert [name for name, _ in chunk] == ["heavy", "light"]
+    assert [outcome.stats.name for _, outcome in chunk] == ["heavy", "light"]
+
+
+def test_batches_are_size_sorted_largest_first():
+    """Dispatch order is by instruction count, descending, stable on
+    ties — the big entries must hit the queue while every worker is
+    still busy."""
+    from repro.core.parallel import _make_batches
+
+    source = """
+int tiny(int a) { return a; }
+int big(int a) {
+    int r = 0;
+    if (a > 0) r = r + 1;
+    if (a > 1) r = r + 2;
+    if (a > 2) r = r + 3;
+    return r;
+}
+int mid(int b) {
+    int r = b + 1;
+    if (b > 0) r = r + 1;
+    return r;
+}
+"""
+    program = compile_program([("sizes.c", source)])
+    _, entries = _entries_by_name(program)
+    ordered = [entries["tiny"], entries["big"], entries["mid"]]
+    batches = _make_batches(ordered, 1)
+    assert batches == [["big"], ["mid"], ["tiny"]]
+    assert _make_batches(ordered, 2) == [["big", "mid"], ["tiny"]]
+
+
+def test_resolved_batch_size_auto_and_explicit():
+    config = AnalysisConfig(parallel_dispatch_factor=4)
+    # 100 entries, 4 workers, factor 4 -> ~16 batches of 7
+    assert config.resolved_batch_size(100, 4) == 7
+    # tiny entry lists degrade to one entry per batch, never 0
+    assert config.resolved_batch_size(3, 4) == 1
+    assert AnalysisConfig(parallel_batch_size=12).resolved_batch_size(100, 4) == 12
 
 
 # ---------------------------------------------------------------------------
@@ -213,10 +268,13 @@ def test_worker_shard_asserts_fresh_explorer():
 
 
 def _stats_fingerprint(stats):
-    """Every stats field except wall-clock timings and worker count."""
+    """Every stats field except wall-clock timings and run-shape
+    metadata (worker/batch counts legitimately differ between the
+    sequential and the streamed run)."""
     data = dataclasses.asdict(stats)
-    data["time_seconds"] = 0.0
-    data["workers_used"] = 0
+    for key in list(data):
+        if key.endswith("_seconds") or key in ("workers_used", "batches_dispatched"):
+            data[key] = 0
     for entry in data["per_entry"]:
         entry["wall_seconds"] = 0.0
     return data
@@ -279,8 +337,9 @@ def test_unpicklable_program_falls_back_to_sequential(monkeypatch, caplog):
 
 
 def test_worker_failure_falls_back_to_sequential(caplog):
-    """A shard that raises (here: bogus checker spec) must not crash the
-    parent — run_parallel returns None and the caller goes sequential."""
+    """A worker that raises (here: bogus checker spec, which breaks the
+    pool initializer) must not crash the parent — run_parallel returns
+    None and the caller goes sequential."""
     from repro.core.parallel import run_parallel
 
     program = compile_program([("multi.c", "int f(int a) { return a; }\nint g(int b) { return b; }")])
@@ -290,6 +349,73 @@ def test_worker_failure_falls_back_to_sequential(caplog):
         outcome = run_parallel(program, AnalysisConfig(workers=2), "bogus-spec", entries, collector)
     assert outcome is None
     assert any("parallel analysis failed" in r.message for r in caplog.records)
+
+
+def test_mid_run_crash_cancels_queued_batches(tmp_path, monkeypatch, caplog):
+    """Satellite regression: when one batch raises, the queued remainder
+    must be cancelled (``cancel_futures``) rather than run to completion
+    behind the sequential fallback's back — the old driver let every
+    surviving shard finish first, doubling the work.
+
+    Instrumentation: workers touch one file per *completed* batch; the
+    injected crash fires on the most expensive entry, i.e. inside the
+    very first dispatched batch.  With cancellation, only the handful of
+    batches already in flight can complete; without it, all of them do.
+    """
+    from repro.core.parallel import _CRASH_ENV, _TOUCH_ENV, run_parallel
+
+    pieces = []
+    for index in range(24):
+        pieces.append(
+            f"int entry{index:02d}(int a) {{\n"
+            f"    int r = a + {index};\n"
+            "    if (a > 0) r = r + 1;\n"
+            "    return r;\n"
+            "}\n"
+        )
+    # The crash target gets extra instructions so size-sorting dispatches
+    # it first, deterministically.
+    pieces.append(
+        "int crashy(int a) {\n"
+        + "".join(f"    int x{i} = a + {i};\n" for i in range(12))
+        + "    return a;\n}\n"
+    )
+    program = compile_program([("crash.c", "".join(pieces))])
+    collector = InformationCollector(program)
+    entries = collector.entry_functions()
+    assert len(entries) == 25
+    touch_dir = tmp_path / "touches"
+    touch_dir.mkdir()
+    monkeypatch.setenv(_CRASH_ENV, "crashy")
+    monkeypatch.setenv(_TOUCH_ENV, str(touch_dir))
+    config = AnalysisConfig(workers=2, parallel_batch_size=1, prune=False)
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        outcome = run_parallel(program, config, "default", entries, collector)
+    assert outcome is None
+    assert any("injected test crash" in r.message for r in caplog.records)
+    completed = len(list(touch_dir.iterdir()))
+    # 25 batches total; the crash lands in the first.  Allow a generous
+    # in-flight margin, but anything near 24 means cancellation failed.
+    assert completed <= 8, f"{completed} batches completed after the crash"
+
+
+def test_crashy_analysis_still_produces_sequential_reports(monkeypatch):
+    """End to end: a mid-run worker crash degrades to the sequential
+    path and the final reports are exactly the workers=1 reports."""
+    from repro.core.parallel import _CRASH_ENV
+
+    source = """
+struct s { int v; };
+int f1(struct s *p) { if (!p) { return p->v; } return 0; }
+int f2(struct s *q) { if (!q) { return q->v; } return 1; }
+int f3(int a) { int *r = 0; if (a) { return *r; } return 2; }
+"""
+    program = compile_program([("multi.c", source)])
+    sequential = PATA(config=AnalysisConfig(workers=1)).analyze(program)
+    monkeypatch.setenv(_CRASH_ENV, "f1")
+    crashed = PATA(config=AnalysisConfig(workers=2)).analyze(program)
+    assert crashed.stats.workers_used == 1
+    assert [r.render() for r in sequential.reports] == [r.render() for r in crashed.reports]
 
 
 def test_custom_checker_objects_fall_back_to_sequential(caplog):

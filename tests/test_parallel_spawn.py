@@ -1,0 +1,83 @@
+"""Forced-spawn executor differential suite.
+
+Linux CI (and any fork-capable platform) exercises the zero-copy fork
+path by default, so the spawn path — program unpickled once per worker,
+collector facts and dead-block masks shipped from the parent instead of
+re-derived — would otherwise only run on Windows/macOS machines nobody
+tests on.  ``AnalysisConfig(parallel_start_method="spawn")`` forces it
+everywhere; these tests assert the spawn executor's reports are
+byte-identical to sequential for every checker-spec string, exactly
+like the fork-path suite in ``test_taint_differential.py``.
+
+Spawn costs one interpreter start per worker, so the suite keeps the
+corpus small and the pool at two workers.
+"""
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.corpus import RACELAB, TAINTLAB, generate
+from repro.lang import compile_program
+from repro.typestate import CHECKER_NAMES
+
+SPECS = list(CHECKER_NAMES) + ["default", "all", "all,taint,race"]
+
+
+@pytest.fixture(scope="module")
+def mixed_program():
+    """Taint- and race-heavy corpora so every spec has events to react
+    to, including P2.5's cross-entry access matching."""
+    sources = []
+    sources.extend(generate(TAINTLAB).compiled_sources())
+    sources.extend(generate(RACELAB).compiled_sources())
+    return compile_program(sources)
+
+
+def _render(result):
+    return [r.render() for r in result.reports]
+
+
+def _spawn_config(**kw):
+    return AnalysisConfig(workers=2, parallel_start_method="spawn", **kw)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", SPECS)
+def test_spawn_workers_byte_identical_reports(mixed_program, spec):
+    sequential = PATA(
+        checker_spec=spec, config=AnalysisConfig(workers=1)
+    ).analyze(mixed_program)
+    spawned = PATA(checker_spec=spec, config=_spawn_config()).analyze(mixed_program)
+    assert spawned.stats.workers_used == 2
+    assert _render(sequential) == _render(spawned)
+    assert sequential.stats.explored_paths == spawned.stats.explored_paths
+    assert sequential.stats.dropped_repeated_bugs == spawned.stats.dropped_repeated_bugs
+    assert sequential.stats.entries_skipped == spawned.stats.entries_skipped
+
+
+@pytest.mark.slow
+def test_spawn_respects_explicit_batch_size(mixed_program):
+    """An explicit one-entry batch size maximizes stealing and must not
+    change a single report byte."""
+    sequential = PATA(
+        checker_spec="all", config=AnalysisConfig(workers=1)
+    ).analyze(mixed_program)
+    spawned = PATA(
+        checker_spec="all", config=_spawn_config(parallel_batch_size=1)
+    ).analyze(mixed_program)
+    assert spawned.stats.batches_dispatched == spawned.stats.entry_functions - spawned.stats.entries_skipped
+    assert _render(sequential) == _render(spawned)
+
+
+@pytest.mark.slow
+def test_spawn_with_no_prune_matches_sequential(mixed_program):
+    """``prune=False`` ships no dead-block masks (relevance is None on
+    both sides); the spawn world must degrade identically."""
+    sequential = PATA(
+        checker_spec="default", config=AnalysisConfig(workers=1, prune=False)
+    ).analyze(mixed_program)
+    spawned = PATA(
+        checker_spec="default", config=_spawn_config(prune=False)
+    ).analyze(mixed_program)
+    assert _render(sequential) == _render(spawned)
+    assert sequential.stats.explored_paths == spawned.stats.explored_paths

@@ -271,7 +271,10 @@ def _stats_fingerprint(stats):
     """Stats minus timings and the pruning counters themselves (those
     legitimately differ between pruned and unpruned runs)."""
     data = dataclasses.asdict(stats)
-    for key in ("time_seconds", "workers_used", "entries_skipped",
+    for key in list(data):
+        if key.endswith("_seconds"):
+            data[key] = 0
+    for key in ("workers_used", "batches_dispatched", "entries_skipped",
                 "blocks_pruned", "paths_pruned", "explored_paths",
                 "executed_steps", "typestates_aware", "typestates_unaware"):
         data[key] = 0
