@@ -599,3 +599,136 @@ int bench_entry_cold(int n) {
     assert 0 < edit.stats.entries_reanalyzed < cold.stats.entries_reanalyzed
     assert edit.stats.entries_cached > 0
     assert speedup is not None and speedup >= (5.0 if harness.scale >= 1.0 else 2.0)
+
+
+def test_alias_tier_cold_warm(benchmark, harness, tmp_path):
+    """The tiered alias analysis (P1.7 Steensgaard pre-pass + singleton
+    fast paths) on/off at the headline corpus; writes ``BENCH_alias.json``
+    at the repo root with interleaved cold pairs, warm-cache timings, and
+    per-phase breakdowns.
+
+    Measurement: single cold runs swing well over the effect size on a
+    busy machine, so the bench times several *interleaved* off/on pairs
+    and headlines ``min(off)/min(on)`` (noise only ever adds time);
+    per-pair ratios and their median are recorded alongside.  Honest
+    about its configuration: at reduced ``REPRO_BENCH_SCALE`` fixed
+    overheads dominate and the payload is stamped ``degraded`` with no
+    headlined speedup (ROADMAP's 2x target is defined at scale 4.0).
+    Identical reports across every run — tier on/off, cold/warm — are
+    asserted unconditionally: the tier is an optimization, never a
+    precision trade."""
+    import json
+    import pathlib
+    import statistics
+    import time
+
+    from repro.corpus import PROFILES_BY_NAME, generate
+    from repro.incremental import compile_with_cache, open_store
+    from repro.lang import compile_program
+
+    headline_scale = 4.0
+    degraded = harness.scale < headline_scale
+    pairs = 3
+
+    corpus = generate(PROFILES_BY_NAME["linux"].scaled(harness.scale))
+    sources = list(corpus.compiled_sources())
+    program = compile_program(sources)
+
+    def run_cold(tier):
+        started = time.perf_counter()
+        result = PATA(
+            config=AnalysisConfig(alias_tier=tier), checker_spec="all"
+        ).analyze(program)
+        return result, time.perf_counter() - started
+
+    def text(result):
+        return [r.render() for r in result.reports]
+
+    cold_pairs = []
+    off_result = on_result = None
+    for _ in range(pairs):
+        off_result, off_seconds = run_cold(False)
+        on_result, on_seconds = run_cold(True)
+        cold_pairs.append((off_seconds, on_seconds))
+    benchmark.pedantic(lambda: run_cold(True), rounds=1, iterations=1)
+
+    baseline = text(off_result)
+    identical = text(on_result) == baseline
+
+    best_off = min(off for off, _ in cold_pairs)
+    best_on = min(on for _, on in cold_pairs)
+    ratios = [off / on for off, on in cold_pairs]
+    speedup = round(best_off / best_on, 3) if best_on else None
+
+    def run_cached(tier, cache_dir):
+        started = time.perf_counter()
+        config = AnalysisConfig(
+            alias_tier=tier, cache_dir=cache_dir, cache_mode="rw"
+        )
+        store = open_store(cache_dir, "rw")
+        cached_program = compile_with_cache(sources, store)
+        if store is not None:
+            store.commit()
+        result = PATA(config=config, checker_spec="all").analyze(cached_program)
+        return result, time.perf_counter() - started
+
+    dir_off = str(tmp_path / "cache-off")
+    dir_on = str(tmp_path / "cache-on")
+    _, cold_cached_off = run_cached(False, dir_off)
+    _, cold_cached_on = run_cached(True, dir_on)
+    warm_off, warm_off_seconds = run_cached(False, dir_off)
+    warm_on, warm_on_seconds = run_cached(True, dir_on)
+    identical = (
+        identical
+        and text(warm_off) == baseline
+        and text(warm_on) == baseline
+    )
+
+    phases_on = _phase_seconds(on_result.stats)
+    phases_on["unify"] = round(on_result.stats.time_unify_seconds, 4)
+    payload = {
+        "corpus": "linux",
+        "scale": harness.scale,
+        "headline_scale": headline_scale,
+        "spec": "all",
+        "degraded": degraded,
+        "cold_pairs": [
+            {"off_seconds": round(off, 4), "on_seconds": round(on, 4),
+             "ratio": round(off / on, 3)}
+            for off, on in cold_pairs
+        ],
+        "cold_off_seconds": round(best_off, 4),
+        "cold_on_seconds": round(best_on, 4),
+        # A degraded (reduced-scale) run headlines no speedup: fixed
+        # overheads would measure the harness, not the tier.
+        "speedup": None if degraded else speedup,
+        "speedup_median_of_pairs": None if degraded else round(
+            statistics.median(ratios), 3
+        ),
+        "warm": {
+            "cold_off_seconds": round(cold_cached_off, 4),
+            "cold_on_seconds": round(cold_cached_on, 4),
+            "off_seconds": round(warm_off_seconds, 4),
+            "on_seconds": round(warm_on_seconds, 4),
+            # Warm runs replay cached entry results, so the tier is
+            # structurally irrelevant there — recorded, never gated.
+            "speedup": round(warm_off_seconds / warm_on_seconds, 3)
+            if warm_on_seconds else None,
+        },
+        "phases_off": _phase_seconds(off_result.stats),
+        "phases_on": phases_on,
+        "singletons_proven": on_result.stats.singletons_proven,
+        "alias_cells": on_result.stats.alias_cells,
+        "entry_functions": on_result.stats.entry_functions,
+        "identical_reports": identical,
+        "reports": len(on_result.reports),
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_alias.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert identical
+    assert on_result.stats.singletons_proven > 0
+    assert on_result.stats.alias_cells > 0
+    assert off_result.stats.singletons_proven == 0
+    assert any(row.cached for row in warm_on.stats.per_entry)
+    if not degraded:
+        assert speedup is not None and speedup >= 1.5, payload

@@ -47,9 +47,20 @@ class AliasNode:
 
 
 class AliasGraph:
-    """Mutable alias graph with trail-based undo."""
+    """Mutable alias graph with trail-based undo.
 
-    def __init__(self, trail: Optional[Trail] = None):
+    ``skip_names`` is the P1.7 singleton fast path: variable names the
+    whole-program Steensgaard partition proved can never share a node
+    with another variable, carry an edge, or be pointed to
+    (:mod:`repro.pointsto.steensgaard`).  Strong updates of such a
+    variable skip node creation entirely and only bump a trailed
+    per-name *generation* — downstream clients key typestates on
+    ``(name, generation)`` instead of a node uid, which reproduces the
+    fresh-node-per-detach state visibility exactly.
+    """
+
+    def __init__(self, trail: Optional[Trail] = None,
+                 skip_names: Optional[FrozenSet[str]] = None):
         self.trail = trail if trail is not None else Trail()
         self._node_of: Dict[str, AliasNode] = {}
         #: uid -> node for nodes still alive (weak: undone nodes vanish);
@@ -59,6 +70,28 @@ class AliasGraph:
         #: "what did this callee touch" for exit-path merging (§4, P2).
         #: Kept in sync with the trail (entries pop on undo).
         self.journal: List[str] = []
+        #: P1.7 proven-singleton names whose per-path maintenance is skipped
+        self.skip_names: FrozenSet[str] = skip_names or frozenset()
+        #: current strong-update generation per skipped name (trailed)
+        self.skip_generations: Dict[str, int] = {}
+
+    def skip_generation(self, name: str) -> int:
+        return self.skip_generations.get(name, 0)
+
+    def bump_skip(self, name: str) -> None:
+        """The fast-path strong update: no node, just a new generation —
+        states keyed under older generations become unreachable exactly
+        like states keyed on a detached node's uid."""
+        old = self.skip_generations.get(name)
+        self.skip_generations[name] = (old or 0) + 1
+
+        def undo() -> None:
+            if old is None:
+                self.skip_generations.pop(name, None)
+            else:
+                self.skip_generations[name] = old
+
+        self.trail.push(undo)
 
     def _journal_bind(self, name: str) -> None:
         self.journal.append(name)
@@ -125,14 +158,20 @@ class AliasGraph:
 
         self.trail.push(undo)
 
-    def detach(self, var: Var) -> AliasNode:
+    def detach(self, var: Var) -> Optional[AliasNode]:
         """Strong update: give ``var`` a fresh singleton node and return it.
 
         The node is always brand new — node identity is what downstream
         clients key typestates and SMT symbols on, so a reassigned
         variable must never keep its old node (that would resurrect stale
         states/constraints, e.g. after ``x = 0; ...; x = 1``).
+
+        Proven singletons (P1.7 fast path) return None: no node exists,
+        the generation bump carries the strong-update semantics.
         """
+        if var.name in self.skip_names:
+            self.bump_skip(var.name)
+            return None
         current = self._node_of.get(var.name)
         fresh = self._new_node()
         if current is None:

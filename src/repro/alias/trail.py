@@ -31,8 +31,9 @@ class Trail:
         return len(self._undo)
 
     def undo_to(self, mark: int) -> None:
-        while len(self._undo) > mark:
-            self._undo.pop()()
+        undo = self._undo
+        while len(undo) > mark:
+            undo.pop()()
 
     def __len__(self) -> int:
         return len(self._undo)

@@ -87,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-prune", action="store_true",
                        help="disable the checker-relevance pre-analysis "
                             "(P1.5) entry/path pruning")
+    check.add_argument("--alias-tier", choices=["on", "off"], default="on",
+                       help="tiered alias analysis (P1.7): the whole-program "
+                            "Steensgaard pre-pass and its singleton fast "
+                            "paths; reports are byte-identical either way "
+                            "(default: on)")
     check.add_argument("--stats", action="store_true",
                        help="print a per-entry-function stats table")
     check.add_argument("--stats-json", metavar="FILE", default=None,
@@ -181,6 +186,7 @@ def cmd_check(args) -> int:
               file=sys.stderr)
     config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers,
                             prune=not args.no_prune,
+                            alias_tier=args.alias_tier != "off",
                             parallel_batch_size=args.batch_size,
                             parallel_dispatch_factor=args.dispatch_factor,
                             parallel_start_method=args.start_method,

@@ -135,6 +135,7 @@ class PathExplorer:
         path_end_observer: Optional[Callable] = None,
         indirect_resolver: Optional[Callable] = None,
         relevance=None,
+        partition=None,
         # Back-compat conveniences used by PathAliasAnalysis:
         max_paths: Optional[int] = None,
         max_call_depth: Optional[int] = None,
@@ -157,10 +158,21 @@ class PathExplorer:
         #: P1.5 :class:`~repro.presolve.prune.RelevancePreAnalysis`; when
         #: set, paths stop on entering a dead block of the entry CFG
         self.relevance = relevance
+        #: P1.7 :class:`~repro.pointsto.steensgaard.MayAliasPartition`;
+        #: when set, per-path graph maintenance skips proven singletons
+        self.partition = partition
         self._dead_blocks: frozenset = frozenset()
 
+        skip_names = (
+            partition.singletons
+            if partition is not None and self.config.alias_aware
+            else None
+        )
         self.trail = Trail()
-        self.graph: Optional[AliasGraph] = AliasGraph(self.trail) if self.config.alias_aware else None
+        self.graph: Optional[AliasGraph] = (
+            AliasGraph(self.trail, skip_names=skip_names)
+            if self.config.alias_aware else None
+        )
         self.store = StateStore(self.trail)
         self.ctx = TrackerContext(
             graph=self.graph,
@@ -247,10 +259,22 @@ class PathExplorer:
         else:
             self._dead_blocks = frozenset()
         self.blocks_pruned = len(self._dead_blocks)
+        # P1.7 per-entry checker arming: dispatch only checkers whose
+        # trigger *and* sink kinds occur in this entry's region (the
+        # per-checker refinement of P1.5's entry pruning — an unarmed
+        # checker provably cannot report here, and its cross-entry
+        # recordings fire only at events the region does not contain).
+        # `--alias-tier off` restores today's dispatch-everything.
+        armed = None
+        if self.config.alias_tier and self.relevance is not None:
+            armed_of = getattr(self.relevance, "armed_names", None)
+            if armed_of is not None:
+                armed = armed_of(entry)
+        self.manager.set_active(armed)
         self.ctx.entry_function = entry.name
         if self.config.entry_time_limit is not None:
             self._deadline = time.monotonic() + self.config.entry_time_limit
-        for checker in self.manager.checkers:
+        for checker in self.manager.active:
             checker.on_path_start(self.ctx)
         mark = self.trail.mark()
         tlen = len(self.trace)
@@ -409,17 +433,25 @@ class PathExplorer:
                 # Table 5 accounting: a traditional per-variable tracker
                 # would copy every state the source holds to the
                 # destination here (the "sync" transitions of Fig. 8a);
-                # alias-aware tracking shares the state instead.
-                key = self.ctx.key(src)
-                for name in self.manager.checker_names:
-                    if self.store.get(name, key) is not None:
-                        self.store.unaware_updates += 1
+                # alias-aware tracking shares the state instead.  Scoped
+                # to the active checkers: under per-entry arming the
+                # skipped checkers hold no readable state, so their
+                # would-be syncs are not work this run avoids.
+                names = self.manager.active_namespaces
+                if names:
+                    key = self.ctx.key(src)
+                    store_get = self.store.get
+                    for name in names:
+                        if store_get(name, key) is not None:
+                            self.store.unaware_updates += 1
         else:
             self._na_reset(dst)
             if is_null_const(src):
-                self._dispatch(AssignNullEvent(inst, dst))
+                if self.manager.wants(AssignNullEvent):
+                    self._dispatch(AssignNullEvent(inst, dst))
             elif isinstance(src, Const):
-                self._dispatch(AssignConstEvent(inst, dst, value=src.value))
+                if self.manager.wants(AssignConstEvent):
+                    self._dispatch(AssignConstEvent(inst, dst, value=src.value))
 
     def _na_reset(self, var: Var) -> None:
         """NA mode: clear stale per-name states on redefinition (alias-aware
@@ -434,103 +466,178 @@ class PathExplorer:
         """A call we do not inline: unknown externals, exceeded depth, or a
         blocked recursive re-entry.  Effects are havocked conservatively."""
         self.trace.append(("inst", inst))
-        self._dispatch(ExternalCallEvent(inst, inst.callee, tuple(inst.args)))
+        wants = self.manager.wants
+        if wants(ExternalCallEvent):
+            self._dispatch(ExternalCallEvent(inst, inst.callee, tuple(inst.args)))
         for arg in inst.args:
             if isinstance(arg, Var):
                 if isinstance(arg.type, PointerType):
-                    self._dispatch(EscapeEvent(inst, arg, "passed to external"))
-                else:
+                    if wants(EscapeEvent):
+                        self._dispatch(EscapeEvent(inst, arg, "passed to external"))
+                elif wants(UseVarEvent):
                     self._dispatch(UseVarEvent(inst, arg))
         if inst.dst is not None:
             if self.graph is not None:
                 self.graph.detach(inst.dst)
             self._na_reset(inst.dst)
-            self._dispatch(CallReturnEvent(inst, inst.dst, inst.callee))
+            if wants(CallReturnEvent):
+                self._dispatch(CallReturnEvent(inst, inst.dst, inst.callee))
 
     # -- plain instructions -------------------------------------------------------------
 
     def _exec_simple(self, inst: Instruction, frame: _Frame) -> None:
         self.trace.append(("inst", inst))
-        if isinstance(inst, Move):
-            self._move_like(inst.dst, inst.src, inst)
-            if isinstance(inst.src, Var):
-                self._dispatch(UseVarEvent(inst, inst.src))
-                if inst.dst.is_global:
-                    self._dispatch(EscapeEvent(inst, inst.src, "stored to global"))
-            return
-        result_node = apply_instruction(self.graph, inst) if self.graph is not None else None
-        if isinstance(inst, Load):
-            self._na_reset(inst.dst)
-            self.load_srcs[inst.dst.name] = inst.ptr.name
+        handler = _EXEC_DISPATCH.get(inst.__class__)
+        if handler is not None:
+            handler(self, inst)
+        else:
+            self._exec_fallback(inst)
+
+    def _exec_fallback(self, inst: Instruction) -> None:
+        """Instruction subclasses outside the exact-type table: resolve by
+        the original isinstance walk; a truly unknown instruction still
+        gets its alias-graph maintenance (and no events), as before."""
+        for cls, handler in _EXEC_FALLBACK_ORDER:
+            if isinstance(inst, cls):
+                handler(self, inst)
+                return
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+
+    def _exec_move(self, inst: Move) -> None:
+        src = inst.src
+        self._move_like(inst.dst, src, inst)
+        if isinstance(src, Var):
+            wants = self.manager.wants
+            if wants(UseVarEvent):
+                self._dispatch(UseVarEvent(inst, src))
+            if inst.dst.is_global and wants(EscapeEvent):
+                self._dispatch(EscapeEvent(inst, src, "stored to global"))
+
+    def _exec_load(self, inst: Load) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        self.load_srcs[inst.dst.name] = inst.ptr.name
+        wants = self.manager.wants
+        if wants(DerefEvent):
             self._dispatch(DerefEvent(inst, inst.ptr))
+        if wants(LoadEvent):
             self._dispatch(LoadEvent(inst, inst.ptr, inst.dst))
-        elif isinstance(inst, Store):
+
+    def _exec_store(self, inst: Store) -> None:
+        result_node = apply_instruction(self.graph, inst) if self.graph is not None else None
+        wants = self.manager.wants
+        if wants(DerefEvent):
             self._dispatch(DerefEvent(inst, inst.ptr))
-            if isinstance(inst.src, Var):
-                self._dispatch(UseVarEvent(inst, inst.src))
-                if isinstance(inst.src.type, PointerType):
-                    self._dispatch(EscapeEvent(inst, inst.src, "stored to memory"))
-            elif is_null_const(inst.src):
-                self._dispatch(
-                    AssignNullEvent(
-                        inst,
-                        _stored_pseudo_var(inst),
-                        node_key=result_node.uid if result_node is not None else None,
-                    )
+        src = inst.src
+        if isinstance(src, Var):
+            if wants(UseVarEvent):
+                self._dispatch(UseVarEvent(inst, src))
+            if isinstance(src.type, PointerType) and wants(EscapeEvent):
+                self._dispatch(EscapeEvent(inst, src, "stored to memory"))
+        elif is_null_const(src) and wants(AssignNullEvent):
+            self._dispatch(
+                AssignNullEvent(
+                    inst,
+                    _stored_pseudo_var(inst),
+                    node_key=result_node.uid if result_node is not None else None,
                 )
-            self._dispatch(StoreEvent(inst, inst.ptr, inst.src))
-        elif isinstance(inst, Gep):
-            self._na_reset(inst.dst)
-            self.addr_defs[inst.dst.name] = (inst.base, inst.field)
+            )
+        if wants(StoreEvent):
+            self._dispatch(StoreEvent(inst, inst.ptr, src))
+
+    def _exec_gep(self, inst: Gep) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        self.addr_defs[inst.dst.name] = (inst.base, inst.field)
+        wants = self.manager.wants
+        if wants(DerefEvent):
             self._dispatch(DerefEvent(inst, inst.base))
-            if inst.index is not None:
-                self._dispatch(IndexEvent(inst, inst.index))
-        elif isinstance(inst, AddrOf):
-            self._na_reset(inst.dst)
-        elif isinstance(inst, BinOp):
-            self._na_reset(inst.dst)
-            self.value_defs[inst.dst.name] = inst
+        if inst.index is not None and wants(IndexEvent):
+            self._dispatch(IndexEvent(inst, inst.index))
+
+    def _exec_addr_of(self, inst: AddrOf) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+
+    def _exec_binop(self, inst: BinOp) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        self.value_defs[inst.dst.name] = inst
+        wants = self.manager.wants
+        if wants(UseVarEvent):
             for operand in (inst.lhs, inst.rhs):
                 if isinstance(operand, Var):
                     self._dispatch(UseVarEvent(inst, operand))
-            if inst.op in ("div", "mod"):
-                self._dispatch(DivEvent(inst, inst.rhs))
+        if inst.op in ("div", "mod") and wants(DivEvent):
+            self._dispatch(DivEvent(inst, inst.rhs))
+        if wants(AssignConstEvent):
             value = _fold_binop(inst)
             self._dispatch(AssignConstEvent(inst, inst.dst, value=value, op=inst.op))
-        elif isinstance(inst, UnOp):
-            self._na_reset(inst.dst)
-            if isinstance(inst.src, Var):
-                self._dispatch(UseVarEvent(inst, inst.src))
+
+    def _exec_unop(self, inst: UnOp) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        wants = self.manager.wants
+        if isinstance(inst.src, Var) and wants(UseVarEvent):
+            self._dispatch(UseVarEvent(inst, inst.src))
+        if wants(AssignConstEvent):
             value = None
             if isinstance(inst.src, Const) and inst.op == "neg":
                 value = -inst.src.value
             self._dispatch(AssignConstEvent(inst, inst.dst, value=value, op=inst.op))
-        elif isinstance(inst, Malloc):
+
+    def _exec_malloc(self, inst: Malloc) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        self._dispatch(AllocEvent(inst, inst.dst, heap=True, zeroed=inst.zeroed, may_fail=inst.may_fail))
+
+    def _exec_alloc(self, inst: Alloc) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.dst)
+        self._dispatch(AllocEvent(inst, inst.dst, heap=False, zeroed=inst.zeroed, may_fail=False))
+
+    def _exec_decl_local(self, inst: DeclLocal) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._na_reset(inst.var)
+        self._dispatch(DeclLocalEvent(inst, inst.var))
+
+    def _exec_memset(self, inst: MemSet) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._dispatch(DerefEvent(inst, inst.ptr))
+        self._dispatch(MemInitEvent(inst, inst.ptr))
+
+    def _exec_free(self, inst: Free) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._dispatch(FreeEvent(inst, inst.ptr))
+
+    def _exec_lockop(self, inst: LockOp) -> None:
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        self._dispatch(LockEvent(inst, inst.lock, inst.acquire))
+
+    def _exec_call_indirect(self, inst: CallIndirect) -> None:
+        # Not followed (§7); havoc like an external call.
+        if self.graph is not None:
+            apply_instruction(self.graph, inst)
+        for arg in inst.args:
+            if isinstance(arg, Var) and isinstance(arg.type, PointerType):
+                self._dispatch(EscapeEvent(inst, arg, "passed through function pointer"))
+        if inst.dst is not None:
+            if self.graph is not None:
+                self.graph.detach(inst.dst)
             self._na_reset(inst.dst)
-            self._dispatch(AllocEvent(inst, inst.dst, heap=True, zeroed=inst.zeroed, may_fail=inst.may_fail))
-        elif isinstance(inst, Alloc):
-            self._na_reset(inst.dst)
-            self._dispatch(AllocEvent(inst, inst.dst, heap=False, zeroed=inst.zeroed, may_fail=False))
-        elif isinstance(inst, DeclLocal):
-            self._na_reset(inst.var)
-            self._dispatch(DeclLocalEvent(inst, inst.var))
-        elif isinstance(inst, MemSet):
-            self._dispatch(DerefEvent(inst, inst.ptr))
-            self._dispatch(MemInitEvent(inst, inst.ptr))
-        elif isinstance(inst, Free):
-            self._dispatch(FreeEvent(inst, inst.ptr))
-        elif isinstance(inst, LockOp):
-            self._dispatch(LockEvent(inst, inst.lock, inst.acquire))
-        elif isinstance(inst, CallIndirect):
-            # Not followed (§7); havoc like an external call.
-            for arg in inst.args:
-                if isinstance(arg, Var) and isinstance(arg.type, PointerType):
-                    self._dispatch(EscapeEvent(inst, arg, "passed through function pointer"))
-            if inst.dst is not None:
-                if self.graph is not None:
-                    self.graph.detach(inst.dst)
-                self._na_reset(inst.dst)
-                self._dispatch(CallReturnEvent(inst, inst.dst, "<indirect>"))
+            self._dispatch(CallReturnEvent(inst, inst.dst, "<indirect>"))
 
     # -- terminators -------------------------------------------------------------------
 
@@ -558,6 +665,9 @@ class PathExplorer:
         cond = term.cond
         if not isinstance(cond, Var):
             return
+        wants = self.manager.wants
+        if not (wants(BranchNullEvent) or wants(BranchCmpEvent)):
+            return
         def_inst = self.value_defs.get(cond.name)
         if def_inst is None or not def_inst.is_comparison:
             return
@@ -578,10 +688,14 @@ class PathExplorer:
 
     def _do_return(self, term: Ret, frame: _Frame) -> None:
         value = term.value
+        wants = self.manager.wants
         if isinstance(value, Var):
-            self._dispatch(UseVarEvent(term, value))
-            self._dispatch(EscapeEvent(term, value, "returned"))
-        self._dispatch(ReturnEvent(term, value, frame.frame_id, frame.is_entry))
+            if wants(UseVarEvent):
+                self._dispatch(UseVarEvent(term, value))
+            if wants(EscapeEvent):
+                self._dispatch(EscapeEvent(term, value, "returned"))
+        if wants(ReturnEvent):
+            self._dispatch(ReturnEvent(term, value, frame.frame_id, frame.is_entry))
         if frame.is_entry:
             self.paths += 1
             if self.path_end_observer is not None:
@@ -646,7 +760,12 @@ class PathExplorer:
             ret_part = ("c", value.value)
         elif isinstance(value, Var):
             if self.graph is not None:
-                ret_part = ("n", group_of(self.graph.node_of(value)))
+                if value.name in self.graph.skip_names:
+                    # A skipped singleton's node would be the isolated
+                    # {value.name} node — same canonical group.
+                    ret_part = ("n", (value.name,) if visible(value.name) else ())
+                else:
+                    ret_part = ("n", group_of(self.graph.node_of(value)))
             else:
                 ret_part = ("v", value.name)
         else:
@@ -674,14 +793,52 @@ class PathExplorer:
     def _canonical_node_key(self, key, group_of, visible):
         """Stable form of a typestate key: node uids become the node's
         caller-visible name group; None when the node has no visible name
-        (its state cannot affect the caller's continuation)."""
+        (its state cannot affect the caller's continuation).
+
+        P1.7 skip keys ``("s", name, gen)`` canonicalize bijectively with
+        the node they stand in for: the current generation is the live
+        isolated ``{name}`` node (group ``(name,)`` when visible), a
+        stale generation is a detached varless node (``None``).
+        """
         if self.graph is None or not isinstance(key, int):
+            if (
+                isinstance(key, tuple) and len(key) == 3 and key[0] == "s"
+                and self.graph is not None and key[1] in self.graph.skip_names
+            ):
+                name, gen = key[1], key[2]
+                if gen != self.graph.skip_generation(name):
+                    return None
+                return (name,) if visible(name) else None
             return key if not isinstance(key, str) or visible(key) else None
         node = self.graph.by_uid.get(key)
         if node is None:
             return None
         group = group_of(node)
         return group if group else None
+
+
+#: exact-type dispatch for the hot instruction loop — the per-step
+#: isinstance chain was a measurable share of exploration time; the
+#: entries keep the chain's order so the fallback walk (used for
+#: instruction subclasses) resolves identically
+_EXEC_DISPATCH = {
+    Move: PathExplorer._exec_move,
+    Load: PathExplorer._exec_load,
+    Store: PathExplorer._exec_store,
+    Gep: PathExplorer._exec_gep,
+    AddrOf: PathExplorer._exec_addr_of,
+    BinOp: PathExplorer._exec_binop,
+    UnOp: PathExplorer._exec_unop,
+    Malloc: PathExplorer._exec_malloc,
+    Alloc: PathExplorer._exec_alloc,
+    DeclLocal: PathExplorer._exec_decl_local,
+    MemSet: PathExplorer._exec_memset,
+    Free: PathExplorer._exec_free,
+    LockOp: PathExplorer._exec_lockop,
+    CallIndirect: PathExplorer._exec_call_indirect,
+}
+
+_EXEC_FALLBACK_ORDER = tuple(_EXEC_DISPATCH.items())
 
 
 def _stored_pseudo_var(inst: Store) -> Var:

@@ -47,6 +47,12 @@ class AnalysisConfig:
     resolve_function_pointers: bool = False
     #: candidate targets explored per indirect call site when resolving
     max_indirect_targets: int = 4
+    #: run the whole-program Steensgaard pre-pass (P1.7) and its three
+    #: sound consumers: the per-path singleton fast path, trace
+    #: translation over partition cells, and shared-access sharpening of
+    #: the relevance masks.  Reports are byte-identical on or off
+    #: (``--alias-tier off`` is the CLI escape hatch); only speed changes
+    alias_tier: bool = True
     #: run the checker-relevance pre-analysis (P1.5) and its two sound
     #: pruning layers: skip entry functions whose transitive region holds
     #: no event for any enabled checker, and stop paths entering CFG

@@ -42,9 +42,14 @@ class BugFilter:
         validate_paths: bool = True,
         solver_max_search_nodes: int = 20000,
         alias_aware: bool = True,
+        partition=None,
     ):
         self.validate_paths = validate_paths
         self.alias_aware = alias_aware
+        #: P1.7 partition: lets the translators keep proven singletons
+        #: node-free during trace replay (same constraints up to symbol
+        #: renaming; see :class:`repro.smt.translate.PathTranslator`)
+        self.partition = partition
         self.solver = Solver(max_search_nodes=solver_max_search_nodes)
 
     def run(self, possible_bugs: List[PossibleBug]) -> FilterResult:
@@ -65,9 +70,12 @@ class BugFilter:
             # Pair finding (race matches): both paths must be jointly
             # feasible — a guard contradiction across them discharges it.
             translation = translate_trace_pair(
-                bug.trace, bug.second_trace, alias_aware=self.alias_aware)
+                bug.trace, bug.second_trace, alias_aware=self.alias_aware,
+                partition=self.partition)
         else:
-            translation = translate_trace(bug.trace, bug.extra_requirement, alias_aware=self.alias_aware)
+            translation = translate_trace(
+                bug.trace, bug.extra_requirement, alias_aware=self.alias_aware,
+                partition=self.partition)
         stats.constraints_aware += translation.aware_constraints
         stats.constraints_unaware += translation.unaware_constraints
         solution = self.solver.solve(translation.atoms)

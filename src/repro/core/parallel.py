@@ -184,19 +184,27 @@ def shard_result(explorer: PathExplorer, outcomes: List[EntryOutcome]) -> ShardR
 class PrecomputedRelevance:
     """A read-only stand-in for
     :class:`~repro.presolve.prune.RelevancePreAnalysis` built from
-    dead-block uid sets the *parent* already computed: same
-    ``dead_blocks`` surface the explorer consumes, none of the
-    summary-index build cost.  Block uids are assigned at IR construction
-    and survive both fork and pickling, so the sets index the worker's
-    program copy exactly."""
+    dead-block uid sets (and per-entry armed checker names) the *parent*
+    already computed: same ``dead_blocks``/``armed_names`` surface the
+    explorer consumes, none of the summary-index build cost.  Block uids
+    are assigned at IR construction and survive both fork and pickling,
+    so the sets index the worker's program copy exactly."""
 
     supported = True
 
-    def __init__(self, masks: Dict[str, FrozenSet[int]]):
+    def __init__(
+        self,
+        masks: Dict[str, FrozenSet[int]],
+        armed: Optional[Dict[str, Optional[FrozenSet[str]]]] = None,
+    ):
         self._masks = masks
+        self._armed = armed or {}
 
     def dead_blocks(self, entry: Function) -> FrozenSet[int]:
         return self._masks.get(entry.name, frozenset())
+
+    def armed_names(self, entry: Function) -> Optional[FrozenSet[str]]:
+        return self._armed.get(entry.name)
 
 
 @dataclass
@@ -220,6 +228,12 @@ class _WorkerInit:
     program_bytes: Optional[bytes] = None
     cached_facts: Optional[Dict[str, Tuple[bool, bool]]] = None
     dead_masks: Optional[Dict[str, FrozenSet[int]]] = None
+    armed_masks: Optional[Dict[str, Optional[FrozenSet[str]]]] = None
+    #: P1.7 may-alias partition.  One field serves both modes: fork
+    #: inherits the live object zero-copy, spawn pickles it with the
+    #: initargs (MayAliasPartition defines ``__reduce__``); either way
+    #: workers never re-run the unification pass.
+    partition: Optional[object] = None
 
 
 @dataclass
@@ -231,6 +245,7 @@ class _WorkerWorld:
     checkers: list
     collector: InformationCollector
     relevance: Optional[object]
+    partition: Optional[object] = None
 
 
 #: built by :func:`_init_worker` when the process starts, read by every
@@ -249,12 +264,14 @@ def _init_worker(init: _WorkerInit) -> None:
         program = pickle.loads(init.program_bytes)
         collector = InformationCollector(program, cached_facts=init.cached_facts)
         relevance = (
-            PrecomputedRelevance(init.dead_masks)
+            PrecomputedRelevance(init.dead_masks, init.armed_masks)
             if init.dead_masks is not None
             else None
         )
     checkers = checkers_from_spec(init.checker_spec, collector)
-    _WORLD = _WorkerWorld(program, init.config, checkers, collector, relevance)
+    _WORLD = _WorkerWorld(
+        program, init.config, checkers, collector, relevance, init.partition
+    )
 
 
 def _run_batch(entry_names: List[str]) -> List[Tuple[str, EntryOutcome]]:
@@ -287,6 +304,7 @@ def _run_batch(entry_names: List[str]) -> List[Tuple[str, EntryOutcome]]:
             else None
         ),
         relevance=world.relevance,
+        partition=world.partition,
     )
     outcomes = explore_entries(explorer, entries, per_entry_dedup=True)
     touch_dir = os.environ.get(_TOUCH_ENV)
@@ -328,6 +346,7 @@ def run_parallel(
     entry_list: Sequence[Function],
     collector: Optional[InformationCollector] = None,
     relevance: Optional[object] = None,
+    partition: Optional[object] = None,
 ) -> Optional[ParallelRun]:
     """Stream ``entry_list`` through a pool of persistent workers.
 
@@ -347,6 +366,7 @@ def run_parallel(
             program=program,
             collector=collector or InformationCollector(program),
             relevance=relevance,
+            partition=partition,
         )
     else:
         # Spawned workers must receive the program by value; an
@@ -368,17 +388,23 @@ def run_parallel(
                 for name, info in collector.functions.items()
             }
         dead_masks = None
+        armed_masks = None
         if config.prune and relevance is not None:
             dead_masks = {
                 func.name: frozenset(relevance.dead_blocks(func))
                 for func in entry_list
             }
+            armed_of = getattr(relevance, "armed_names", None)
+            if armed_of is not None:
+                armed_masks = {func.name: armed_of(func) for func in entry_list}
         init = _WorkerInit(
             config=config,
             checker_spec=checker_spec,
             program_bytes=program_bytes,
             cached_facts=cached_facts,
             dead_masks=dead_masks,
+            armed_masks=armed_masks,
+            partition=partition,
         )
     batch_size = config.resolved_batch_size(len(entry_list), workers)
     batches = _make_batches(entry_list, batch_size)

@@ -121,7 +121,7 @@ class PATA:
             if self.config.prune and plan.dirty and not plan.needs_relevance:
                 from ..incremental import CachedRelevance
 
-                relevance = CachedRelevance(plan.masks)
+                relevance = CachedRelevance(plan.masks, plan.armed)
         if self.config.prune and relevance is None and (
             incr is None or (plan.needs_relevance and analyzed_list)
         ):
@@ -135,11 +135,34 @@ class PATA:
                     may_return_zero=collector.may_return_zero,
                 ),
                 resolve_function_pointers=self.config.resolve_function_pointers,
+                sharpen_shared=self.config.alias_tier,
             )
             analyzed_list, live_skipped = relevance.partition_entries(analyzed_list)
             skipped_names.extend(live_skipped)
         stats.entries_skipped = len(skipped_names)
         stats.time_presolve_seconds = time.monotonic() - phase_started
+
+        # P1.7: tiered may-alias pre-pass.  One whole-program Steensgaard
+        # unification produces the over-approximate may-alias partition
+        # and its proven singletons; the explorer, the trace translators,
+        # and (through `sharpen_shared` above) the relevance masks all
+        # consume it, each provably report-preserving — `--alias-tier
+        # off` reproduces today's behaviour byte for byte.  The partition
+        # is cached per module closure, so warm runs skip the pass.
+        partition = None
+        if self.config.alias_tier and self.config.alias_aware:
+            phase_started = time.monotonic()
+            if incr is not None:
+                partition = incr.cached_partition()
+            if partition is None:
+                from ..pointsto.steensgaard import build_partition
+
+                partition = build_partition(program)
+                if incr is not None:
+                    incr.stage_partition(partition)
+            stats.singletons_proven = len(partition.singletons)
+            stats.alias_cells = partition.cell_count
+            stats.time_unify_seconds = time.monotonic() - phase_started
 
         # P2: explore every entry — streamed in size-sorted batches
         # through persistent worker processes when configured (the
@@ -159,7 +182,7 @@ class PATA:
             else:
                 run = run_parallel(
                     program, self.config, spec, analyzed_list, collector,
-                    relevance=relevance,
+                    relevance=relevance, partition=partition,
                 )
                 if run is not None:
                     outcome_by_name = run.outcomes
@@ -175,6 +198,7 @@ class PATA:
                     collector.indirect_targets if self.config.resolve_function_pointers else None
                 ),
                 relevance=relevance,
+                partition=partition,
             )
             outcomes = explore_entries(
                 explorer, analyzed_list, per_entry_dedup=incr is not None
@@ -241,6 +265,7 @@ class PATA:
             self.config.validate_paths,
             self.config.solver_max_search_nodes,
             alias_aware=self.config.alias_aware,
+            partition=partition,
         )
         filtered = bug_filter.run(possible_bugs)
         stats.dropped_false_bugs = filtered.stats.dropped_false

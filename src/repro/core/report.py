@@ -119,6 +119,13 @@ class AnalysisStats:
     time_explore_seconds: float = 0.0
     time_match_seconds: float = 0.0
     time_filter_seconds: float = 0.0
+    #: P1.7 tiered alias analysis (zero with ``--alias-tier off``):
+    #: SSA values proven singleton — never aliased, so tracked without
+    #: per-path graph nodes — the partition's may-alias cell count, and
+    #: the unification pass's wall clock (cache hits make it ~0)
+    singletons_proven: int = 0
+    alias_cells: int = 0
+    time_unify_seconds: float = 0.0
     #: worker processes that performed P2 (1 = in-process sequential)
     workers_used: int = 1
     #: entry batches dispatched to the worker pool (0 = in-process run);

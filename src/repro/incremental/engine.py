@@ -18,14 +18,15 @@ caching and the checker set is spec-addressable), it:
 
 Layer keys, and what each deliberately excludes:
 
-========  ======================================================  =================================
-layer     key ingredients                                         survives
-========  ======================================================  =================================
-modules   source sha + filename + frontend tag                    any non-frontend config change
-facts     function transitive key                                 checker-spec *and* config changes
-masks     entry transitive key + spec + presolve-config fp        P2 budget changes
-outcomes  entry transitive key + spec + engine-config fp          edits outside the entry's closure
-========  ======================================================  =================================
+=========  ======================================================  =================================
+layer      key ingredients                                         survives
+=========  ======================================================  =================================
+modules    source sha + filename + frontend tag                    any non-frontend config change
+facts      function transitive key                                 checker-spec *and* config changes
+partition  module closure (every transitive key)                   checker-spec *and* config changes
+masks      entry transitive key + spec + presolve-config fp        P2 budget changes
+outcomes   entry transitive key + spec + engine-config fp          edits outside the entry's closure
+=========  ======================================================  =================================
 
 Every key also folds the engine + cache-format versions (see
 :meth:`~.store.CacheStore.object_key`).
@@ -67,6 +68,13 @@ def _module_key(filename: str, source: str) -> str:
     return CacheStore.object_key("module", filename, _sha("src", source))
 
 
+def _partition_key(closure_pairs: List[str]) -> str:
+    """P1.7 may-alias partition layer: one object per *module closure* —
+    the sorted name=transitive-key pairs — because the unification pass
+    reads the whole program.  Any edit anywhere misses and rebuilds."""
+    return CacheStore.object_key("partition", *closure_pairs)
+
+
 # Program-wide *bundle* objects: the fully-warm fast path.  A warm run
 # over N functions would otherwise pay N small reads (and their pathlib
 # + unpickle fixed costs) per layer; the bundles collapse each layer to
@@ -97,6 +105,9 @@ class IncrementalPlan:
     dirty: List[Function] = field(default_factory=list)
     #: dead-block uid sets for dirty entries whose mask hit anyway
     masks: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    #: per-entry armed checker names (None = arming unsupported, the
+    #: explorer dispatches every checker), for the same dirty entries
+    armed: Dict[str, Optional[FrozenSet[str]]] = field(default_factory=dict)
     #: True when some dirty entry has no cached mask — the run must
     #: build the live P1.5 pre-analysis
     needs_relevance: bool = True
@@ -104,18 +115,27 @@ class IncrementalPlan:
 
 class CachedRelevance:
     """A drop-in for :class:`~repro.presolve.prune.RelevancePreAnalysis`
-    backed entirely by cached layer-(b) masks: same ``dead_blocks``
-    surface the explorer consumes, none of the summary-index build cost.
-    Only constructed when *every* entry it will be asked about has a
-    cached mask (anything else falls back to the live pre-analysis)."""
+    backed entirely by cached layer-(b) masks: same ``dead_blocks`` and
+    ``armed_names`` surface the explorer consumes, none of the
+    summary-index build cost.  Only constructed when *every* entry it
+    will be asked about has a cached mask (anything else falls back to
+    the live pre-analysis)."""
 
     supported = True
 
-    def __init__(self, masks: Dict[str, FrozenSet[int]]):
+    def __init__(
+        self,
+        masks: Dict[str, FrozenSet[int]],
+        armed: Optional[Dict[str, Optional[FrozenSet[str]]]] = None,
+    ):
         self._masks = masks
+        self._armed = armed or {}
 
     def dead_blocks(self, entry: Function) -> FrozenSet[int]:
         return self._masks.get(entry.name, frozenset())
+
+    def armed_names(self, entry: Function) -> Optional[FrozenSet[str]]:
+        return self._armed.get(entry.name)
 
 
 class IncrementalContext:
@@ -173,6 +193,27 @@ class IncrementalContext:
         self.facts_reused = len(facts)
         return facts
 
+    # -- layer p: P1.7 may-alias partition -----------------------------------
+
+    def cached_partition(self):
+        """The whole-program :class:`~repro.pointsto.steensgaard.
+        MayAliasPartition` cached under this program's module closure, or
+        ``None`` on a miss (including any shape surprise — a corrupt
+        payload degrades to rebuilding the pass, never to a crash)."""
+        from ..pointsto.steensgaard import MayAliasPartition
+
+        payload = self.store.get(_partition_key(self._closure_pairs))
+        if isinstance(payload, MayAliasPartition):
+            return payload
+        return None
+
+    def stage_partition(self, partition) -> None:
+        """Stage the freshly built partition for the next commit (put
+        already skips keys staged or on disk, so warm runs write
+        nothing)."""
+        if partition is not None and self.store.mode == "rw":
+            self.store.put(_partition_key(self._closure_pairs), partition)
+
     # -- layers b + c: entry partition --------------------------------------
 
     def plan(self, entry_list: List[Function]) -> IncrementalPlan:
@@ -189,11 +230,15 @@ class IncrementalContext:
                 mask = self.store.get(
                     _mask_key(entry.name, tkey, self.spec_fp, self.presolve_fp)
                 )
-                if isinstance(mask, dict) and "relevant" in mask:
+                if isinstance(mask, dict) and "relevant" in mask and "armed" in mask:
                     relevant = bool(mask["relevant"])
                     if not relevant:
                         plan.skipped.append(entry.name)
                         continue
+                    armed = mask["armed"]
+                    plan.armed[entry.name] = (
+                        frozenset(armed) if armed is not None else None
+                    )
                     try:
                         plan.masks[entry.name] = CoordIndex.resolve_block_coords(
                             entry, mask.get("dead", ())
@@ -305,13 +350,15 @@ class IncrementalContext:
             if isinstance(relevance, RelevancePreAnalysis):
                 for entry in analyzed:
                     dead = relevance.dead_blocks(entry)
+                    armed = relevance.armed_names(entry)
                     self.store.put(
                         _mask_key(
                             entry.name, self.keys.key(entry.name),
                             self.spec_fp, self.presolve_fp,
                         ),
                         {"relevant": True,
-                         "dead": self.index.block_coords(entry, dead)},
+                         "dead": self.index.block_coords(entry, dead),
+                         "armed": None if armed is None else sorted(armed)},
                     )
                 for name in skipped_names:
                     if name not in self.keys.fingerprints:
@@ -320,7 +367,7 @@ class IncrementalContext:
                         _mask_key(
                             name, self.keys.key(name), self.spec_fp, self.presolve_fp
                         ),
-                        {"relevant": False, "dead": []},
+                        {"relevant": False, "dead": [], "armed": []},
                     )
         for entry in analyzed:
             outcome = outcomes.get(entry.name)

@@ -249,6 +249,7 @@ def engine_config_fingerprint(config) -> str:
                 config.resolve_function_pointers,
                 config.max_indirect_targets,
                 config.prune,
+                config.alias_tier,
             )
         ),
     )
@@ -258,5 +259,9 @@ def presolve_config_fingerprint(config) -> str:
     """The P1.5-semantics-affecting knobs, folded into layer-(b) keys —
     deliberately narrower than :func:`engine_config_fingerprint`, so
     relevance masks survive a path-budget change that forces P2 to
-    re-run."""
-    return _sha("pcfg", repr((config.resolve_function_pointers, config.optimize_ir)))
+    re-run.  ``alias_tier`` participates because P1.7 sharpening changes
+    which blocks the masks call dead (soundly, but the bytes differ)."""
+    return _sha(
+        "pcfg",
+        repr((config.resolve_function_pointers, config.optimize_ir, config.alias_tier)),
+    )

@@ -38,7 +38,8 @@ from .. import __version__ as ENGINE_VERSION
 log = logging.getLogger("repro.incremental")
 
 #: bump when the pickled payload schema changes incompatibly
-CACHE_FORMAT = 1
+#: (2: P1.7 partition layer + sharpened relevance-mask payloads)
+CACHE_FORMAT = 2
 _MAGIC = b"PATACHE1"
 _DIGEST_BYTES = 32
 

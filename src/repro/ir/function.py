@@ -145,6 +145,9 @@ class Module:
         self.structs: Dict[str, StructType] = {}
         self.registrations: List[InterfaceRegistration] = []
         self.source_lines: int = 0
+        #: programs containing this module; adding a function after the
+        #: module is linked must drop their name-lookup caches
+        self._owners: List["Program"] = []
 
     def add_function(self, func: Function) -> Function:
         existing = self.functions.get(func.name)
@@ -152,6 +155,8 @@ class Module:
             raise IRError(f"duplicate definition of function {func.name}")
         if existing is None or existing.is_declaration:
             self.functions[func.name] = func
+            for owner in self._owners:
+                owner._defined_cache = None
         return self.functions[func.name]
 
     def add_global(self, var: Var) -> Var:
@@ -186,21 +191,37 @@ class Program:
 
     def __init__(self, modules: Optional[Iterable[Module]] = None):
         self.modules: List[Module] = list(modules or [])
+        self._defined_cache: Optional[Dict[str, Function]] = None
+        for module in self.modules:
+            module._owners.append(self)
 
     def add_module(self, module: Module) -> Module:
         self.modules.append(module)
+        module._owners.append(self)
+        self._defined_cache = None
         return module
 
     def functions(self) -> Iterator[Function]:
         for module in self.modules:
             yield from module.defined_functions()
 
+    def _defined(self) -> Dict[str, Function]:
+        """Name → defined function, built once per module set.  Lookups
+        are hot (every inlined call site resolves by name); a linear
+        module scan per call dominates large-corpus runs.  First
+        definition wins, matching the old first-module-scan order."""
+        cache = self._defined_cache
+        if cache is None:
+            cache = {}
+            for module in self.modules:
+                for name, func in module.functions.items():
+                    if not func.is_declaration and name not in cache:
+                        cache[name] = func
+            self._defined_cache = cache
+        return cache
+
     def lookup(self, name: str) -> Optional[Function]:
-        for module in self.modules:
-            func = module.functions.get(name)
-            if func is not None and not func.is_declaration:
-                return func
-        return None
+        return self._defined().get(name)
 
     def registrations(self) -> Iterator[InterfaceRegistration]:
         for module in self.modules:

@@ -1,6 +1,18 @@
-"""Points-to analyses: the aliasing substrate of the compared tools (§6)."""
+"""Points-to analyses: the aliasing substrate of the compared tools (§6)
+and the cheap whole-program tier above the per-path alias graphs (P1.7)."""
 
 from .andersen import AndersenPointsTo, MemoryBudgetExceeded
 from .flow_sensitive import FlowSensitivePointsTo
+from .steensgaard import (
+    MayAliasPartition,
+    SteensgaardPointsTo,
+    UnionFind,
+    build_partition,
+    shared_reaching_names,
+)
 
-__all__ = ["AndersenPointsTo", "MemoryBudgetExceeded", "FlowSensitivePointsTo"]
+__all__ = [
+    "AndersenPointsTo", "MemoryBudgetExceeded", "FlowSensitivePointsTo",
+    "MayAliasPartition", "SteensgaardPointsTo", "UnionFind",
+    "build_partition", "shared_reaching_names",
+]

@@ -1,0 +1,715 @@
+"""Whole-program unification-based (Steensgaard-style) points-to pass.
+
+This is the *cheap tier* of the tiered alias analysis (ROADMAP: "Tiered
+alias analysis for raw speed at scale").  One near-linear union-find pass
+over the whole IR computes a :class:`MayAliasPartition` — an
+over-approximate "may **ever** alias" equivalence relation over variable
+names — before any path is explored (phase P1.7).  The per-path alias
+graphs of §3.1 remain the precision tier; the partition only licenses
+*skipping* work whose outcome it can predict:
+
+* a variable whose cell provably contains no other variable, carries no
+  edges, and is never pointed to can never share a per-path alias node
+  with anything — the engine skips node creation/updates for it entirely
+  (the singleton fast path, ``AliasGraph.skip_names``);
+* the SMT translator replays traces with plain per-name symbols for such
+  variables instead of alias-graph nodes;
+* the P1.5 relevance pre-analysis drops shared-access relevance for
+  loads/stores whose pointer cell cannot reach any shared root (global /
+  heap allocation), computed *closure-locally* so cached masks stay
+  keyed by the entry's transitive closure alone.
+
+Soundness is by construction: every per-path operation that can ever put
+two variables in one alias node (MOVE / LOAD / GEP join, parameter
+passing, return values, indirect-call inlining) has a corresponding
+unification here, and every operation that can hang an edge off a node
+or let a checker materialize one (stores, address-of, external-call
+pointer arguments, lock identities, heap registrations) disqualifies the
+involved cells from the fast path.  When unification cannot prove
+singleton, behavior is exactly the untiered engine's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir import (
+    AddrOf,
+    Alloc,
+    BinOp,
+    Call,
+    CallIndirect,
+    DeclLocal,
+    Free,
+    Function,
+    Gep,
+    Load,
+    LockOp,
+    Malloc,
+    MemSet,
+    Move,
+    PointerType,
+    Program,
+    Ret,
+    Store,
+    UnOp,
+    Var,
+)
+
+DEREF = "*"
+
+#: cell flags — any one of them disqualifies the singleton fast path
+GLOBAL = 1       # cell names a global (``@``-prefixed)
+POINTED_TO = 2   # some edge targets this cell (loads can join vars into it)
+HEAP_DST = 4     # malloc/alloca destination (race heap registration keys
+                 # the pointer's node; the node must exist)
+LOCK_ID = 8      # used as a lock operand (lock identity resolves the node)
+SHARED_ROOT = 16  # roots shared-state reachability (global or heap site)
+
+
+class UnionFind:
+    """Plain array-based union-find with path halving and union by size.
+
+    The Steensgaard solver builds on this; it is exposed separately so
+    the property suite can exercise the algebraic laws (idempotence,
+    commutativity, find-after-union congruence) in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+        self._size: List[int] = []
+
+    def make(self) -> int:
+        parent = self._parent
+        elem = len(parent)
+        parent.append(elem)
+        self._size.append(1)
+        return elem
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the cells of ``a`` and ``b``; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+
+class MayAliasPartition:
+    """The solved partition: plain picklable data, shipped to workers
+    (fork: zero-copy via inherited memory; spawn: initargs pickle) and
+    cached as an incremental layer keyed by the module-closure
+    fingerprint.
+
+    ``cell_ids`` assigns each variable name a dense, deterministic cell
+    id (first-seen order over a canonical program walk), so equal
+    programs always produce byte-equal partitions.
+    """
+
+    __slots__ = ("cell_ids", "singletons", "singletons_by_function",
+                 "cell_count", "shared_reaching")
+
+    def __init__(
+        self,
+        cell_ids: Dict[str, int],
+        singletons: FrozenSet[str],
+        singletons_by_function: Dict[str, Tuple[str, ...]],
+        cell_count: int,
+        shared_reaching: FrozenSet[str],
+    ):
+        self.cell_ids = cell_ids
+        self.singletons = singletons
+        self.singletons_by_function = singletons_by_function
+        self.cell_count = cell_count
+        #: names whose cell can reach (through any chain of field/deref
+        #: edges, in either direction) a shared root — a global or a heap
+        #: allocation site.  An access through a pointer *outside* this
+        #: set can never resolve to a shared key in the race detector.
+        self.shared_reaching = shared_reaching
+
+    # -- queries ---------------------------------------------------------------
+
+    def cell_of(self, name: str) -> Optional[int]:
+        return self.cell_ids.get(name)
+
+    def may_alias(self, a: str, b: str) -> bool:
+        """Over-approximate "may ever alias": same cell, ever.  Names the
+        walk never saw are vacuously singleton."""
+        if a == b:
+            return True
+        ca = self.cell_ids.get(a)
+        cb = self.cell_ids.get(b)
+        return ca is not None and ca == cb
+
+    def is_singleton(self, name: str) -> bool:
+        return name in self.singletons
+
+    def stamp(self) -> str:
+        """Content hash of the partition — surfaced in diagnostics and
+        usable as a cache-layer integrity check."""
+        h = hashlib.sha256()
+        for name in sorted(self.cell_ids):
+            h.update(f"{name}={self.cell_ids[name]};".encode())
+        h.update(b"|singletons|")
+        for name in sorted(self.singletons):
+            h.update(name.encode() + b";")
+        h.update(b"|shared|")
+        for name in sorted(self.shared_reaching):
+            h.update(name.encode() + b";")
+        return h.hexdigest()
+
+    def __reduce__(self):
+        return (
+            MayAliasPartition,
+            (self.cell_ids, self.singletons, self.singletons_by_function,
+             self.cell_count, self.shared_reaching),
+        )
+
+
+class SteensgaardPointsTo:
+    """Unification-based points-to solver over (a subset of) a program.
+
+    Pass ``functions`` to restrict the constraint walk to a closure (the
+    P1.5 sharpening solves per entry closure so the result is a pure
+    function of the closure's contents — exactly what the mask cache
+    keys on); the default is the whole program (the P1.7 global
+    partition).
+    """
+
+    def __init__(self, program: Program, functions: Optional[Iterable[Function]] = None):
+        self.program = program
+        self._functions: List[Function] = (
+            list(functions) if functions is not None else list(program.functions())
+        )
+        self._uf = UnionFind()
+        self._ids: Dict[str, int] = {}               # var name -> uf element
+        self._out: Dict[int, Dict[str, int]] = {}    # root -> label -> element
+        self._flags: Dict[int, int] = {}             # root -> flag bits
+        self._ret_cells: Dict[str, int] = {}         # function name -> element
+        self._name_order: List[str] = []             # first-seen walk order
+        self._indirect_pool: Optional[List[Function]] = None
+        #: name -> defined function, resolved once — call bindings hit
+        #: this for every call site and a per-module scan is too slow
+        self._defined: Dict[str, Function] = {
+            func.name: func for func in program.functions()
+        }
+        self.solved = False
+
+    # -- cell helpers -----------------------------------------------------------
+
+    def _id_of(self, name: str) -> int:
+        elem = self._ids.get(name)
+        if elem is None:
+            # inlined UnionFind.make — this is the single hottest call
+            # of the whole pass (once per operand occurrence)
+            uf = self._uf
+            parent = uf._parent
+            elem = len(parent)
+            parent.append(elem)
+            uf._size.append(1)
+            self._ids[name] = elem
+            self._name_order.append(name)
+            if name.startswith("@"):
+                self._flags[elem] = GLOBAL | SHARED_ROOT
+        return elem
+
+    def _var(self, value) -> Optional[int]:
+        return self._id_of(value.name) if isinstance(value, Var) else None
+
+    def _flag(self, elem: int, bits: int) -> None:
+        root = self._uf.find(elem)
+        self._flags[root] = self._flags.get(root, 0) | bits
+
+    def _ret_cell(self, func_name: str) -> int:
+        cell = self._ret_cells.get(func_name)
+        if cell is None:
+            cell = self._uf.make()
+            self._ret_cells[func_name] = cell
+        return cell
+
+    def _unify(self, a: int, b: int) -> int:
+        """Steensgaard's conditional unification: merging two cells also
+        merges their out-edges label by label (worklist, not recursion —
+        pointer chains can be long)."""
+        uf = self._uf
+        find = uf.find
+        parent = uf._parent
+        size = uf._size
+        out_map = self._out
+        flags_map = self._flags
+        work: Optional[List[Tuple[int, int]]] = None
+        x, y = a, b
+        while True:
+            rx, ry = find(x), find(y)
+            if rx != ry:
+                out_x = out_map.pop(rx, None)
+                out_y = out_map.pop(ry, None)
+                flags = flags_map.pop(rx, 0) | flags_map.pop(ry, 0)
+                # union by size, inlined (rx/ry are already roots)
+                if size[rx] < size[ry]:
+                    rx, ry = ry, rx
+                parent[ry] = rx
+                size[rx] += size[ry]
+                last = rx
+                if flags:
+                    flags_map[rx] = flags
+                if out_x or out_y:
+                    if out_x is None:
+                        out_map[rx] = out_y
+                    elif out_y is None:
+                        out_map[rx] = out_x
+                    else:
+                        for label, target in out_y.items():
+                            existing = out_x.get(label)
+                            if existing is None:
+                                out_x[label] = target
+                            else:
+                                # label collision: the targets merge too
+                                # (deferred — chains can be long)
+                                if work is None:
+                                    work = []
+                                work.append((existing, target))
+                        out_map[rx] = out_x
+            else:
+                last = rx
+            if not work:
+                return last
+            x, y = work.pop()
+
+    def _join(self, elem: int, label: str) -> int:
+        """Get-or-create the ``label`` successor of ``elem``'s cell.  The
+        target is by definition pointed-to (loads through the edge join
+        destination variables into it)."""
+        root = self._uf.find(elem)
+        out = self._out.setdefault(root, {})
+        target = out.get(label)
+        if target is None:
+            target = self._uf.make()
+            out[label] = target
+            self._flags[target] = POINTED_TO
+        return target
+
+    # -- constraint generation ---------------------------------------------------
+
+    def _havoc_pointer_args(self, args) -> None:
+        """Pointer arguments of calls the engine may execute as external
+        havocs: the taint checker materializes their pointee node
+        (``handle_store_fresh``), so the cell must carry a deref edge —
+        which also disqualifies the fast path for the argument."""
+        for arg in args:
+            if isinstance(arg, Var) and isinstance(arg.type, PointerType):
+                self._join(self._id_of(arg.name), DEREF)
+
+    def _gen_call_binding(self, callee: Function, dst, args) -> None:
+        for position, param in enumerate(callee.params):
+            if position < len(args) and isinstance(args[position], Var):
+                self._unify(self._id_of(param.name), self._id_of(args[position].name))
+            else:
+                self._id_of(param.name)
+        if dst is not None:
+            self._unify(self._id_of(dst.name), self._ret_cell(callee.name))
+
+    def _pool(self) -> List[Function]:
+        """Every function reachable through an interface registration —
+        the conservative target set of any indirect call (the engine
+        resolves by (struct, field); over-unifying is the safe
+        direction)."""
+        if self._indirect_pool is None:
+            pool: List[Function] = []
+            seen: Set[str] = set()
+            for reg in self.program.registrations():
+                if reg.function in seen:
+                    continue
+                seen.add(reg.function)
+                func = self._defined.get(reg.function)
+                if func is not None:
+                    pool.append(func)
+            self._indirect_pool = pool
+        return self._indirect_pool
+
+    def _gen_function(self, func: Function) -> None:
+        gen = _GEN_DISPATCH
+        for param in func.params:
+            self._id_of(param.name)
+        for block in func.blocks:
+            for inst in block.instructions:
+                handler = gen.get(inst.__class__)
+                if handler is not None:
+                    handler(self, inst)
+                else:
+                    self._gen_instruction(inst)
+            term = block.terminator
+            if isinstance(term, Ret) and isinstance(term.value, Var):
+                self._unify(self._id_of(term.value.name), self._ret_cell(func.name))
+
+    # Per-instruction constraint generators — bound through the exact-type
+    # dispatch table below (IR subclasses, if any ever appear, resolve
+    # through the isinstance fallback in :meth:`_gen_instruction`).
+
+    # The hot generators below open-code _id_of's already-interned fast
+    # path (one dict probe, no call) — the constraint walk spends most
+    # of its time re-looking-up names it has already seen.
+
+    def _gen_move(self, inst) -> None:
+        ids = self._ids
+        name = inst.dst.name
+        dst = ids.get(name)
+        if dst is None:
+            dst = self._id_of(name)
+        src = inst.src
+        if isinstance(src, Var):
+            name = src.name
+            elem = ids.get(name)
+            if elem is None:
+                elem = self._id_of(name)
+            self._unify(dst, elem)
+
+    def _gen_load(self, inst) -> None:
+        ids = self._ids
+        name = inst.ptr.name
+        ptr = ids.get(name)
+        if ptr is None:
+            ptr = self._id_of(name)
+        pointee = self._join(ptr, DEREF)
+        name = inst.dst.name
+        dst = ids.get(name)
+        if dst is None:
+            dst = self._id_of(name)
+        self._unify(dst, pointee)
+
+    def _gen_store(self, inst) -> None:
+        ids = self._ids
+        name = inst.ptr.name
+        ptr = ids.get(name)
+        if ptr is None:
+            ptr = self._id_of(name)
+        pointee = self._join(ptr, DEREF)
+        src = inst.src
+        if isinstance(src, Var):
+            name = src.name
+            elem = ids.get(name)
+            if elem is None:
+                elem = self._id_of(name)
+            self._unify(elem, pointee)
+
+    def _gen_gep(self, inst) -> None:
+        ids = self._ids
+        name = inst.base.name
+        base = ids.get(name)
+        if base is None:
+            base = self._id_of(name)
+        slot = self._join(base, inst.field)
+        name = inst.dst.name
+        dst = ids.get(name)
+        if dst is None:
+            dst = self._id_of(name)
+        self._unify(dst, slot)
+
+    def _gen_addr_of(self, inst) -> None:
+        pointee = self._join(self._id_of(inst.dst.name), DEREF)
+        self._unify(self._id_of(inst.var.name), pointee)
+
+    def _gen_malloc(self, inst) -> None:
+        # All heap sites count as shared roots (superset of the race
+        # checker's escaping-site registration set).
+        self._flag(self._id_of(inst.dst.name), HEAP_DST | SHARED_ROOT)
+
+    def _gen_alloc(self, inst) -> None:
+        # Stack objects never register as cross-entry shared state, but
+        # the destination node must still exist for allocation-event
+        # handling — no fast path.
+        self._flag(self._id_of(inst.dst.name), HEAP_DST)
+
+    def _gen_memset(self, inst) -> None:
+        # The race checker resolves the pointer's node for the write
+        # record; give the cell its deref edge.
+        self._join(self._id_of(inst.ptr.name), DEREF)
+
+    def _gen_lock(self, inst) -> None:
+        self._flag(self._id_of(inst.lock.name), LOCK_ID)
+
+    def _gen_call(self, inst) -> None:
+        callee = self._defined.get(inst.callee)
+        if callee is not None and not callee.is_declaration:
+            self._gen_call_binding(callee, inst.dst, inst.args)
+        elif inst.dst is not None:
+            self._id_of(inst.dst.name)
+        # Whether or not the engine inlines this call (depth and
+        # recursion budgets may force the external path), pointer args
+        # may be havocked.
+        self._havoc_pointer_args(inst.args)
+
+    def _gen_call_indirect(self, inst) -> None:
+        for target in self._pool():
+            if not target.is_declaration:
+                self._gen_call_binding(target, inst.dst, inst.args)
+        if inst.dst is not None:
+            self._id_of(inst.dst.name)
+        self._havoc_pointer_args(inst.args)
+
+    def _gen_other(self, inst) -> None:
+        # Unknown/rare instruction kinds: intern names so the partition
+        # covers them, no unification.
+        for operand in self._operand_vars(inst):
+            self._id_of(operand)
+
+    def _gen_binop(self, inst) -> None:
+        ids = self._ids
+        value = inst.dst
+        if isinstance(value, Var) and value.name not in ids:
+            self._id_of(value.name)
+        value = inst.lhs
+        if isinstance(value, Var) and value.name not in ids:
+            self._id_of(value.name)
+        value = inst.rhs
+        if isinstance(value, Var) and value.name not in ids:
+            self._id_of(value.name)
+
+    def _gen_unop(self, inst) -> None:
+        ids = self._ids
+        value = inst.dst
+        if isinstance(value, Var) and value.name not in ids:
+            self._id_of(value.name)
+        value = inst.src
+        if isinstance(value, Var) and value.name not in ids:
+            self._id_of(value.name)
+
+    def _gen_decl_local(self, inst) -> None:
+        value = inst.var
+        if isinstance(value, Var) and value.name not in self._ids:
+            self._id_of(value.name)
+
+    def _gen_free(self, inst) -> None:
+        value = inst.ptr
+        if isinstance(value, Var) and value.name not in self._ids:
+            self._id_of(value.name)
+
+    def _gen_instruction(self, inst) -> None:
+        if isinstance(inst, Move):
+            self._gen_move(inst)
+        elif isinstance(inst, Load):
+            self._gen_load(inst)
+        elif isinstance(inst, Store):
+            self._gen_store(inst)
+        elif isinstance(inst, Gep):
+            self._gen_gep(inst)
+        elif isinstance(inst, AddrOf):
+            self._gen_addr_of(inst)
+        elif isinstance(inst, Malloc):
+            self._gen_malloc(inst)
+        elif isinstance(inst, Alloc):
+            self._gen_alloc(inst)
+        elif isinstance(inst, MemSet):
+            self._gen_memset(inst)
+        elif isinstance(inst, LockOp):
+            self._gen_lock(inst)
+        elif isinstance(inst, Call):
+            self._gen_call(inst)
+        elif isinstance(inst, CallIndirect):
+            self._gen_call_indirect(inst)
+        else:
+            self._gen_other(inst)
+
+    @staticmethod
+    def _operand_vars(inst) -> List[str]:
+        names = []
+        for attr in ("dst", "src", "var", "lhs", "rhs", "ptr", "cond"):
+            value = getattr(inst, attr, None)
+            if isinstance(value, Var):
+                names.append(value.name)
+        return names
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self) -> "SteensgaardPointsTo":
+        for func in self._functions:
+            self._gen_function(func)
+        self.solved = True
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def may_alias(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        ea = self._ids.get(a)
+        eb = self._ids.get(b)
+        if ea is None or eb is None:
+            return False
+        return self._uf.same(ea, eb)
+
+    def _component_marks(self) -> Set[int]:
+        """Roots whose edge-connected component (edges taken undirected)
+        contains a shared root.  Mirrors ``races.shared.object_root``: it
+        resolves along deref/field edges in both directions, so component
+        membership over-approximates every resolution it can make."""
+        # Hot on large programs (every out-edge is visited): finds are
+        # inlined, adjacency lists may hold duplicates (the BFS dedups
+        # through ``marked`` anyway).
+        parent = self._uf._parent
+        adjacency: Dict[int, List[int]] = {}
+        adj_get = adjacency.get
+        for src, out in self._out.items():
+            x = src
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            rs = x
+            for target in out.values():
+                x = target
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                if rs == x:
+                    continue
+                lst = adj_get(rs)
+                if lst is None:
+                    adjacency[rs] = [x]
+                else:
+                    lst.append(x)
+                lst = adj_get(x)
+                if lst is None:
+                    adjacency[x] = [rs]
+                else:
+                    lst.append(rs)
+        marked: Set[int] = set()
+        stack: List[int] = []
+        for elem, bits in self._flags.items():
+            if bits & SHARED_ROOT:
+                x = elem
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                if x not in marked:
+                    marked.add(x)
+                    stack.append(x)
+        while stack:
+            current = stack.pop()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor not in marked:
+                    marked.add(neighbor)
+                    stack.append(neighbor)
+        return marked
+
+    def partition(self) -> MayAliasPartition:
+        """Finalize into the picklable :class:`MayAliasPartition`."""
+        if not self.solved:
+            self.solve()
+        marked = self._component_marks()
+        dense: Dict[int, int] = {}
+        cell_ids: Dict[str, int] = {}
+        singletons: Set[str] = set()
+        by_function: Dict[str, List[str]] = {}
+        shared_names: List[str] = []
+        find = self._uf.find
+        ids = self._ids
+        flags = self._flags
+        out = self._out
+        name_order = self._name_order
+        # singleton == alone in its cell: count the names per root once
+        # up front, then the per-name predicate is one set-membership test
+        # (find inlined — one resolution per name over the whole program)
+        parent = self._uf._parent
+        roots: List[int] = []
+        roots_append = roots.append
+        for name in name_order:
+            x = ids[name]
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            roots_append(x)
+        counts: Dict[int, int] = {}
+        counts_get = counts.get
+        for root in roots:
+            counts[root] = counts_get(root, 0) + 1
+        singleton_roots = {
+            root
+            for root, count in counts.items()
+            if count == 1 and not flags.get(root, 0) and not out.get(root)
+        }
+        for name, root in zip(name_order, roots):
+            cell = dense.get(root)
+            if cell is None:
+                cell = len(dense)
+                dense[root] = cell
+            cell_ids[name] = cell
+            if root in singleton_roots:
+                singletons.add(name)
+                by_function.setdefault(_function_of(name), []).append(name)
+            if root in marked:
+                shared_names.append(name)
+        shared = frozenset(shared_names)
+        return MayAliasPartition(
+            cell_ids=cell_ids,
+            singletons=frozenset(singletons),
+            singletons_by_function={fn: tuple(names) for fn, names in by_function.items()},
+            cell_count=len(dense),
+            shared_reaching=shared,
+        )
+
+
+#: exact-type constraint dispatch — one dict hit per instruction instead
+#: of a dozen isinstance checks (the unification pass walks every
+#: instruction in the program exactly once, so this is hot)
+_GEN_DISPATCH = {
+    Move: SteensgaardPointsTo._gen_move,
+    Load: SteensgaardPointsTo._gen_load,
+    Store: SteensgaardPointsTo._gen_store,
+    Gep: SteensgaardPointsTo._gen_gep,
+    AddrOf: SteensgaardPointsTo._gen_addr_of,
+    Malloc: SteensgaardPointsTo._gen_malloc,
+    Alloc: SteensgaardPointsTo._gen_alloc,
+    MemSet: SteensgaardPointsTo._gen_memset,
+    LockOp: SteensgaardPointsTo._gen_lock,
+    Call: SteensgaardPointsTo._gen_call,
+    CallIndirect: SteensgaardPointsTo._gen_call_indirect,
+    BinOp: SteensgaardPointsTo._gen_binop,
+    UnOp: SteensgaardPointsTo._gen_unop,
+    DeclLocal: SteensgaardPointsTo._gen_decl_local,
+    Free: SteensgaardPointsTo._gen_free,
+}
+
+
+def _function_of(name: str) -> str:
+    """Owning function of a program-unique variable name (``func.v``,
+    ``%func.tN``, ``@g`` — globals group under ``"@"``)."""
+    if name.startswith("@"):
+        return "@"
+    base = name[1:] if name.startswith("%") else name
+    return base.split(".", 1)[0]
+
+
+def build_partition(program: Program) -> MayAliasPartition:
+    """The P1.7 entry point: solve the whole program and finalize."""
+    return SteensgaardPointsTo(program).solve().partition()
+
+
+def shared_reaching_names(program: Program, functions: Iterable[Function]) -> FrozenSet[str]:
+    """Closure-local shared-state reachability for the P1.5 sharpening.
+
+    Solved over exactly ``functions`` so the answer is a deterministic
+    function of the closure contents — cached relevance masks keyed by
+    the entry's transitive closure stay sound."""
+    solver = SteensgaardPointsTo(program, functions=functions).solve()
+    marked = solver._component_marks()
+    return frozenset(
+        name for name in solver._name_order
+        if solver._uf.find(solver._ids[name]) in marked
+    )

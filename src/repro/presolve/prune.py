@@ -33,10 +33,11 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..ir import Function, Program, Ret
 from .events import EventKind
-from .scan import ScanContext, block_events
+from .scan import ScanContext
 from .summary import EventSummaryIndex
 
 _EMPTY: FrozenSet[int] = frozenset()
+_SHARED = EventKind.SHARED_ACCESS.value
 
 
 class RelevancePreAnalysis:
@@ -54,6 +55,7 @@ class RelevancePreAnalysis:
         checkers: Sequence,
         scan_ctx: Optional[ScanContext] = None,
         resolve_function_pointers: bool = False,
+        sharpen_shared: bool = False,
     ):
         self.program = program
         self.checkers = list(checkers)
@@ -63,6 +65,13 @@ class RelevancePreAnalysis:
             scan_ctx=self.scan_ctx,
             resolve_function_pointers=resolve_function_pointers,
         )
+        #: P1.7 sharpening: intersect pointer-access relevance with the
+        #: entry closure's shared-reaching cells (see module docstring of
+        #: :mod:`repro.pointsto.steensgaard`).  Computed *per entry
+        #: closure* — never from the whole-program partition — so every
+        #: mask stays a pure function of the entry's transitive closure,
+        #: which is exactly what the incremental mask cache keys on.
+        self.sharpen_shared = sharpen_shared
         #: pruning is sound only when every enabled checker declares its
         #: trigger and sink kinds; one undeclared checker disables both layers
         self.supported = bool(self.checkers) and all(
@@ -70,19 +79,148 @@ class RelevancePreAnalysis:
             and getattr(c, "sink_events", EventKind.NONE) != EventKind.NONE
             for c in self.checkers
         )
+        #: per-checker (checker, trigger, sink) with the masks as plain
+        #: ints — the arming test runs per entry per checker and enum
+        #: bit-ops are slow
+        self._checker_masks = [
+            (
+                c,
+                int(getattr(c, "trigger_events", EventKind.NONE)),
+                int(getattr(c, "sink_events", EventKind.NONE)),
+            )
+            for c in self.checkers
+        ]
+        #: (trigger, sink) int masks of checkers whose arming can hinge
+        #: on the SHARED_ACCESS bit at all — only their (trigger | sink)
+        #: masks contain it.  For any other checker the sharpened and
+        #: unconditional arming answers are equal by construction, so
+        #: with this list empty (no race-style checker enabled) the
+        #: per-entry ``depends`` test in :meth:`armed_checkers`
+        #: short-circuits without any mask work.
+        self._shared_sensitive = [
+            (trigger, sink)
+            for _, trigger, sink in self._checker_masks
+            if (trigger | sink) & _SHARED
+        ]
         self._dead_blocks: Dict[str, FrozenSet[int]] = {}
+        self._closures: Dict[str, FrozenSet[str]] = {}
+        self._shared_by_closure: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        self._shared_by_entry: Dict[str, FrozenSet[str]] = {}
+        self._function_index: Optional[Dict[str, Function]] = None
+        self._armed: Dict[str, List] = {}
+        self._armed_names: Dict[str, FrozenSet[str]] = {}
+
+    # -- P1.7 sharpening -----------------------------------------------------
+
+    def _entry_closure(self, entry: Function) -> FrozenSet[str]:
+        """Defined functions the explorer can reach from ``entry`` —
+        direct call edges plus, behind an indirect call with resolution
+        enabled, every registered function (the engine's per-site
+        resolution picks a subset of those)."""
+        cached = self._closures.get(entry.name)
+        if cached is not None:
+            return cached
+        names = {entry.name}
+        work = [entry.name]
+        pool_added = False
+        while work:
+            result = self.index.direct.get(work.pop())
+            if result is None:
+                continue
+            for callee in result.callees:
+                if callee in self.index.direct and callee not in names:
+                    names.add(callee)
+                    work.append(callee)
+            if (
+                result.has_indirect_call
+                and self.index.resolve_function_pointers
+                and not pool_added
+            ):
+                pool_added = True
+                for reg in self.program.registrations():
+                    if reg.function in self.index.direct and reg.function not in names:
+                        names.add(reg.function)
+                        work.append(reg.function)
+        closure = frozenset(names)
+        self._closures[entry.name] = closure
+        return closure
+
+    def _reaches_shared(self, entry: Function):
+        """The per-entry shared-reaching predicate for mask queries, or
+        None when sharpening is off (= every pointer counts).  Memoized
+        twice: per entry name (the hot path — every mask query re-asks)
+        and per closure set (entries sharing a helper subtree share one
+        unification solve)."""
+        if not self.sharpen_shared:
+            return None
+        shared = self._shared_by_entry.get(entry.name)
+        if shared is None:
+            closure = self._entry_closure(entry)
+            shared = self._shared_by_closure.get(closure)
+            if shared is None:
+                from ..pointsto.steensgaard import shared_reaching_names
+
+                if self._function_index is None:
+                    self._function_index = {
+                        func.name: func for func in self.program.functions()
+                    }
+                functions = [
+                    self._function_index[name]
+                    for name in closure
+                    if name in self._function_index
+                ]
+                shared = shared_reaching_names(self.program, functions)
+                self._shared_by_closure[closure] = shared
+            self._shared_by_entry[entry.name] = shared
+        return shared.__contains__
 
     # -- entry pruning -------------------------------------------------------
 
     def armed_checkers(self, entry: Function) -> List:
         """Enabled checkers whose trigger *and* sink kinds both occur in
-        ``entry``'s transitive region."""
-        region = self.index.region_events(entry.name)
-        return [
+        ``entry``'s transitive region.  Memoized per entry — the explorer
+        asks once per entry, the block walk once per block batch.
+
+        The P1.7 closure solve is lazy: sharpening can only *remove* the
+        SHARED_ACCESS bit, so it runs only when some checker's arming
+        actually hinges on that bit — with no race-style checker enabled
+        the sharpened answer is the unconditional one and no unification
+        happens at all."""
+        cached = self._armed.get(entry.name)
+        if cached is not None:
+            return cached
+        region = self.index.region_events_mask(entry.name)
+        if self.sharpen_shared and self._shared_sensitive and (region & _SHARED):
+            without = region & ~_SHARED
+            depends = any(
+                (region & trigger)
+                and (region & sink)
+                and not ((without & trigger) and (without & sink))
+                for trigger, sink in self._shared_sensitive
+            )
+            if depends:
+                region = self.index.region_events_mask(
+                    entry.name, self._reaches_shared(entry)
+                )
+        armed = [
             c
-            for c in self.checkers
-            if (region & c.trigger_events) and (region & c.sink_events)
+            for c, trigger, sink in self._checker_masks
+            if (region & trigger) and (region & sink)
         ]
+        self._armed[entry.name] = armed
+        return armed
+
+    def armed_names(self, entry: Function) -> Optional[FrozenSet[str]]:
+        """Names of the armed checkers, for the explorer's per-entry
+        dispatch restriction — or None when pruning is unsupported (an
+        undeclared checker means nothing can be soundly filtered)."""
+        if not self.supported:
+            return None
+        names = self._armed_names.get(entry.name)
+        if names is None:
+            names = frozenset(c.name for c in self.armed_checkers(entry))
+            self._armed_names[entry.name] = names
+        return names
 
     def is_entry_relevant(self, entry: Function) -> bool:
         if not self.supported:
@@ -106,10 +244,10 @@ class RelevancePreAnalysis:
 
     # -- block pruning -------------------------------------------------------
 
-    def _armed_sink_mask(self, entry: Function) -> EventKind:
-        mask = EventKind.NONE
+    def _armed_sink_mask(self, entry: Function) -> int:
+        mask = 0
         for checker in self.armed_checkers(entry):
-            mask |= checker.sink_events
+            mask |= int(checker.sink_events)
         return mask
 
     def dead_blocks(self, entry: Function) -> FrozenSet[int]:
@@ -127,20 +265,37 @@ class RelevancePreAnalysis:
 
     def _compute_dead_blocks(self, entry: Function) -> FrozenSet[int]:
         sinks = self._armed_sink_mask(entry)
-        if sinks == EventKind.NONE:
+        if sinks == 0:
             # Entry pruning already skips these; if explored anyway
             # (escape hatch, direct calls), every block is prunable —
             # but keep the walk intact rather than contradict the caller.
             return _EMPTY
+        # Per-block SHARED_ACCESS restoration needs the closure predicate
+        # only when an armed sink actually includes that bit (only
+        # race-style checkers sink there); everything else is decided by
+        # the other bits, identically with or without the solve.
+        reaches = self._reaches_shared(entry) if sinks & _SHARED else None
         blocks = entry.blocks
-        generates: Dict[int, EventKind] = {}
+        generates: Dict[int, int] = {}
+        index = self.index
+        callee_memo: Dict[str, int] = {}
         for block in blocks:
-            result = block_events(block, self.scan_ctx)
-            mask = result.events
+            result = index.block_result(block)
+            mask = result.events_mask
+            # _restore_shared, open-coded on the raw pointer list — the
+            # per-block frozenset it would build is pure overhead here
+            if result.shared_ptrs and (
+                reaches is None or any(reaches(p) for p in result.shared_ptrs)
+            ):
+                mask |= _SHARED
             for callee in result.callees:
-                mask |= self.index.callee_region_events(callee)
+                callee_mask = callee_memo.get(callee)
+                if callee_mask is None:
+                    callee_mask = index.callee_region_events_mask(callee, reaches)
+                    callee_memo[callee] = callee_mask
+                mask |= callee_mask
             if result.has_indirect_call:
-                mask |= self.index.indirect_pool
+                mask |= index.pool_events_mask(reaches)
             generates[block.uid] = mask
 
         # Backward reachability of sink-generating blocks: iterate to a

@@ -76,51 +76,102 @@ class ScanResult:
     """Kinds one block generates directly, plus its outgoing call edges."""
 
     events: EventKind = EventKind.NONE
+    #: the same kinds as a plain-int bit mask — the form the summary
+    #: fixpoint and the prune walks compute with (enum bit-ops route
+    #: through ``Flag.__or__`` and are far slower than int ops)
+    events_mask: int = 0
     #: names of directly called functions (fixpoint edges)
     callees: List[str] = field(default_factory=list)
     #: True when the block contains an indirect call (resolved separately)
     has_indirect_call: bool = False
+    #: pointer names of Load/Store/MemSet instructions — the accesses
+    #: whose SHARED_ACCESS kind is *conditional*: it applies only when
+    #: the pointer may reach shared state.  Kept separate from ``events``
+    #: so the P1.7 tier can sharpen it per entry closure; without a
+    #: points-to answer every name here counts as shared-reaching
+    #: (exactly the old unconditional bit).
+    shared_ptrs: List[str] = field(default_factory=list)
 
 
-def _const_value_kinds(value: int) -> EventKind:
-    """Kinds of an ``AssignConstEvent`` carrying ``value``."""
-    kinds = EventKind.ASSIGN_CONST
-    if value < 0:
-        kinds |= EventKind.NEG_CONST
-    elif value == 0:
-        kinds |= EventKind.ZERO_CONST
+# Plain-int mirrors of the EventKind bits.  ``enum.Flag`` bit-ops are
+# slow in CPython (every ``|`` routes through ``Flag.__or__`` plus a
+# ``__call__`` interning the result); the scan visits every instruction
+# of the corpus, so the handlers below accumulate plain ints and convert
+# to EventKind once per block through the small ``_as_kinds`` memo.
+_USE = EventKind.USE.value
+_ESCAPE = EventKind.ESCAPE.value
+_ASSIGN_NULL = EventKind.ASSIGN_NULL.value
+_ASSIGN_CONST = EventKind.ASSIGN_CONST.value
+_NEG_CONST = EventKind.NEG_CONST.value
+_ZERO_CONST = EventKind.ZERO_CONST.value
+_DEREF = EventKind.DEREF.value
+_STORE = EventKind.STORE.value
+_INDEX = EventKind.INDEX.value
+_ALLOC_HEAP = EventKind.ALLOC_HEAP.value
+_ALLOC_UNINIT = EventKind.ALLOC_UNINIT.value
+_DECL_LOCAL = EventKind.DECL_LOCAL.value
+_MEM_INIT = EventKind.MEM_INIT.value
+_FREE = EventKind.FREE.value
+_LOCK = EventKind.LOCK.value
+_EXTERNAL_CALL = EventKind.EXTERNAL_CALL.value
+_CALL_RETURN = EventKind.CALL_RETURN.value
+_TAINT_SOURCE = EventKind.TAINT_SOURCE.value
+_SHARED_ACCESS = EventKind.SHARED_ACCESS.value
+_RETURN = EventKind.RETURN.value
+_BRANCH_NULL = EventKind.BRANCH_NULL.value
+_CMP_ZERO = EventKind.CMP_ZERO.value
+_CMP_CONST = EventKind.CMP_CONST.value
+_DIV = EventKind.DIV.value
+
+_KIND_MEMO = {0: EventKind.NONE}
+
+
+def _as_kinds(mask: int) -> EventKind:
+    kinds = _KIND_MEMO.get(mask)
+    if kinds is None:
+        kinds = EventKind(mask)
+        _KIND_MEMO[mask] = kinds
     return kinds
 
 
-def _call_return_kinds(callee: str, ctx: ScanContext) -> EventKind:
+def _const_value_mask(value: int) -> int:
+    """Kinds of an ``AssignConstEvent`` carrying ``value``."""
+    if value < 0:
+        return _ASSIGN_CONST | _NEG_CONST
+    if value == 0:
+        return _ASSIGN_CONST | _ZERO_CONST
+    return _ASSIGN_CONST
+
+
+def _call_return_mask(callee: str, ctx: ScanContext) -> int:
     """Trigger kinds of a ``CallReturnEvent`` from ``callee`` — mirrors
     the underflow/div-zero checkers' CallReturn handling."""
-    kinds = EventKind.CALL_RETURN
+    kinds = _CALL_RETURN
     if ctx.may_return_negative(callee) or any(h in callee for h in NEGATIVE_RETURN_HINTS):
-        kinds |= EventKind.NEG_CONST
+        kinds |= _NEG_CONST
     if ctx.may_return_zero(callee):
-        kinds |= EventKind.ZERO_CONST
+        kinds |= _ZERO_CONST
     return kinds
 
 
-def _arg_kinds(args) -> EventKind:
+def _arg_mask(args) -> int:
     """Kinds from evaluating/binding call arguments: escapes and uses for
     variables, parameter-move constants (incl. NULL) for constants."""
-    kinds = EventKind.NONE
+    kinds = 0
     for arg in args:
         if isinstance(arg, Var):
             if isinstance(arg.type, PointerType):
-                kinds |= EventKind.ESCAPE
+                kinds |= _ESCAPE
             else:
-                kinds |= EventKind.USE
+                kinds |= _USE
         elif is_null_const(arg):
-            kinds |= EventKind.ASSIGN_NULL
+            kinds |= _ASSIGN_NULL
         elif isinstance(arg, Const):
-            kinds |= _const_value_kinds(arg.value)
+            kinds |= _const_value_mask(arg.value)
     return kinds
 
 
-def _comparison_kinds(inst: BinOp) -> EventKind:
+def _comparison_mask(inst: BinOp) -> int:
     """Kinds a branch on this comparison's result could later resolve to
     (``_branch_events`` in the analyzer): null tests for pointer-vs-zero
     comparisons, integer comparisons against constants otherwise."""
@@ -128,156 +179,256 @@ def _comparison_kinds(inst: BinOp) -> EventKind:
     consts = [op for op in operands if isinstance(op, Const)]
     variables = [op for op in operands if isinstance(op, Var)]
     if not consts or not variables:
-        return EventKind.NONE
+        return 0
     const = consts[0]
     var = variables[0]
     if is_null_const(const) or (isinstance(var.type, PointerType) and const.value == 0):
-        return EventKind.BRANCH_NULL
+        return _BRANCH_NULL
     if const.value == 0:
-        return EventKind.CMP_ZERO
-    return EventKind.CMP_CONST
+        return _CMP_ZERO
+    return _CMP_CONST
+
+
+def _scan_move(inst, ctx, result) -> int:
+    src = inst.src
+    if isinstance(src, Var):
+        kinds = _USE
+        if inst.dst.is_global:
+            kinds |= _ESCAPE | _SHARED_ACCESS
+        if src.is_global:
+            kinds |= _SHARED_ACCESS
+        return kinds
+    if is_null_const(src):
+        kinds = _ASSIGN_NULL
+    elif isinstance(src, Const):
+        kinds = _const_value_mask(src.value)
+    else:
+        kinds = 0
+    if inst.dst.is_global:
+        kinds |= _SHARED_ACCESS
+    return kinds
+
+
+def _scan_load(inst, ctx, result) -> int:
+    # DerefEvent + LoadEvent; a Load is also the UVA region sink.
+    # Loads read through a pointer, which may reach shared state.
+    result.shared_ptrs.append(inst.ptr.name)
+    return _DEREF | _USE
+
+
+def _scan_store(inst, ctx, result) -> int:
+    kinds = _DEREF | _STORE
+    result.shared_ptrs.append(inst.ptr.name)
+    src = inst.src
+    if isinstance(src, Var):
+        kinds |= _USE
+        if isinstance(src.type, PointerType):
+            kinds |= _ESCAPE
+    elif is_null_const(src):
+        kinds |= _ASSIGN_NULL
+    return kinds
+
+
+def _scan_gep(inst, ctx, result) -> int:
+    kinds = _DEREF
+    index = inst.index
+    if index is not None:
+        kinds |= _INDEX
+        if isinstance(index, Const) and index.value < 0:
+            kinds |= _NEG_CONST
+    return kinds
+
+
+def _scan_addr_of(inst, ctx, result) -> int:
+    return 0
+
+
+def _scan_binop(inst, ctx, result) -> int:
+    # AssignConstEvent is unconditional: folded value when both operands
+    # are constant, and the sub-operator trigger the underflow checker
+    # keys on.
+    kinds = _ASSIGN_CONST
+    lhs = inst.lhs
+    rhs = inst.rhs
+    for operand in (lhs, rhs):
+        if isinstance(operand, Var):
+            kinds |= _USE
+            if operand.is_global:
+                kinds |= _SHARED_ACCESS
+    op = inst.op
+    if op in ("div", "mod"):
+        kinds |= _DIV
+        if isinstance(rhs, Const) and rhs.value == 0:
+            # A literal zero divisor reports at the DivEvent itself.
+            kinds |= _ZERO_CONST
+    if op in _CMP_OPS:
+        kinds |= _comparison_mask(inst)
+    if op == "sub":
+        kinds |= _NEG_CONST
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        from ..smt.terms import _apply_op
+
+        try:
+            folded = _apply_op(op, [lhs.value, rhs.value])
+        except ValueError:
+            folded = None
+        if folded is not None:
+            kinds |= _const_value_mask(folded)
+    return kinds
+
+
+def _scan_unop(inst, ctx, result) -> int:
+    kinds = _ASSIGN_CONST
+    src = inst.src
+    if isinstance(src, Var):
+        kinds |= _USE
+        if src.is_global:
+            kinds |= _SHARED_ACCESS
+    elif isinstance(src, Const) and inst.op == "neg":
+        kinds |= _const_value_mask(-src.value)
+    return kinds
+
+
+def _scan_malloc(inst, ctx, result) -> int:
+    if inst.zeroed:
+        return _ALLOC_HEAP
+    return _ALLOC_HEAP | _ALLOC_UNINIT
+
+
+def _scan_alloc(inst, ctx, result) -> int:
+    if inst.zeroed:
+        return 0
+    return _ALLOC_UNINIT
+
+
+def _scan_decl_local(inst, ctx, result) -> int:
+    return _DECL_LOCAL
+
+
+def _scan_memset(inst, ctx, result) -> int:
+    result.shared_ptrs.append(inst.ptr.name)
+    return _DEREF | _MEM_INIT
+
+
+def _scan_free(inst, ctx, result) -> int:
+    return _FREE
+
+
+def _scan_lock(inst, ctx, result) -> int:
+    return _LOCK
+
+
+def _scan_call(inst, ctx, result) -> int:
+    callee = inst.callee
+    result.callees.append(callee)
+    # Havoc kinds: any call may be handled externally at run time.  A
+    # short argument list binds missing parameters to Const(0).
+    kinds = _EXTERNAL_CALL | _ZERO_CONST | _ASSIGN_CONST | _arg_mask(inst.args)
+    if any(hint in callee for hint in TAINT_SOURCE_HINTS):
+        # The taint checker arms on both flavors of source call —
+        # value-returning (``n = get_user()``) and out-buffer
+        # (``copy_from_user(&req, ...)``, no dst) — so the bit is
+        # independent of ``inst.dst``.
+        kinds |= _TAINT_SOURCE
+    if inst.dst is not None:
+        kinds |= _call_return_mask(callee, ctx)
+        if inst.dst.is_global:
+            kinds |= _SHARED_ACCESS
+    if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
+        kinds |= _SHARED_ACCESS
+    return kinds
+
+
+def _scan_call_indirect(inst, ctx, result) -> int:
+    result.has_indirect_call = True
+    kinds = _EXTERNAL_CALL | _arg_mask(inst.args)
+    if inst.dst is not None:
+        kinds |= _CALL_RETURN
+        if inst.dst.is_global:
+            kinds |= _SHARED_ACCESS
+    if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
+        kinds |= _SHARED_ACCESS
+    return kinds
+
+
+#: exact-type dispatch for the hot scan loop; instruction subclasses not
+#: listed here fall back to the ordered isinstance walk below
+_SCAN_DISPATCH = {
+    Move: _scan_move,
+    Load: _scan_load,
+    Store: _scan_store,
+    Gep: _scan_gep,
+    AddrOf: _scan_addr_of,
+    BinOp: _scan_binop,
+    UnOp: _scan_unop,
+    Malloc: _scan_malloc,
+    Alloc: _scan_alloc,
+    DeclLocal: _scan_decl_local,
+    MemSet: _scan_memset,
+    Free: _scan_free,
+    LockOp: _scan_lock,
+    Call: _scan_call,
+    CallIndirect: _scan_call_indirect,
+}
+
+#: same handlers in the match order of the original isinstance chain
+_SCAN_FALLBACK_ORDER = tuple(_SCAN_DISPATCH.items())
+
+
+def _scan_fallback(inst, ctx, result) -> int:
+    for cls, handler in _SCAN_FALLBACK_ORDER:
+        if isinstance(inst, cls):
+            return handler(inst, ctx, result)
+    return 0
 
 
 def instruction_events(inst, ctx: ScanContext, result: ScanResult) -> None:
     """Fold one instruction's possible event kinds into ``result``."""
-    kinds = EventKind.NONE
-    if isinstance(inst, Move):
-        if isinstance(inst.src, Var):
-            kinds |= EventKind.USE
-            if inst.dst.is_global:
-                kinds |= EventKind.ESCAPE
-        elif is_null_const(inst.src):
-            kinds |= EventKind.ASSIGN_NULL
-        elif isinstance(inst.src, Const):
-            kinds |= _const_value_kinds(inst.src.value)
-        if inst.dst.is_global or (isinstance(inst.src, Var) and inst.src.is_global):
-            kinds |= EventKind.SHARED_ACCESS
-    elif isinstance(inst, Load):
-        # DerefEvent + LoadEvent; a Load is also the UVA region sink.
-        # Loads read through a pointer, which may reach shared state.
-        kinds |= EventKind.DEREF | EventKind.USE | EventKind.SHARED_ACCESS
-    elif isinstance(inst, Store):
-        kinds |= EventKind.DEREF | EventKind.STORE | EventKind.SHARED_ACCESS
-        if isinstance(inst.src, Var):
-            kinds |= EventKind.USE
-            if isinstance(inst.src.type, PointerType):
-                kinds |= EventKind.ESCAPE
-        elif is_null_const(inst.src):
-            kinds |= EventKind.ASSIGN_NULL
-    elif isinstance(inst, Gep):
-        kinds |= EventKind.DEREF
-        if inst.index is not None:
-            kinds |= EventKind.INDEX
-            if isinstance(inst.index, Const) and inst.index.value < 0:
-                kinds |= EventKind.NEG_CONST
-    elif isinstance(inst, AddrOf):
-        pass
-    elif isinstance(inst, BinOp):
-        for operand in (inst.lhs, inst.rhs):
-            if isinstance(operand, Var):
-                kinds |= EventKind.USE
-                if operand.is_global:
-                    kinds |= EventKind.SHARED_ACCESS
-        if inst.op in ("div", "mod"):
-            kinds |= EventKind.DIV
-            if isinstance(inst.rhs, Const) and inst.rhs.value == 0:
-                # A literal zero divisor reports at the DivEvent itself.
-                kinds |= EventKind.ZERO_CONST
-        if inst.op in _CMP_OPS:
-            kinds |= _comparison_kinds(inst)
-        # AssignConstEvent: folded value when both operands are constant,
-        # and the sub-operator trigger the underflow checker keys on.
-        kinds |= EventKind.ASSIGN_CONST
-        if inst.op == "sub":
-            kinds |= EventKind.NEG_CONST
-        if isinstance(inst.lhs, Const) and isinstance(inst.rhs, Const):
-            from ..smt.terms import _apply_op
-
-            try:
-                folded = _apply_op(inst.op, [inst.lhs.value, inst.rhs.value])
-            except ValueError:
-                folded = None
-            if folded is not None:
-                kinds |= _const_value_kinds(folded)
-    elif isinstance(inst, UnOp):
-        if isinstance(inst.src, Var):
-            kinds |= EventKind.USE
-            if inst.src.is_global:
-                kinds |= EventKind.SHARED_ACCESS
-        kinds |= EventKind.ASSIGN_CONST
-        if isinstance(inst.src, Const) and inst.op == "neg":
-            kinds |= _const_value_kinds(-inst.src.value)
-    elif isinstance(inst, Malloc):
-        kinds |= EventKind.ALLOC_HEAP
-        if not inst.zeroed:
-            kinds |= EventKind.ALLOC_UNINIT
-    elif isinstance(inst, Alloc):
-        if not inst.zeroed:
-            kinds |= EventKind.ALLOC_UNINIT
-    elif isinstance(inst, DeclLocal):
-        kinds |= EventKind.DECL_LOCAL
-    elif isinstance(inst, MemSet):
-        kinds |= EventKind.DEREF | EventKind.MEM_INIT | EventKind.SHARED_ACCESS
-    elif isinstance(inst, Free):
-        kinds |= EventKind.FREE
-    elif isinstance(inst, LockOp):
-        kinds |= EventKind.LOCK
-    elif isinstance(inst, Call):
-        result.callees.append(inst.callee)
-        # Havoc kinds: any call may be handled externally at run time.
-        kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
-        if any(hint in inst.callee for hint in TAINT_SOURCE_HINTS):
-            # The taint checker arms on both flavors of source call —
-            # value-returning (``n = get_user()``) and out-buffer
-            # (``copy_from_user(&req, ...)``, no dst) — so the bit is
-            # independent of ``inst.dst``.
-            kinds |= EventKind.TAINT_SOURCE
-        if inst.dst is not None:
-            kinds |= _call_return_kinds(inst.callee, ctx)
-            if inst.dst.is_global:
-                kinds |= EventKind.SHARED_ACCESS
-        if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
-            kinds |= EventKind.SHARED_ACCESS
-        # A short argument list binds missing parameters to Const(0).
-        kinds |= EventKind.ZERO_CONST | EventKind.ASSIGN_CONST
-    elif isinstance(inst, CallIndirect):
-        result.has_indirect_call = True
-        kinds |= EventKind.EXTERNAL_CALL | _arg_kinds(inst.args)
-        if inst.dst is not None:
-            kinds |= EventKind.CALL_RETURN
-            if inst.dst.is_global:
-                kinds |= EventKind.SHARED_ACCESS
-        if any(isinstance(arg, Var) and arg.is_global for arg in inst.args):
-            kinds |= EventKind.SHARED_ACCESS
-    result.events |= kinds
+    handler = _SCAN_DISPATCH.get(inst.__class__, _scan_fallback)
+    mask = handler(inst, ctx, result)
+    if mask:
+        result.events_mask |= mask
+        result.events = _as_kinds(result.events_mask)
 
 
-def _terminator_events(term) -> EventKind:
-    kinds = EventKind.NONE
+def _terminator_mask(term) -> int:
     if isinstance(term, Ret):
-        kinds |= EventKind.RETURN
+        kinds = _RETURN
         value = term.value
         if isinstance(value, Var):
-            kinds |= EventKind.USE | EventKind.ESCAPE
+            kinds |= _USE | _ESCAPE
             if value.is_global:
-                kinds |= EventKind.SHARED_ACCESS
+                kinds |= _SHARED_ACCESS
         elif is_null_const(value):
             # The caller's return-value move assigns NULL.
-            kinds |= EventKind.ASSIGN_NULL
+            kinds |= _ASSIGN_NULL
         elif isinstance(value, Const):
-            kinds |= _const_value_kinds(value.value)
-    elif isinstance(term, (Branch, Jump)):
-        pass
-    return kinds
+            kinds |= _const_value_mask(value.value)
+        return kinds
+    # Branch/Jump terminators generate no events of their own.
+    return 0
 
 
 def block_events(block: BasicBlock, ctx: ScanContext) -> ScanResult:
-    """Kinds (and call edges) one basic block can generate directly."""
+    """Kinds (and call edges) one basic block can generate directly.
+
+    ``result.events`` excludes the pointer-conditional SHARED_ACCESS bit;
+    consumers fold it back via ``result.shared_ptrs`` (unconditionally,
+    or filtered by a shared-reaching predicate — see
+    :meth:`~repro.presolve.summary.EventSummaryIndex.region_events`).
+    """
     result = ScanResult()
+    dispatch = _SCAN_DISPATCH
+    mask = 0
     for inst in block.instructions:
-        instruction_events(inst, ctx, result)
+        handler = dispatch.get(inst.__class__)
+        if handler is None:
+            handler = _scan_fallback
+        mask |= handler(inst, ctx, result)
     if block.terminator is not None:
-        result.events |= _terminator_events(block.terminator)
+        mask |= _terminator_mask(block.terminator)
+    result.events_mask = mask
+    result.events = _as_kinds(mask)
     return result
 
 
@@ -285,9 +436,13 @@ def function_direct_events(func: Function, ctx: ScanContext) -> ScanResult:
     """Kinds (and call edges) ``func``'s own body can generate, before
     closing over callees."""
     result = ScanResult()
+    mask = 0
     for block in func.blocks:
         block_result = block_events(block, ctx)
-        result.events |= block_result.events
+        mask |= block_result.events_mask
         result.callees.extend(block_result.callees)
         result.has_indirect_call = result.has_indirect_call or block_result.has_indirect_call
+        result.shared_ptrs.extend(block_result.shared_ptrs)
+    result.events_mask = mask
+    result.events = _as_kinds(mask)
     return result

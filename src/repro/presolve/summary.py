@@ -23,11 +23,14 @@ Call edges:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..ir import Function, Program
 from .events import EventKind
-from .scan import ScanContext, ScanResult, function_direct_events
+from .scan import ScanContext, ScanResult, _as_kinds, block_events
+
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
+_SHARED = EventKind.SHARED_ACCESS.value
 
 
 class EventSummaryIndex:
@@ -49,18 +52,57 @@ class EventSummaryIndex:
         self.resolve_function_pointers = resolve_function_pointers
         #: per-function direct scan results (events + call edges)
         self.direct: Dict[str, ScanResult] = {}
-        #: per-function transitive event masks (the fixpoint)
-        self.transitive: Dict[str, EventKind] = {}
+        #: per-function transitive event masks (the fixpoint), as plain
+        #: int bit masks.  NOTE: excludes the pointer-conditional
+        #: SHARED_ACCESS bit; query methods fold it back from
+        #: ``_trans_ptrs`` (see :meth:`region_events`).
+        self.transitive: Dict[str, int] = {}
+        #: per-function transitive pointer names of Load/Store/MemSet
+        #: accesses — the conditional SHARED_ACCESS contributors
+        self._trans_ptrs: Dict[str, FrozenSet[str]] = {}
+        #: per-block direct scan results, keyed by block uid.  The P1.5
+        #: dead-block walk re-reads the same per-block kinds the summary
+        #: build already computed; sharing the ScanResult (it is never
+        #: mutated after construction) avoids a second instruction scan
+        #: over every analyzed entry.
+        self.block_results: Dict[int, ScanResult] = {}
         self._build()
 
     # -- construction --------------------------------------------------------
 
+    def block_result(self, block) -> ScanResult:
+        """The cached direct scan of one block (computing and caching it
+        on first sight — entries outside the program walk, e.g. direct
+        ``analyze(entries=...)`` calls, still resolve)."""
+        result = self.block_results.get(block.uid)
+        if result is None:
+            result = block_events(block, self.scan_ctx)
+            self.block_results[block.uid] = result
+        return result
+
+    def _function_events(self, func: Function) -> ScanResult:
+        """Like :func:`~repro.presolve.scan.function_direct_events`, but
+        populating the per-block cache as it goes."""
+        result = ScanResult()
+        mask = 0
+        for block in func.blocks:
+            block_result = self.block_result(block)
+            mask |= block_result.events_mask
+            result.callees.extend(block_result.callees)
+            result.has_indirect_call = (
+                result.has_indirect_call or block_result.has_indirect_call
+            )
+            result.shared_ptrs.extend(block_result.shared_ptrs)
+        result.events_mask = mask
+        result.events = _as_kinds(mask)
+        return result
+
     def _build(self) -> None:
         functions: List[Function] = list(self.program.functions())
         for func in functions:
-            self.direct[func.name] = function_direct_events(func, self.scan_ctx)
+            self.direct[func.name] = self._function_events(func)
 
-        indirect_pool: EventKind = EventKind.NONE
+        indirect_pool = 0
         registered: Set[str] = set()
         if self.resolve_function_pointers:
             registered = {
@@ -70,24 +112,34 @@ class EventSummaryIndex:
             }
 
         # Reverse edges: callee -> callers, to relax only affected nodes.
+        # Direct pointer sets are frozen once here — the fixpoint below
+        # re-reads them every relaxation.
         callers: Dict[str, List[str]] = {}
+        direct_ptrs: Dict[str, FrozenSet[str]] = {}
         for name, result in self.direct.items():
-            self.transitive[name] = result.events
+            self.transitive[name] = result.events_mask
+            direct_ptrs[name] = frozenset(result.shared_ptrs)
+            self._trans_ptrs[name] = direct_ptrs[name]
             for callee in result.callees:
                 if callee in self.direct:
                     callers.setdefault(callee, []).append(name)
 
-        # Worklist fixpoint over direct call edges.
+        # Worklist fixpoint over direct call edges, relaxing the event
+        # masks and the conditional shared-pointer sets together (same
+        # lattice shape: finite powersets, monotone union transfer).
         work: List[str] = list(self.direct)
         in_work: Set[str] = set(work)
         while work:
             name = work.pop()
             in_work.discard(name)
-            mask = self.direct[name].events
+            mask = self.direct[name].events_mask
+            ptrs = direct_ptrs[name]
             for callee in self.direct[name].callees:
-                mask |= self.transitive.get(callee, EventKind.NONE)
-            if mask != self.transitive[name]:
+                mask |= self.transitive.get(callee, 0)
+                ptrs |= self._trans_ptrs.get(callee, _EMPTY_NAMES)
+            if mask != self.transitive[name] or ptrs != self._trans_ptrs[name]:
                 self.transitive[name] = mask
+                self._trans_ptrs[name] = ptrs
                 for caller in callers.get(name, ()):
                     if caller not in in_work:
                         in_work.add(caller)
@@ -98,18 +150,23 @@ class EventSummaryIndex:
         # and feeding the pool into a function with an indirect call can
         # enlarge the pool (a registered function may itself make
         # indirect calls) — iterate until stable.
+        indirect_pool_ptrs: FrozenSet[str] = _EMPTY_NAMES
         if registered:
             while True:
-                pool = EventKind.NONE
+                pool = 0
+                pool_ptrs: FrozenSet[str] = _EMPTY_NAMES
                 for target in registered:
-                    pool |= self.transitive.get(target, EventKind.NONE)
+                    pool |= self.transitive.get(target, 0)
+                    pool_ptrs |= self._trans_ptrs.get(target, _EMPTY_NAMES)
                 changed = False
                 for name, result in self.direct.items():
                     if not result.has_indirect_call:
                         continue
                     merged = self.transitive[name] | pool
-                    if merged != self.transitive[name]:
+                    merged_ptrs = self._trans_ptrs[name] | pool_ptrs
+                    if merged != self.transitive[name] or merged_ptrs != self._trans_ptrs[name]:
                         self.transitive[name] = merged
+                        self._trans_ptrs[name] = merged_ptrs
                         changed = True
                 if not changed:
                     break
@@ -117,7 +174,9 @@ class EventSummaryIndex:
                 # indirect-calling functions see the enlarged masks.
                 self._close_direct_edges(callers)
             indirect_pool = pool
+            indirect_pool_ptrs = pool_ptrs
         self.indirect_pool = indirect_pool
+        self.indirect_pool_ptrs = indirect_pool_ptrs
 
     def _close_direct_edges(self, callers: Dict[str, List[str]]) -> None:
         work: List[str] = list(self.direct)
@@ -126,10 +185,13 @@ class EventSummaryIndex:
             name = work.pop()
             in_work.discard(name)
             mask = self.transitive[name]
+            ptrs = self._trans_ptrs[name]
             for callee in self.direct[name].callees:
-                mask |= self.transitive.get(callee, EventKind.NONE)
-            if mask != self.transitive[name]:
+                mask |= self.transitive.get(callee, 0)
+                ptrs |= self._trans_ptrs.get(callee, _EMPTY_NAMES)
+            if mask != self.transitive[name] or ptrs != self._trans_ptrs[name]:
                 self.transitive[name] = mask
+                self._trans_ptrs[name] = ptrs
                 for caller in callers.get(name, ()):
                     if caller not in in_work:
                         in_work.add(caller)
@@ -137,16 +199,67 @@ class EventSummaryIndex:
 
     # -- queries -------------------------------------------------------------
 
-    def direct_events(self, name: str) -> EventKind:
+    @staticmethod
+    def _restore_shared(
+        mask: int,
+        ptrs: FrozenSet[str],
+        reaches_shared: Optional[Callable[[str], bool]],
+    ) -> int:
+        """Fold the pointer-conditional SHARED_ACCESS bit back into a
+        mask.  Without a predicate every pointer access counts (the old
+        unconditional semantics); with one — the P1.7 closure-local
+        sharpening — only accesses whose pointer may reach a shared root
+        do."""
+        if ptrs and (
+            reaches_shared is None or any(reaches_shared(p) for p in ptrs)
+        ):
+            mask |= _SHARED
+        return mask
+
+    # The ``*_mask`` variants are the computation; the EventKind-typed
+    # methods are thin conversion wrappers for external callers.
+
+    def direct_events_mask(self, name: str, reaches_shared=None) -> int:
         result = self.direct.get(name)
-        return result.events if result is not None else EventKind.NONE
+        if result is None:
+            return 0
+        return self._restore_shared(
+            result.events_mask, frozenset(result.shared_ptrs), reaches_shared
+        )
 
-    def region_events(self, name: str) -> EventKind:
+    def direct_events(self, name: str, reaches_shared=None) -> EventKind:
+        return _as_kinds(self.direct_events_mask(name, reaches_shared))
+
+    def region_events_mask(self, name: str, reaches_shared=None) -> int:
         """Every kind ``name`` can trigger directly or transitively."""
-        return self.transitive.get(name, EventKind.NONE)
+        return self._restore_shared(
+            self.transitive.get(name, 0),
+            self._trans_ptrs.get(name, _EMPTY_NAMES),
+            reaches_shared,
+        )
 
-    def callee_region_events(self, callee: str) -> EventKind:
+    def region_events(self, name: str, reaches_shared=None) -> EventKind:
+        return _as_kinds(self.region_events_mask(name, reaches_shared))
+
+    def callee_region_events_mask(self, callee: str, reaches_shared=None) -> int:
         """Kinds a call to ``callee`` can trigger: its transitive region
         when defined, nothing extra otherwise (the call site's own havoc
         kinds are part of the *caller's* direct set)."""
-        return self.transitive.get(callee, EventKind.NONE)
+        return self._restore_shared(
+            self.transitive.get(callee, 0),
+            self._trans_ptrs.get(callee, _EMPTY_NAMES),
+            reaches_shared,
+        )
+
+    def callee_region_events(self, callee: str, reaches_shared=None) -> EventKind:
+        return _as_kinds(self.callee_region_events_mask(callee, reaches_shared))
+
+    def pool_events_mask(self, reaches_shared=None) -> int:
+        """Kinds an indirect call can trigger through the registration
+        pool (0 with function-pointer resolution off)."""
+        return self._restore_shared(
+            self.indirect_pool, self.indirect_pool_ptrs, reaches_shared
+        )
+
+    def pool_events(self, reaches_shared=None) -> EventKind:
+        return _as_kinds(self.pool_events_mask(reaches_shared))

@@ -77,6 +77,10 @@ class RaceChecker(Checker):
     # contains nothing this checker would have recorded.
     trigger_events = EventKind.SHARED_ACCESS
     sink_events = EventKind.SHARED_ACCESS
+    handled_events = (
+        LockEvent, AllocEvent, LoadEvent, StoreEvent, MemInitEvent,
+        UseVarEvent, AssignConstEvent, AssignNullEvent, CallReturnEvent,
+    )
 
     @property
     def state_namespaces(self):

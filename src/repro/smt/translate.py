@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alias import AliasGraph
+from ..alias.graph import _node_ids
 from ..ir import (
     AddrOf,
     Alloc,
@@ -64,10 +65,21 @@ class Translation:
 
 
 class PathTranslator:
-    """Replays one trace, building constraints.  Single use."""
+    """Replays one trace, building constraints.  Single use.
 
-    def __init__(self):
-        self.graph = AliasGraph()
+    With a P1.7 ``partition``, proven-singleton variables never
+    materialize replay nodes: each gets a symbol id per *strong-update
+    generation*, allocated from the shared node-id counter at exactly
+    the points where the unskipped replay would create their nodes.
+    The resulting constraint system is the same up to a consistent
+    symbol renaming, and every Table 5 counter is preserved — a
+    singleton's node is always isolated (out-degree 0), so the
+    unaware-translation accounting cannot observe the difference.
+    """
+
+    def __init__(self, partition=None):
+        skip = partition.singletons if partition is not None else None
+        self.graph = AliasGraph(skip_names=skip)
         self.result = Translation()
         #: comparison definitions: node uid -> (op, lhs term, rhs term)
         self._cmp_defs: Dict[int, Tuple[str, Term, Term]] = {}
@@ -76,6 +88,8 @@ class PathTranslator:
         #: §5.2 — re-encounters of one branch add no constraint)
         self._seen_branches: set = set()
         self._symbols: set = set()
+        #: (skipped name, generation) -> allocated symbol id
+        self._skip_ids: Dict[Tuple[str, int], int] = {}
 
     # -- term helpers ------------------------------------------------------------
 
@@ -83,10 +97,34 @@ class PathTranslator:
         self._symbols.add(node.uid)
         return Sym(node.uid)
 
+    def _skip_uid(self, name: str) -> int:
+        """Symbol id for the current generation of a skipped singleton —
+        the stand-in for the node uid the unskipped replay would use."""
+        key = (name, self.graph.skip_generation(name))
+        uid = self._skip_ids.get(key)
+        if uid is None:
+            uid = next(_node_ids)
+            self._skip_ids[key] = uid
+        return uid
+
+    def _skip_sym(self, name: str) -> Sym:
+        uid = self._skip_uid(name)
+        self._symbols.add(uid)
+        return Sym(uid)
+
+    def _detach_sym(self, dst: Var) -> Sym:
+        """Strong-update ``dst`` and return the symbol of its new version."""
+        node = self.graph.detach(dst)
+        if node is None:  # skipped singleton: generation already bumped
+            return self._skip_sym(dst.name)
+        return self._sym(node)
+
     def term_of(self, value: Value) -> Term:
         if isinstance(value, Const):
             return Num(value.value)
         assert isinstance(value, Var)
+        if value.name in self.graph.skip_names:
+            return self._skip_sym(value.name)
         return self._sym(self.graph.node_of(value))
 
     def _emit(self, atom: Atom) -> None:
@@ -99,6 +137,8 @@ class PathTranslator:
         implicit equality per known field of the source's class."""
         self.result.unaware_constraints += 1
         if isinstance(src, Var):
+            if src.name in self.graph.skip_names:
+                return  # a singleton's class has no fields (out-degree 0)
             node = self.graph.node_of(src)
             self.result.unaware_constraints += len(node.out)
 
@@ -119,8 +159,7 @@ class PathTranslator:
         if isinstance(src, Var):
             self.graph.handle_move(dst, src)  # same symbol: no constraint
         else:
-            node = self.graph.detach(dst)
-            self._emit(Atom("eq", self._sym(node), Num(src.value)))
+            self._emit(Atom("eq", self._detach_sym(dst), Num(src.value)))
 
     def _step_inst(self, inst) -> None:
         if isinstance(inst, Move):
@@ -147,9 +186,9 @@ class PathTranslator:
             self._step_binop(inst)
         elif isinstance(inst, UnOp):
             operand = self.term_of(inst.src)
-            node = self.graph.detach(inst.dst)
+            sym = self._detach_sym(inst.dst)
             op = "neg" if inst.op == "neg" else "not"
-            self._emit(Atom("eq", self._sym(node), App(op, (operand,))))
+            self._emit(Atom("eq", sym, App(op, (operand,))))
         elif isinstance(inst, Malloc):
             node = self.graph.handle_fresh_object(inst.dst)
             if not inst.may_fail:
@@ -158,14 +197,14 @@ class PathTranslator:
             node = self.graph.handle_fresh_object(inst.dst)
             self._emit(Atom("ne", self._sym(node), Num(0)))
         elif isinstance(inst, DeclLocal):
-            self.graph.detach(inst.var)
+            self._detach_quiet(inst.var)
         elif isinstance(inst, (Call, CallIndirect)):
             if isinstance(inst, Call) and any(
                 hint in inst.callee for hint in TAINT_SOURCE_HINTS
             ):
                 self._havoc_source_pointees(inst)
             if inst.dst is not None:
-                self.graph.detach(inst.dst)  # unknown return value
+                self._detach_quiet(inst.dst)  # unknown return value
         # Free / MemSet / LockOp constrain nothing.
 
     def _havoc_source_pointees(self, inst: Call) -> None:
@@ -189,16 +228,26 @@ class PathTranslator:
                 for name in list(pointee.vars):
                     self.graph._move_var(name, pointee, fresh)
 
+    def _detach_quiet(self, dst: Var) -> None:
+        """Strong update with no constraint.  For a skipped singleton the
+        fresh symbol id is still claimed so the id sequence (and thus the
+        relative symbol order the solver sees) matches the unskipped
+        replay, where ``detach`` consumes one node id here."""
+        if self.graph.detach(dst) is None:
+            self._skip_uid(dst.name)
+
     def _step_binop(self, inst: BinOp) -> None:
         lhs = self.term_of(inst.lhs)
         rhs = self.term_of(inst.rhs)
         node = self.graph.detach(inst.dst)
+        uid = node.uid if node is not None else self._skip_uid(inst.dst.name)
         if inst.is_comparison:
             # The comparison constrains nothing by itself; the branch that
             # consumes it will (Tstm(brt/brf) of Table 3).
-            self._cmp_defs[node.uid] = (inst.op, lhs, rhs)
+            self._cmp_defs[uid] = (inst.op, lhs, rhs)
         else:
-            self._emit(Atom("eq", self._sym(node), App(inst.op, (lhs, rhs))))
+            self._symbols.add(uid)
+            self._emit(Atom("eq", Sym(uid), App(inst.op, (lhs, rhs))))
 
     def _step_branch(self, branch: Branch, taken: bool) -> None:
         occurrence_key = (branch.uid, taken)
@@ -209,13 +258,17 @@ class PathTranslator:
         cond = branch.cond
         if isinstance(cond, Const):
             return
-        node = self.graph.node_of(cond)
-        cmp_def = self._cmp_defs.get(node.uid)
+        if cond.name in self.graph.skip_names:
+            uid = self._skip_uid(cond.name)
+        else:
+            uid = self.graph.node_of(cond).uid
+        cmp_def = self._cmp_defs.get(uid)
         if cmp_def is not None:
             op, lhs, rhs = cmp_def
             atom = Atom(op, lhs, rhs)
         else:
-            atom = Atom("ne", self._sym(node), Num(0))
+            self._symbols.add(uid)
+            atom = Atom("ne", Sym(uid), Num(0))
         self._emit(atom if taken else atom.negated())
 
     # -- entry point ----------------------------------------------------------------
@@ -229,9 +282,16 @@ class PathTranslator:
             self.step(entry)
         if extra_requirement is not None:
             op, var_name, const = extra_requirement
-            node = self.graph.node_of_name(var_name)
-            if node is not None:
-                self._emit(Atom(op, self._sym(node), Num(const)))
+            if var_name in self.graph.skip_names:
+                # "Bound on this replay" for a skipped singleton: it was
+                # strong-updated (generation > 0) or read at least once.
+                gen = self.graph.skip_generation(var_name)
+                if gen > 0 or (var_name, 0) in self._skip_ids:
+                    self._emit(Atom(op, self._skip_sym(var_name), Num(const)))
+            else:
+                node = self.graph.node_of_name(var_name)
+                if node is not None:
+                    self._emit(Atom(op, self._sym(node), Num(const)))
             # An unseen variable is unconstrained: requirement trivially
             # satisfiable, nothing to emit.
         self.result.symbols_used = len(self._symbols)
@@ -344,10 +404,11 @@ def translate_trace(
     trace: Sequence[Tuple],
     extra_requirement: Optional[Tuple[str, str, int]] = None,
     alias_aware: bool = True,
+    partition=None,
 ) -> Translation:
     """Translate one recorded path into SMT-lite constraints."""
     if alias_aware:
-        return PathTranslator().translate(trace, extra_requirement)
+        return PathTranslator(partition=partition).translate(trace, extra_requirement)
     return NaPathTranslator().translate(trace, extra_requirement)
 
 
@@ -376,6 +437,7 @@ def translate_trace_pair(
     trace_a: Sequence[Tuple],
     trace_b: Sequence[Tuple],
     alias_aware: bool = True,
+    partition=None,
 ) -> Translation:
     """Translate two independently recorded paths into one *joint*
     constraint set — stage 2 for pair findings (the race detector's
@@ -402,7 +464,8 @@ def translate_trace_pair(
     defined = _trace_defined_globals(trace_a) | _trace_defined_globals(trace_b)
     bridges: List[Atom] = []
     if alias_aware:
-        first, second = PathTranslator(), PathTranslator()
+        first = PathTranslator(partition=partition)
+        second = PathTranslator(partition=partition)
         result_a = first.translate(trace_a)
         result_b = second.translate(trace_b)
         for name in sorted(first.graph._node_of):

@@ -67,6 +67,10 @@ class TaintChecker(Checker):
     sink_events = (
         EventKind.INDEX | EventKind.DIV | EventKind.ALLOC_HEAP | EventKind.MEM_INIT
     )
+    handled_events = (
+        ExternalCallEvent, CallReturnEvent, AssignConstEvent, LoadEvent,
+        IndexEvent, DivEvent, AllocEvent, MemInitEvent,
+    )
 
     def __init__(self, spec: TaintSpec = DEFAULT_TAINT_SPEC):
         self.spec = spec

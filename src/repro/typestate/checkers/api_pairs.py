@@ -79,6 +79,7 @@ class PairedAPIChecker(Checker):
     trigger_events = EventKind.EXTERNAL_CALL
     #: double acquire/release report at the call, unreleased at the return
     sink_events = EventKind.EXTERNAL_CALL | EventKind.RETURN
+    handled_events = (ExternalCallEvent, EscapeEvent, ReturnEvent)
 
     def __init__(
         self,

@@ -38,6 +38,7 @@ class DivByZeroChecker(Checker):
     #: `== 0` test
     trigger_events = EventKind.ZERO_CONST | EventKind.CMP_ZERO
     sink_events = EventKind.DIV
+    handled_events = (AssignConstEvent, CallReturnEvent, BranchCmpEvent, DivEvent)
 
     def __init__(self, may_return_zero=None):
         self.may_return_zero = may_return_zero or (lambda name: False)

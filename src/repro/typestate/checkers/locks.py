@@ -22,6 +22,7 @@ class DoubleLockChecker(Checker):
     relevant_events = EventKind.LOCK
     trigger_events = EventKind.LOCK
     sink_events = EventKind.LOCK
+    handled_events = (LockEvent,)
 
     # State values are ("SL"|"SU", last_op_inst).
 

@@ -44,6 +44,9 @@ class MemoryLeakChecker(Checker):
     #: the sweep reports at frame returns — any block reaching a Ret is a
     #: potential sink, so block pruning is a no-op for ML-armed entries
     sink_events = EventKind.RETURN
+    handled_events = (
+        AllocEvent, FreeEvent, BranchNullEvent, EscapeEvent, TransferEvent, ReturnEvent,
+    )
 
     # State values are ("SNF"|"SF", alloc_inst, alloc_frame, escaped).
 

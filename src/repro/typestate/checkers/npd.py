@@ -34,6 +34,7 @@ class NullDereferenceChecker(Checker):
     trigger_events = EventKind.ASSIGN_NULL | EventKind.BRANCH_NULL
     #: reports fire exclusively at dereferences
     sink_events = EventKind.DEREF
+    handled_events = (AssignNullEvent, BranchNullEvent, DerefEvent, CallReturnEvent)
 
     def handle(self, event: Event, ctx: TrackerContext) -> None:
         if isinstance(event, AssignNullEvent):

@@ -44,6 +44,7 @@ class ArrayUnderflowChecker(Checker):
     #: NEG_CONST — a negative constant index too), or a taken `< 0` test
     trigger_events = EventKind.NEG_CONST | EventKind.CMP_ZERO
     sink_events = EventKind.INDEX
+    handled_events = (AssignConstEvent, CallReturnEvent, BranchCmpEvent, IndexEvent)
 
     def __init__(self, may_return_negative=None):
         #: names of analyzed functions known to return a negative constant

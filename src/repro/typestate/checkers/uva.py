@@ -52,6 +52,10 @@ class UninitializedAccessChecker(Checker):
     trigger_events = EventKind.DECL_LOCAL | EventKind.ALLOC_UNINIT
     #: reports fire at scalar uses and region loads (both mapped to USE)
     sink_events = EventKind.USE
+    handled_events = (
+        AllocEvent, DeclLocalEvent, AssignConstEvent, MemInitEvent,
+        StoreEvent, LoadEvent, UseVarEvent, CallReturnEvent,
+    )
 
     REGION = "uva.region"
 

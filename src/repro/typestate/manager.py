@@ -146,14 +146,27 @@ class TrackerContext:
 
     def key(self, var: Var) -> Hashable:
         """The typestate key for ``var``: its alias-set identity when alias
-        aware, its own name otherwise."""
+        aware, its own name otherwise.
+
+        P1.7 proven singletons have no per-path node; their alias-set
+        identity is the versioned ``("s", name, generation)`` tuple —
+        a strong update bumps the generation, making states keyed under
+        older generations unreachable exactly like a detached node's uid.
+        (Tuples cannot collide with node uids, which are ints, nor with
+        NA-mode keys, which are plain strings.)
+        """
         if self.alias_aware and self.graph is not None:
+            name = var.name
+            if name in self.graph.skip_names:
+                return ("s", name, self.graph.skip_generation(name))
             return self.graph.node_of(var).uid
         return var.name
 
     def fanout(self, var: Var) -> int:
         """Size of var's alias set (1 in NA mode) — for Table 5 counters."""
         if self.alias_aware and self.graph is not None:
+            if var.name in self.graph.skip_names:
+                return 1  # a proven singleton's alias set is always {var}
             return max(1, len(self.graph.node_of(var).vars))
         return 1
 
@@ -232,6 +245,13 @@ class Checker:
     #: Leaving trigger or sink at ``NONE`` (e.g. in a custom checker)
     #: conservatively disables relevance pruning for the whole run.
     sink_events: EventKind = EventKind.NONE
+    #: runtime event classes this checker's ``handle`` reacts to — every
+    #: built-in handle is a pure isinstance chain over these, so dispatch
+    #: may skip the call for any other class without changing behavior.
+    #: An empty tuple (e.g. a custom checker) means "unknown: always
+    #: call" — the per-class filter never drops such a checker.
+    handled_events: Tuple[type, ...] = ()
+
     #: state namespaces this checker stores under; NA-mode assignment sync
     #: copies each of them (a checker may keep several state families,
     #: e.g. UVA's scalar states vs. pointee-region states).
@@ -252,11 +272,77 @@ class TypestateManager:
 
     def __init__(self, checkers: List[Checker]):
         self.checkers = list(checkers)
+        #: the subset dispatch actually visits (see :meth:`set_active`);
+        #: every checker by default
+        self.active = self.checkers
         self.checker_names = [ns for c in self.checkers for ns in c.state_namespaces]
+        #: namespaces of the *active* checkers — what the Table 5
+        #: unaware-updates accounting walks.  With per-entry arming this
+        #: legitimately shrinks: a skipped checker's states can never be
+        #: read, so counting their would-be syncs measures work the
+        #: restricted run genuinely does not do.
+        self.active_namespaces = self.checker_names
+        #: event-class -> active checkers whose ``handled_events`` cover
+        #: it, built lazily per :meth:`set_active` restriction.  None in
+        #: the unrestricted state: the default path stays the plain loop
+        #: over every checker, exactly today's dispatch.
+        self._by_class: Optional[Dict[type, List[Checker]]] = None
+
+    def set_active(self, names=None) -> None:
+        """Restrict dispatch to the named checkers, or restore every
+        checker with ``None``.  Used by the explorer's per-entry arming
+        (P1.5 masks + P1.7 sharpening): a checker whose trigger or sink
+        kinds don't occur in the entry's transitive region cannot report
+        there, so skipping its ``handle`` calls preserves the report set
+        exactly — it only skips typestate updates no report could read."""
+        if names is None:
+            self.active = self.checkers
+            self.active_namespaces = self.checker_names
+            self._by_class = None
+        else:
+            self.active = [c for c in self.checkers if c.name in names]
+            self.active_namespaces = [
+                ns for c in self.active for ns in c.state_namespaces
+            ]
+            self._by_class = {}
 
     def dispatch(self, event: Event, ctx: TrackerContext) -> None:
-        for checker in self.checkers:
+        by_class = self._by_class
+        if by_class is None:
+            for checker in self.active:
+                checker.handle(event, ctx)
+            return
+        cls = event.__class__
+        handlers = by_class.get(cls)
+        if handlers is None:
+            # A checker with no declared classes is never filtered; the
+            # declared ones are skipped for classes their isinstance
+            # chains cannot match (a behavior-preserving no-op).
+            handlers = by_class[cls] = [
+                c
+                for c in self.active
+                if not c.handled_events or issubclass(cls, c.handled_events)
+            ]
+        for checker in handlers:
             checker.handle(event, ctx)
+
+    def wants(self, cls: type) -> bool:
+        """Whether any active checker would handle an event of ``cls`` —
+        lets the explorer skip *constructing* events nobody can observe
+        (dispatching one is already a no-op, but the allocation is not
+        free).  Always True in the unrestricted state, so the default
+        path builds exactly the events it always did."""
+        by_class = self._by_class
+        if by_class is None:
+            return True
+        handlers = by_class.get(cls)
+        if handlers is None:
+            handlers = by_class[cls] = [
+                c
+                for c in self.active
+                if not c.handled_events or issubclass(cls, c.handled_events)
+            ]
+        return bool(handlers)
 
     def sync_on_move(self, ctx: TrackerContext, dst: Var, src: Var) -> None:
         """In NA mode states live per variable; a direct assignment copies

@@ -1,0 +1,143 @@
+"""Tier differential: ``alias_tier`` on vs off must not change a byte.
+
+The P1.7 partition licenses three skip paths (per-path singleton fast
+path, cell-level trace translation, shared-access sharpening of the
+relevance masks) plus the tier-gated per-entry dispatch restriction.
+All of them claim soundness *by construction* — so the whole suite is
+one assertion repeated across every axis that could break it:
+
+* every checker-spec string (each checker consumes different events);
+* workers 1 and 4 (the partition ships to workers by fork or pickle);
+* cold and warm incremental cache (the partition is itself a cached
+  layer, and cached entry results must not leak tier-dependent state).
+"""
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.corpus import PROFILES_BY_NAME, RACELAB, TAINTLAB, generate
+from repro.incremental import compile_with_cache, open_store
+from repro.lang import compile_program
+from repro.typestate import CHECKER_NAMES
+
+SPECS = list(CHECKER_NAMES) + [
+    "default", "all", "default,race", "all,taint", "all,taint,race",
+]
+
+
+def _mixed_sources():
+    """Taint- and race-heavy corpora plus a slice of the mixed-kind
+    tencentos corpus — same recipe as the taint differential, so every
+    checker in every spec has events to react to."""
+    sources = []
+    sources.extend(generate(TAINTLAB).compiled_sources())
+    sources.extend(generate(RACELAB).compiled_sources())
+    tencentos = PROFILES_BY_NAME["tencentos"].scaled(0.35)
+    sources.extend(generate(tencentos).compiled_sources())
+    return sources
+
+
+@pytest.fixture(scope="module")
+def mixed_program():
+    return compile_program(_mixed_sources())
+
+
+def _render(result):
+    return [r.render() for r in result.reports]
+
+
+def _run(program, spec="all", tier=True, workers=1):
+    config = AnalysisConfig(alias_tier=tier, workers=workers)
+    return PATA(checker_spec=spec, config=config).analyze(program)
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_tier_on_off_byte_identical_per_spec(mixed_program, spec):
+    on = _run(mixed_program, spec=spec, tier=True)
+    off = _run(mixed_program, spec=spec, tier=False)
+    assert _render(on) == _render(off)
+    # The differential is only meaningful if the tier actually engaged.
+    assert on.stats.singletons_proven > 0
+    assert on.stats.alias_cells > 0
+    assert off.stats.singletons_proven == 0
+    assert off.stats.alias_cells == 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_tier_on_off_byte_identical_across_workers(mixed_program, workers):
+    on = _run(mixed_program, tier=True, workers=workers)
+    off = _run(mixed_program, tier=False, workers=workers)
+    if workers > 1:
+        assert on.stats.workers_used > 1
+        assert off.stats.workers_used > 1
+    assert _render(on) == _render(off)
+    assert on.stats.singletons_proven > 0
+
+
+def test_tier_reports_identical_parallel_vs_sequential(mixed_program):
+    """The partition rides to workers fork- or pickle-shipped; either
+    way the parallel tier-on run must match the sequential one."""
+    sequential = _run(mixed_program, tier=True, workers=1)
+    parallel = _run(mixed_program, tier=True, workers=4)
+    assert parallel.stats.workers_used > 1
+    assert _render(sequential) == _render(parallel)
+    assert sequential.stats.singletons_proven == parallel.stats.singletons_proven
+    assert sequential.stats.alias_cells == parallel.stats.alias_cells
+
+
+def _cached_run(sources, cache_dir, tier):
+    config = AnalysisConfig(
+        alias_tier=tier, cache_dir=cache_dir, cache_mode="rw"
+    )
+    store = open_store(cache_dir, "rw")
+    program = compile_with_cache(sources, store)
+    if store is not None:
+        store.commit()
+    return PATA(config=config, checker_spec="all").analyze(program)
+
+
+def test_tier_on_off_byte_identical_cold_and_warm(tmp_path):
+    """Four runs — {tier on, tier off} × {cold, warm} — one report
+    text.  Tier state lives in the cache fingerprints, so a warm tier-on
+    run over a tier-off cache (and vice versa) must re-derive rather
+    than replay; separate cache dirs per tier keep this test about the
+    byte-identity contract, the fingerprint isolation is asserted
+    below."""
+    sources = _mixed_sources()
+    dir_on = str(tmp_path / "on")
+    dir_off = str(tmp_path / "off")
+
+    cold_on = _cached_run(sources, dir_on, tier=True)
+    cold_off = _cached_run(sources, dir_off, tier=False)
+    warm_on = _cached_run(sources, dir_on, tier=True)
+    warm_off = _cached_run(sources, dir_off, tier=False)
+
+    baseline = _render(cold_on)
+    assert baseline  # vacuous otherwise
+    assert _render(cold_off) == baseline
+    assert _render(warm_on) == baseline
+    assert _render(warm_off) == baseline
+
+    # Warm runs replayed from the cache rather than re-exploring.
+    assert any(row.cached for row in warm_on.stats.per_entry)
+    assert any(row.cached for row in warm_off.stats.per_entry)
+
+
+def test_tier_flip_on_shared_cache_is_safe(tmp_path):
+    """Flipping the tier over one cache directory must stay
+    byte-identical: entry fingerprints include ``alias_tier``, so a
+    tier-off run never replays tier-on entries (or vice versa) — and
+    report text never changes either way."""
+    sources = _mixed_sources()
+    cache_dir = str(tmp_path / "shared")
+
+    first = _cached_run(sources, cache_dir, tier=True)
+    flipped = _cached_run(sources, cache_dir, tier=False)
+    back = _cached_run(sources, cache_dir, tier=True)
+
+    baseline = _render(first)
+    assert baseline
+    assert _render(flipped) == baseline
+    assert _render(back) == baseline
+    # The third run replays the first run's entries (same fingerprints).
+    assert any(row.cached for row in back.stats.per_entry)

@@ -32,6 +32,7 @@ from repro import PATA, AnalysisConfig
 from repro.cli import main as cli_main
 from repro.corpus import PROFILES_BY_NAME, generate
 from repro.incremental import (
+    CACHE_FORMAT,
     CacheStore,
     TransitiveKeys,
     compile_with_cache,
@@ -190,6 +191,61 @@ def test_store_version_skew_warns_and_misses(tmp_path, caplog):
     with caplog.at_level(logging.WARNING, logger="repro.incremental"):
         CacheStore(str(tmp_path), "ro")
     assert any("written by engine" in r.message for r in caplog.records)
+
+
+def test_store_pre_bump_format_heals_on_commit(tmp_path, caplog):
+    """Regression for the CACHE_FORMAT 1 -> 2 bump (the partition cache
+    layer changed what an entry result depends on): a directory stamped
+    with the pre-bump format must read as all-misses, stay usable, and
+    be re-stamped with the current format by the next commit — no
+    manual cache wipe needed."""
+    assert CACHE_FORMAT == 2  # update the pre-bump fixture when bumping again
+    # A pre-bump cache: old header stamp plus an object under a key only
+    # the old derivation could have produced.
+    stale_dir = tmp_path / "objects" / "ab"
+    stale_dir.mkdir(parents=True)
+    (stale_dir / ("ab" * 32 + ".bin")).write_bytes(b"pre-bump payload")
+    (tmp_path / "meta.json").write_text(
+        json.dumps({"format": CACHE_FORMAT - 1, "engine": "0.9.0"}))
+
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        store = CacheStore(str(tmp_path), "rw")
+    assert any("written by engine" in r.message for r in caplog.records)
+
+    # Current-format keys miss (the format participates in key
+    # derivation, so pre-bump objects are unreachable, never misread)...
+    key = CacheStore.object_key("entry", "layer")
+    assert store.get(key) is None
+    # ...writes land, and the commit heals the header stamp.
+    store.put(key, {"healed": True})
+    assert store.commit() >= 1
+    assert json.loads((tmp_path / "meta.json").read_text())["format"] == CACHE_FORMAT
+    # A fresh handle opens without the skew warning and replays the write.
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.incremental"):
+        again = CacheStore(str(tmp_path), "ro")
+    assert not any("written by engine" in r.message for r in caplog.records)
+    assert again.get(key) == {"healed": True}
+
+
+def test_engine_heals_pre_bump_cache_directory(tmp_path):
+    """End to end: analyzing over a pre-bump cache directory matches the
+    uncached run byte for byte, re-stamps the header, and leaves a warm
+    cache behind."""
+    baseline = _analyze(_sources())
+    stale_dir = tmp_path / "objects" / "de"
+    stale_dir.mkdir(parents=True)
+    (stale_dir / ("de" + "ad" * 31 + ".bin")).write_bytes(b"pre-bump payload")
+    (tmp_path / "meta.json").write_text(
+        json.dumps({"format": CACHE_FORMAT - 1, "engine": "0.9.0"}))
+
+    healed = _analyze(_sources(), cache_dir=str(tmp_path), cache_mode="rw")
+    assert _report_text(healed) == _report_text(baseline)
+    assert json.loads((tmp_path / "meta.json").read_text())["format"] == CACHE_FORMAT
+
+    warm = _analyze(_sources(), cache_dir=str(tmp_path), cache_mode="rw")
+    assert _report_text(warm) == _report_text(baseline)
+    assert any(row.cached for row in warm.stats.per_entry)
 
 
 def test_open_store_unopenable_dir_is_none(tmp_path, caplog):

@@ -70,6 +70,39 @@ def test_spawn_respects_explicit_batch_size(mixed_program):
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("tier", [True, False], ids=["tier-on", "tier-off"])
+def test_spawn_alias_tier_byte_identical_reports(mixed_program, tier):
+    """The P1.7 partition rides to spawn workers through the initargs
+    pickle (fork inherits it zero-copy, so only this suite exercises the
+    pickled path).  Both tier settings must match the sequential run of
+    the same setting, and the two settings must match each other."""
+    sequential = PATA(
+        checker_spec="all", config=AnalysisConfig(workers=1, alias_tier=tier)
+    ).analyze(mixed_program)
+    spawned = PATA(
+        checker_spec="all", config=_spawn_config(alias_tier=tier)
+    ).analyze(mixed_program)
+    assert spawned.stats.workers_used == 2
+    assert _render(sequential) == _render(spawned)
+    assert sequential.stats.explored_paths == spawned.stats.explored_paths
+    if tier:
+        assert spawned.stats.singletons_proven > 0
+    else:
+        assert spawned.stats.singletons_proven == 0
+
+
+@pytest.mark.slow
+def test_spawn_tier_on_vs_off_byte_identical(mixed_program):
+    on = PATA(
+        checker_spec="all", config=_spawn_config(alias_tier=True)
+    ).analyze(mixed_program)
+    off = PATA(
+        checker_spec="all", config=_spawn_config(alias_tier=False)
+    ).analyze(mixed_program)
+    assert _render(on) == _render(off)
+
+
+@pytest.mark.slow
 def test_spawn_with_no_prune_matches_sequential(mixed_program):
     """``prune=False`` ships no dead-block masks (relevance is None on
     both sides); the spawn world must degrade identically."""
