@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-incremental bench-alias report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-incremental bench-alias bench-ptaflow report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -52,6 +52,14 @@ bench-incremental:
 # stamp the payload degraded and gate only report identity.
 bench-alias:
 	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) $(PYTHON) -m pytest benchmarks/bench_components.py -k alias_tier_cold_warm -q --benchmark-disable
+
+# P1.8 flow-sensitive tier (--alias-tier flow) vs the untiered engine
+# (cold interleaved pairs + warm cache) on the linux corpus; writes
+# BENCH_ptaflow.json.  The 2x headline is defined at scale 4.0; smaller
+# REPRO_BENCH_SCALE values stamp the payload degraded and gate only
+# report identity.
+bench-ptaflow:
+	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) $(PYTHON) -m pytest benchmarks/bench_components.py -k ptaflow_cold_warm -q --benchmark-disable
 
 # IR-verify every generated corpus module (all evaluation profiles plus
 # the taintlab/racelab checker corpora).

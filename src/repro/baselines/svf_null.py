@@ -14,6 +14,13 @@ Table 8 fall out:
   (false positives).
 
 Shares the points-to memory budget (OOM on the Linux-profile corpus).
+
+Since P1.8 the flow-sensitive pass itself lives in the engine
+(:class:`repro.pointsto.flow_sensitive.FlowSensitivePointsTo`) and this
+baseline consumes it in its default *legacy* mode — ``strong_updates``
+off — which is byte-for-byte the dataflow this module used to own.  The
+engine's strong-update mode is opt-in and never taken here, so baseline
+findings are pinned regardless of ``--alias-tier``.
 """
 
 from __future__ import annotations

@@ -87,11 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-prune", action="store_true",
                        help="disable the checker-relevance pre-analysis "
                             "(P1.5) entry/path pruning")
-    check.add_argument("--alias-tier", choices=["on", "off"], default="on",
-                       help="tiered alias analysis (P1.7): the whole-program "
-                            "Steensgaard pre-pass and its singleton fast "
-                            "paths; reports are byte-identical either way "
-                            "(default: on)")
+    check.add_argument("--alias-tier", choices=["off", "steens", "flow", "on"],
+                       default="flow",
+                       help="alias precision tier: off (per-path graphs only), "
+                            "steens (P1.7 whole-program Steensgaard pre-pass "
+                            "and its singleton fast paths), flow (additionally "
+                            "the P1.8 flow-sensitive pass with strong updates); "
+                            "reports are byte-identical across tiers "
+                            "(default: flow; 'on' is a deprecated alias for "
+                            "steens, kept for pre-tier-ladder scripts)")
     check.add_argument("--stats", action="store_true",
                        help="print a per-entry-function stats table")
     check.add_argument("--stats-json", metavar="FILE", default=None,
@@ -186,7 +190,7 @@ def cmd_check(args) -> int:
               file=sys.stderr)
     config = AnalysisConfig(validate_paths=not args.no_validate, workers=args.workers,
                             prune=not args.no_prune,
-                            alias_tier=args.alias_tier != "off",
+                            alias_tier=args.alias_tier,
                             parallel_batch_size=args.batch_size,
                             parallel_dispatch_factor=args.dispatch_factor,
                             parallel_start_method=args.start_method,

@@ -136,6 +136,7 @@ class PathExplorer:
         indirect_resolver: Optional[Callable] = None,
         relevance=None,
         partition=None,
+        flow_facts=None,
         # Back-compat conveniences used by PathAliasAnalysis:
         max_paths: Optional[int] = None,
         max_call_depth: Optional[int] = None,
@@ -161,6 +162,10 @@ class PathExplorer:
         #: P1.7 :class:`~repro.pointsto.steensgaard.MayAliasPartition`;
         #: when set, per-path graph maintenance skips proven singletons
         self.partition = partition
+        #: P1.8 :class:`~repro.pointsto.flow_tier.MustAliasFacts`; when
+        #: set, the skip set is re-resolved *per entry* from its closure
+        #: (a strict superset of the whole-program singletons)
+        self.flow_facts = flow_facts
         self._dead_blocks: frozenset = frozenset()
 
         skip_names = (
@@ -266,11 +271,17 @@ class PathExplorer:
         # recordings fire only at events the region does not contain).
         # `--alias-tier off` restores today's dispatch-everything.
         armed = None
-        if self.config.alias_tier and self.relevance is not None:
+        if self.config.alias_tier != "off" and self.relevance is not None:
             armed_of = getattr(self.relevance, "armed_names", None)
             if armed_of is not None:
                 armed = armed_of(entry)
         self.manager.set_active(armed)
+        # P1.8 per-entry skip set: between entries the graph is empty
+        # (the trail unwinds it fully), so reassigning skip_names here is
+        # safe — and sound, because the set is derived from exactly the
+        # instructions this entry's closure can execute.
+        if self.flow_facts is not None and self.graph is not None:
+            self.graph.skip_names = self.flow_facts.skip_names_for_entry(entry.name)
         self.ctx.entry_function = entry.name
         if self.config.entry_time_limit is not None:
             self._deadline = time.monotonic() + self.config.entry_time_limit

@@ -13,6 +13,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: the precision-tier ladder, in rung order
+_ALIAS_TIERS = {"off": 0, "steens": 1, "flow": 2}
+
 
 @dataclass
 class AnalysisConfig:
@@ -47,12 +50,17 @@ class AnalysisConfig:
     resolve_function_pointers: bool = False
     #: candidate targets explored per indirect call site when resolving
     max_indirect_targets: int = 4
-    #: run the whole-program Steensgaard pre-pass (P1.7) and its three
-    #: sound consumers: the per-path singleton fast path, trace
+    #: alias precision-tier ladder: ``"off"`` (per-path graphs only),
+    #: ``"steens"`` (the P1.7 whole-program Steensgaard pre-pass and its
+    #: three sound consumers: the per-path singleton fast path, trace
     #: translation over partition cells, and shared-access sharpening of
-    #: the relevance masks.  Reports are byte-identical on or off
-    #: (``--alias-tier off`` is the CLI escape hatch); only speed changes
-    alias_tier: bool = True
+    #: the relevance masks), or ``"flow"`` (additionally the P1.8
+    #: flow-sensitive pass with strong updates: per-entry-closure skip
+    #: sets, strong-update symbol resolution in trace translation, and
+    #: taint-source sharpening).  Reports are byte-identical across all
+    #: tiers; only speed changes.  Legacy values are normalized: ``True``
+    #: / ``"on"`` mean ``"steens"``, ``False`` means ``"off"``.
+    alias_tier: str = "flow"
     #: run the checker-relevance pre-analysis (P1.5) and its two sound
     #: pruning layers: skip entry functions whose transitive region holds
     #: no event for any enabled checker, and stop paths entering CFG
@@ -89,6 +97,26 @@ class AnalysisConfig:
     #: processes use), or "rw" (read, and commit new summaries at the
     #: end of the run; the parent process is the single writer)
     cache_mode: str = "off"
+
+    def __post_init__(self) -> None:
+        # Tier back-compat: the knob was a bool through PR 7 ("on" on the
+        # CLI).  Normalize once here so every consumer sees a tier string
+        # and old configs/pickles keep meaning what they meant.
+        tier = self.alias_tier
+        if tier is True or tier == "on":
+            tier = "steens"
+        elif tier is False:
+            tier = "off"
+        if tier not in _ALIAS_TIERS:
+            raise ValueError(
+                f"alias_tier must be one of {sorted(_ALIAS_TIERS)} "
+                f"(or legacy True/False/'on'), got {self.alias_tier!r}"
+            )
+        self.alias_tier = tier
+
+    def alias_tier_level(self) -> int:
+        """The tier as a comparable rung: 0 = off, 1 = steens, 2 = flow."""
+        return _ALIAS_TIERS[self.alias_tier]
 
     def cache_active(self) -> bool:
         """Whether this run consults the incremental cache at all."""

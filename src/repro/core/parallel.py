@@ -234,6 +234,9 @@ class _WorkerInit:
     #: initargs (MayAliasPartition defines ``__reduce__``); either way
     #: workers never re-run the unification pass.
     partition: Optional[object] = None
+    #: P1.8 must-alias facts, shipped the same way (MustAliasFacts also
+    #: defines ``__reduce__``; its memo tables rebuild lazily per worker)
+    flow_facts: Optional[object] = None
 
 
 @dataclass
@@ -246,6 +249,7 @@ class _WorkerWorld:
     collector: InformationCollector
     relevance: Optional[object]
     partition: Optional[object] = None
+    flow_facts: Optional[object] = None
 
 
 #: built by :func:`_init_worker` when the process starts, read by every
@@ -270,7 +274,8 @@ def _init_worker(init: _WorkerInit) -> None:
         )
     checkers = checkers_from_spec(init.checker_spec, collector)
     _WORLD = _WorkerWorld(
-        program, init.config, checkers, collector, relevance, init.partition
+        program, init.config, checkers, collector, relevance, init.partition,
+        init.flow_facts,
     )
 
 
@@ -305,6 +310,7 @@ def _run_batch(entry_names: List[str]) -> List[Tuple[str, EntryOutcome]]:
         ),
         relevance=world.relevance,
         partition=world.partition,
+        flow_facts=world.flow_facts,
     )
     outcomes = explore_entries(explorer, entries, per_entry_dedup=True)
     touch_dir = os.environ.get(_TOUCH_ENV)
@@ -347,6 +353,7 @@ def run_parallel(
     collector: Optional[InformationCollector] = None,
     relevance: Optional[object] = None,
     partition: Optional[object] = None,
+    flow_facts: Optional[object] = None,
 ) -> Optional[ParallelRun]:
     """Stream ``entry_list`` through a pool of persistent workers.
 
@@ -367,6 +374,7 @@ def run_parallel(
             collector=collector or InformationCollector(program),
             relevance=relevance,
             partition=partition,
+            flow_facts=flow_facts,
         )
     else:
         # Spawned workers must receive the program by value; an
@@ -405,6 +413,7 @@ def run_parallel(
             dead_masks=dead_masks,
             armed_masks=armed_masks,
             partition=partition,
+            flow_facts=flow_facts,
         )
     batch_size = config.resolved_batch_size(len(entry_list), workers)
     batches = _make_batches(entry_list, batch_size)

@@ -135,7 +135,8 @@ class PATA:
                     may_return_zero=collector.may_return_zero,
                 ),
                 resolve_function_pointers=self.config.resolve_function_pointers,
-                sharpen_shared=self.config.alias_tier,
+                sharpen_shared=self.config.alias_tier_level() >= 1,
+                sharpen_taint=self.config.alias_tier_level() >= 2,
             )
             analyzed_list, live_skipped = relevance.partition_entries(analyzed_list)
             skipped_names.extend(live_skipped)
@@ -150,7 +151,7 @@ class PATA:
         # off` reproduces today's behaviour byte for byte.  The partition
         # is cached per module closure, so warm runs skip the pass.
         partition = None
-        if self.config.alias_tier and self.config.alias_aware:
+        if self.config.alias_tier_level() >= 1 and self.config.alias_aware:
             phase_started = time.monotonic()
             if incr is not None:
                 partition = incr.cached_partition()
@@ -163,6 +164,33 @@ class PATA:
             stats.singletons_proven = len(partition.singletons)
             stats.alias_cells = partition.cell_count
             stats.time_unify_seconds = time.monotonic() - phase_started
+
+        # P1.8: flow-sensitive must-alias facts.  On top of the P1.7
+        # partition (whose cells bucket the value-flow graph's store→load
+        # matching), the flow tier derives must-point-to singletons and
+        # strong-update-killed definitions, folded into one picklable
+        # MustAliasFacts object.  The explorer resolves a per-entry skip
+        # set from it (closure occurrences minus disqualifications — a
+        # strict superset of the whole-program singletons), the trace
+        # translators reuse that set per bug entry, and the presolve's
+        # taint sharpening above rides the same tier gate.  Cached per
+        # module closure like the partition.
+        flow_facts = None
+        if partition is not None and self.config.alias_tier_level() >= 2:
+            phase_started = time.monotonic()
+            if incr is not None:
+                flow_facts = incr.cached_flow_facts()
+            if flow_facts is None:
+                from ..pointsto.flow_tier import compute_flow_facts
+
+                flow_facts = compute_flow_facts(
+                    program, partition, self.config.resolve_function_pointers
+                )
+                if incr is not None:
+                    incr.stage_flow_facts(flow_facts)
+            stats.must_singletons = flow_facts.must_singletons
+            stats.strong_updates = flow_facts.strong_updates
+            stats.time_flow_seconds = time.monotonic() - phase_started
 
         # P2: explore every entry — streamed in size-sorted batches
         # through persistent worker processes when configured (the
@@ -183,6 +211,7 @@ class PATA:
                 run = run_parallel(
                     program, self.config, spec, analyzed_list, collector,
                     relevance=relevance, partition=partition,
+                    flow_facts=flow_facts,
                 )
                 if run is not None:
                     outcome_by_name = run.outcomes
@@ -199,6 +228,7 @@ class PATA:
                 ),
                 relevance=relevance,
                 partition=partition,
+                flow_facts=flow_facts,
             )
             outcomes = explore_entries(
                 explorer, analyzed_list, per_entry_dedup=incr is not None
@@ -266,6 +296,7 @@ class PATA:
             self.config.solver_max_search_nodes,
             alias_aware=self.config.alias_aware,
             partition=partition,
+            flow_facts=flow_facts,
         )
         filtered = bug_filter.run(possible_bugs)
         stats.dropped_false_bugs = filtered.stats.dropped_false

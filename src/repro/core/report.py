@@ -126,6 +126,13 @@ class AnalysisStats:
     singletons_proven: int = 0
     alias_cells: int = 0
     time_unify_seconds: float = 0.0
+    #: P1.8 flow-sensitive tier (zero below ``--alias-tier flow``):
+    #: names proven must-singleton at every reachable point of some
+    #: function, strong-update kills applied over the value-flow graph,
+    #: and the flow pass's wall clock (cache hits make it ~0)
+    must_singletons: int = 0
+    strong_updates: int = 0
+    time_flow_seconds: float = 0.0
     #: worker processes that performed P2 (1 = in-process sequential)
     workers_used: int = 1
     #: entry batches dispatched to the worker pool (0 = in-process run);

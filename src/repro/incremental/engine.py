@@ -75,6 +75,15 @@ def _partition_key(closure_pairs: List[str]) -> str:
     return CacheStore.object_key("partition", *closure_pairs)
 
 
+def _flow_key(closure_pairs: List[str], resolve_fp: bool) -> str:
+    """P1.8 must-alias-facts layer: like the partition, one object per
+    module closure — the facts embed their own callgraph and the
+    occurrence walk reads every function.  Indirect-call resolution
+    changes the disqualification rules and the embedded pool, so the
+    flag folds into the key."""
+    return CacheStore.object_key("flowfacts", repr(resolve_fp), *closure_pairs)
+
+
 # Program-wide *bundle* objects: the fully-warm fast path.  A warm run
 # over N functions would otherwise pay N small reads (and their pathlib
 # + unpickle fixed costs) per layer; the bundles collapse each layer to
@@ -213,6 +222,29 @@ class IncrementalContext:
         nothing)."""
         if partition is not None and self.store.mode == "rw":
             self.store.put(_partition_key(self._closure_pairs), partition)
+
+    # -- layer f: P1.8 must-alias facts --------------------------------------
+
+    def cached_flow_facts(self):
+        """The :class:`~repro.pointsto.flow_tier.MustAliasFacts` cached
+        under this program's module closure, or ``None`` on a miss (any
+        shape surprise degrades to rebuilding the pass)."""
+        from ..pointsto.flow_tier import MustAliasFacts
+
+        payload = self.store.get(
+            _flow_key(self._closure_pairs, self.config.resolve_function_pointers)
+        )
+        if isinstance(payload, MustAliasFacts):
+            return payload
+        return None
+
+    def stage_flow_facts(self, facts) -> None:
+        """Stage freshly computed facts for the next commit."""
+        if facts is not None and self.store.mode == "rw":
+            self.store.put(
+                _flow_key(self._closure_pairs, self.config.resolve_function_pointers),
+                facts,
+            )
 
     # -- layers b + c: entry partition --------------------------------------
 

@@ -38,8 +38,9 @@ from .. import __version__ as ENGINE_VERSION
 log = logging.getLogger("repro.incremental")
 
 #: bump when the pickled payload schema changes incompatibly
-#: (2: P1.7 partition layer + sharpened relevance-mask payloads)
-CACHE_FORMAT = 2
+#: (2: P1.7 partition layer + sharpened relevance-mask payloads;
+#: 3: P1.8 must-alias-facts layer + taint-sharpened relevance masks)
+CACHE_FORMAT = 3
 _MAGIC = b"PATACHE1"
 _DIGEST_BYTES = 32
 

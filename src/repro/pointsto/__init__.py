@@ -3,6 +3,7 @@ and the cheap whole-program tier above the per-path alias graphs (P1.7)."""
 
 from .andersen import AndersenPointsTo, MemoryBudgetExceeded
 from .flow_sensitive import FlowSensitivePointsTo
+from .flow_tier import MustAliasFacts, compute_flow_facts, taint_flow_possible
 from .steensgaard import (
     MayAliasPartition,
     SteensgaardPointsTo,
@@ -13,6 +14,7 @@ from .steensgaard import (
 
 __all__ = [
     "AndersenPointsTo", "MemoryBudgetExceeded", "FlowSensitivePointsTo",
-    "MayAliasPartition", "SteensgaardPointsTo", "UnionFind",
-    "build_partition", "shared_reaching_names",
+    "MayAliasPartition", "MustAliasFacts", "SteensgaardPointsTo", "UnionFind",
+    "build_partition", "compute_flow_facts", "shared_reaching_names",
+    "taint_flow_possible",
 ]

@@ -77,9 +77,16 @@ class PathTranslator:
     unaware-translation accounting cannot observe the difference.
     """
 
-    def __init__(self, partition=None):
-        skip = partition.singletons if partition is not None else None
-        self.graph = AliasGraph(skip_names=skip)
+    def __init__(self, partition=None, skip_names=None):
+        # ``skip_names`` overrides the partition's whole-program
+        # singleton set — the P1.8 flow tier resolves a per-entry skip
+        # set from its must-alias facts (any set sound for the trace's
+        # instructions yields an identical constraint system, because
+        # the skip machinery allocates symbol ids from the shared node
+        # counter at exactly the unskipped replay's creation points).
+        if skip_names is None:
+            skip_names = partition.singletons if partition is not None else None
+        self.graph = AliasGraph(skip_names=skip_names)
         self.result = Translation()
         #: comparison definitions: node uid -> (op, lhs term, rhs term)
         self._cmp_defs: Dict[int, Tuple[str, Term, Term]] = {}
@@ -405,10 +412,13 @@ def translate_trace(
     extra_requirement: Optional[Tuple[str, str, int]] = None,
     alias_aware: bool = True,
     partition=None,
+    skip_names=None,
 ) -> Translation:
     """Translate one recorded path into SMT-lite constraints."""
     if alias_aware:
-        return PathTranslator(partition=partition).translate(trace, extra_requirement)
+        return PathTranslator(partition=partition, skip_names=skip_names).translate(
+            trace, extra_requirement
+        )
     return NaPathTranslator().translate(trace, extra_requirement)
 
 
@@ -438,6 +448,8 @@ def translate_trace_pair(
     trace_b: Sequence[Tuple],
     alias_aware: bool = True,
     partition=None,
+    skip_names_a=None,
+    skip_names_b=None,
 ) -> Translation:
     """Translate two independently recorded paths into one *joint*
     constraint set — stage 2 for pair findings (the race detector's
@@ -464,8 +476,12 @@ def translate_trace_pair(
     defined = _trace_defined_globals(trace_a) | _trace_defined_globals(trace_b)
     bridges: List[Atom] = []
     if alias_aware:
-        first = PathTranslator(partition=partition)
-        second = PathTranslator(partition=partition)
+        # Per-trace skip sets (each trace may come from a different
+        # entry whose closure proves different names skippable).  Globals
+        # are never skipped under any tier, so the bridging walk below
+        # sees every ``@`` name either way.
+        first = PathTranslator(partition=partition, skip_names=skip_names_a)
+        second = PathTranslator(partition=partition, skip_names=skip_names_b)
         result_a = first.translate(trace_a)
         result_b = second.translate(trace_b)
         for name in sorted(first.graph._node_of):

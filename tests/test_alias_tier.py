@@ -1,15 +1,18 @@
-"""Tier differential: ``alias_tier`` on vs off must not change a byte.
+"""Tier-ladder differential: no rung of ``--alias-tier`` changes a byte.
 
 The P1.7 partition licenses three skip paths (per-path singleton fast
 path, cell-level trace translation, shared-access sharpening of the
-relevance masks) plus the tier-gated per-entry dispatch restriction.
-All of them claim soundness *by construction* — so the whole suite is
-one assertion repeated across every axis that could break it:
+relevance masks); the P1.8 flow tier adds three strict generalizations
+(per-entry closure skip sets in graph and translator, must-not-alias
+taint sharpening).  All of them claim soundness *by construction* — so
+the whole suite is one assertion repeated across every axis that could
+break it:
 
+* the full tier ladder ``off`` × ``steens`` × ``flow``;
 * every checker-spec string (each checker consumes different events);
-* workers 1 and 4 (the partition ships to workers by fork or pickle);
-* cold and warm incremental cache (the partition is itself a cached
-  layer, and cached entry results must not leak tier-dependent state).
+* workers 1 and 4 (partition + flow facts ship by fork or pickle);
+* cold and warm incremental cache (both are cached layers, and cached
+  entry results must not leak tier-dependent state).
 """
 
 import pytest
@@ -19,6 +22,8 @@ from repro.corpus import PROFILES_BY_NAME, RACELAB, TAINTLAB, generate
 from repro.incremental import compile_with_cache, open_store
 from repro.lang import compile_program
 from repro.typestate import CHECKER_NAMES
+
+TIERS = ("off", "steens", "flow")
 
 SPECS = list(CHECKER_NAMES) + [
     "default", "all", "default,race", "all,taint", "all,taint,race",
@@ -46,43 +51,78 @@ def _render(result):
     return [r.render() for r in result.reports]
 
 
-def _run(program, spec="all", tier=True, workers=1):
+def _run(program, spec="all", tier="flow", workers=1):
     config = AnalysisConfig(alias_tier=tier, workers=workers)
     return PATA(checker_spec=spec, config=config).analyze(program)
 
 
+def _assert_engagement(result, tier):
+    """The differential is only meaningful if each rung actually
+    engaged: P1.7 figures above ``off``, P1.8 figures only at ``flow``."""
+    if tier == "off":
+        assert result.stats.singletons_proven == 0
+        assert result.stats.alias_cells == 0
+        assert result.stats.must_singletons == 0
+        assert result.stats.strong_updates == 0
+    else:
+        assert result.stats.singletons_proven > 0
+        assert result.stats.alias_cells > 0
+        if tier == "steens":
+            assert result.stats.must_singletons == 0
+        else:
+            assert result.stats.must_singletons > 0
+            assert result.stats.time_flow_seconds >= 0.0
+
+
 @pytest.mark.parametrize("spec", SPECS)
-def test_tier_on_off_byte_identical_per_spec(mixed_program, spec):
-    on = _run(mixed_program, spec=spec, tier=True)
-    off = _run(mixed_program, spec=spec, tier=False)
-    assert _render(on) == _render(off)
-    # The differential is only meaningful if the tier actually engaged.
-    assert on.stats.singletons_proven > 0
-    assert on.stats.alias_cells > 0
-    assert off.stats.singletons_proven == 0
-    assert off.stats.alias_cells == 0
+def test_tier_ladder_byte_identical_per_spec(mixed_program, spec):
+    results = {tier: _run(mixed_program, spec=spec, tier=tier) for tier in TIERS}
+    baseline = _render(results["off"])
+    for tier in TIERS:
+        assert _render(results[tier]) == baseline
+        _assert_engagement(results[tier], tier)
 
 
 @pytest.mark.parametrize("workers", [1, 4])
-def test_tier_on_off_byte_identical_across_workers(mixed_program, workers):
-    on = _run(mixed_program, tier=True, workers=workers)
-    off = _run(mixed_program, tier=False, workers=workers)
+@pytest.mark.parametrize("tier", TIERS)
+def test_tier_ladder_byte_identical_across_workers(mixed_program, tier, workers):
+    run = _run(mixed_program, tier=tier, workers=workers)
+    off = _run(mixed_program, tier="off", workers=workers)
     if workers > 1:
-        assert on.stats.workers_used > 1
+        assert run.stats.workers_used > 1
         assert off.stats.workers_used > 1
-    assert _render(on) == _render(off)
-    assert on.stats.singletons_proven > 0
+    assert _render(run) == _render(off)
+    _assert_engagement(run, tier)
 
 
-def test_tier_reports_identical_parallel_vs_sequential(mixed_program):
-    """The partition rides to workers fork- or pickle-shipped; either
-    way the parallel tier-on run must match the sequential one."""
-    sequential = _run(mixed_program, tier=True, workers=1)
-    parallel = _run(mixed_program, tier=True, workers=4)
+@pytest.mark.parametrize("tier", ["steens", "flow"])
+def test_tier_reports_identical_parallel_vs_sequential(mixed_program, tier):
+    """Partition and flow facts ride to workers fork- or pickle-shipped;
+    either way the parallel run must match the sequential one."""
+    sequential = _run(mixed_program, tier=tier, workers=1)
+    parallel = _run(mixed_program, tier=tier, workers=4)
     assert parallel.stats.workers_used > 1
     assert _render(sequential) == _render(parallel)
     assert sequential.stats.singletons_proven == parallel.stats.singletons_proven
     assert sequential.stats.alias_cells == parallel.stats.alias_cells
+    assert sequential.stats.must_singletons == parallel.stats.must_singletons
+    assert sequential.stats.strong_updates == parallel.stats.strong_updates
+
+
+def test_tier_back_compat_spellings(mixed_program):
+    """The pre-ladder boolean spellings still work: ``True``/``"on"``
+    normalize to ``steens``, ``False`` to ``off`` — same reports, same
+    engagement figures as their canonical spelling."""
+    assert AnalysisConfig(alias_tier=True).alias_tier == "steens"
+    assert AnalysisConfig(alias_tier="on").alias_tier == "steens"
+    assert AnalysisConfig(alias_tier=False).alias_tier == "off"
+    with pytest.raises(ValueError):
+        AnalysisConfig(alias_tier="bogus")
+    legacy = _run(mixed_program, tier=True)
+    canonical = _run(mixed_program, tier="steens")
+    assert _render(legacy) == _render(canonical)
+    assert legacy.stats.singletons_proven == canonical.stats.singletons_proven
+    assert legacy.stats.must_singletons == 0
 
 
 def _cached_run(sources, cache_dir, tier):
@@ -96,48 +136,51 @@ def _cached_run(sources, cache_dir, tier):
     return PATA(config=config, checker_spec="all").analyze(program)
 
 
-def test_tier_on_off_byte_identical_cold_and_warm(tmp_path):
-    """Four runs — {tier on, tier off} × {cold, warm} — one report
-    text.  Tier state lives in the cache fingerprints, so a warm tier-on
-    run over a tier-off cache (and vice versa) must re-derive rather
-    than replay; separate cache dirs per tier keep this test about the
-    byte-identity contract, the fingerprint isolation is asserted
-    below."""
+def test_tier_ladder_byte_identical_cold_and_warm(tmp_path):
+    """Six runs — three tiers × {cold, warm} — one report text.  Tier
+    state lives in the cache fingerprints, so a warm run at one tier
+    over another tier's cache must re-derive rather than replay;
+    separate cache dirs per tier keep this test about the byte-identity
+    contract, the fingerprint isolation is asserted below."""
     sources = _mixed_sources()
-    dir_on = str(tmp_path / "on")
-    dir_off = str(tmp_path / "off")
+    cold = {}
+    warm = {}
+    for tier in TIERS:
+        cache_dir = str(tmp_path / tier)
+        cold[tier] = _cached_run(sources, cache_dir, tier)
+        warm[tier] = _cached_run(sources, cache_dir, tier)
 
-    cold_on = _cached_run(sources, dir_on, tier=True)
-    cold_off = _cached_run(sources, dir_off, tier=False)
-    warm_on = _cached_run(sources, dir_on, tier=True)
-    warm_off = _cached_run(sources, dir_off, tier=False)
-
-    baseline = _render(cold_on)
+    baseline = _render(cold["off"])
     assert baseline  # vacuous otherwise
-    assert _render(cold_off) == baseline
-    assert _render(warm_on) == baseline
-    assert _render(warm_off) == baseline
-
-    # Warm runs replayed from the cache rather than re-exploring.
-    assert any(row.cached for row in warm_on.stats.per_entry)
-    assert any(row.cached for row in warm_off.stats.per_entry)
+    for tier in TIERS:
+        assert _render(cold[tier]) == baseline
+        assert _render(warm[tier]) == baseline
+        # Warm runs replayed from the cache rather than re-exploring.
+        assert any(row.cached for row in warm[tier].stats.per_entry)
+    # The warm flow run replays its facts from the cache layer: the P1.8
+    # phase is a hit, so its wall clock collapses while the engagement
+    # figures survive (they ride inside the pickled facts).
+    assert warm["flow"].stats.must_singletons == cold["flow"].stats.must_singletons
+    assert warm["flow"].stats.strong_updates == cold["flow"].stats.strong_updates
 
 
 def test_tier_flip_on_shared_cache_is_safe(tmp_path):
-    """Flipping the tier over one cache directory must stay
-    byte-identical: entry fingerprints include ``alias_tier``, so a
-    tier-off run never replays tier-on entries (or vice versa) — and
-    report text never changes either way."""
+    """Walking the ladder over one cache directory must stay
+    byte-identical: entry fingerprints include ``alias_tier``, so a run
+    at one tier never replays another tier's entries — and report text
+    never changes either way."""
     sources = _mixed_sources()
     cache_dir = str(tmp_path / "shared")
 
-    first = _cached_run(sources, cache_dir, tier=True)
-    flipped = _cached_run(sources, cache_dir, tier=False)
-    back = _cached_run(sources, cache_dir, tier=True)
+    first = _cached_run(sources, cache_dir, "flow")
+    down = _cached_run(sources, cache_dir, "steens")
+    bottom = _cached_run(sources, cache_dir, "off")
+    back = _cached_run(sources, cache_dir, "flow")
 
     baseline = _render(first)
     assert baseline
-    assert _render(flipped) == baseline
+    assert _render(down) == baseline
+    assert _render(bottom) == baseline
     assert _render(back) == baseline
-    # The third run replays the first run's entries (same fingerprints).
+    # The return run replays the first run's entries (same fingerprints).
     assert any(row.cached for row in back.stats.per_entry)

@@ -194,12 +194,13 @@ def test_store_version_skew_warns_and_misses(tmp_path, caplog):
 
 
 def test_store_pre_bump_format_heals_on_commit(tmp_path, caplog):
-    """Regression for the CACHE_FORMAT 1 -> 2 bump (the partition cache
-    layer changed what an entry result depends on): a directory stamped
+    """Regression for the CACHE_FORMAT bumps (1 -> 2: partition layer;
+    2 -> 3: P1.8 flow-facts layer + taint-sharpened relevance masks —
+    each changed what an entry result depends on): a directory stamped
     with the pre-bump format must read as all-misses, stay usable, and
     be re-stamped with the current format by the next commit — no
     manual cache wipe needed."""
-    assert CACHE_FORMAT == 2  # update the pre-bump fixture when bumping again
+    assert CACHE_FORMAT == 3  # update the pre-bump fixture when bumping again
     # A pre-bump cache: old header stamp plus an object under a key only
     # the old derivation could have produced.
     stale_dir = tmp_path / "objects" / "ab"
@@ -255,6 +256,135 @@ def test_open_store_unopenable_dir_is_none(tmp_path, caplog):
         assert open_store(str(blocker), "rw") is None
     assert open_store(None, "rw") is None
     assert open_store(str(tmp_path), "off") is None
+
+
+# ---------------------------------------------------------------------------
+# Layer f: the P1.8 must-alias-facts cache (the CACHE_FORMAT 2 -> 3 layer)
+# ---------------------------------------------------------------------------
+
+
+def test_flow_facts_layer_hits_on_warm_run(tmp_path, monkeypatch):
+    """A warm run at the flow tier replays the facts from the cache: the
+    P1.8 pass never executes, yet the engagement figures survive (they
+    ride inside the pickled :class:`MustAliasFacts`)."""
+    cache_dir = str(tmp_path)
+    cold = _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw")
+    assert cold.stats.must_singletons > 0
+
+    import repro.pointsto.flow_tier as flow_tier
+
+    def explode(*args, **kwargs):
+        raise AssertionError("flow facts recomputed on a warm run")
+
+    monkeypatch.setattr(flow_tier, "compute_flow_facts", explode)
+    warm = _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw")
+    assert _report_text(warm) == _report_text(cold)
+    assert warm.stats.must_singletons == cold.stats.must_singletons
+    assert warm.stats.strong_updates == cold.stats.strong_updates
+
+
+def test_flow_facts_invalidated_by_module_edit(tmp_path, monkeypatch):
+    """The facts are keyed on the module closure: editing any module
+    misses the layer and recomputes — never replays stale facts."""
+    cache_dir = str(tmp_path)
+    _analyze(_sources(HELPER_V1), cache_dir=cache_dir, cache_mode="rw")
+
+    import repro.pointsto.flow_tier as flow_tier
+
+    calls = []
+    real = flow_tier.compute_flow_facts
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(flow_tier, "compute_flow_facts", counting)
+    edited = _analyze(_sources(HELPER_V2), cache_dir=cache_dir, cache_mode="rw")
+    assert calls  # the edit forced a fresh flow pass
+    baseline = _analyze(_sources(HELPER_V2))
+    assert _report_text(edited) == _report_text(baseline)
+
+
+def test_flow_facts_shape_surprise_degrades_to_rebuild(tmp_path, monkeypatch):
+    """A cache object of the wrong type under the facts key is a miss
+    with a rebuild — never a crash, never a wrong report."""
+    import pickle as _pickle
+
+    from repro.pointsto.flow_tier import MustAliasFacts
+
+    cache_dir = str(tmp_path)
+    cold = _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw")
+
+    # Find the committed facts object and replace it with a same-format,
+    # checksummed payload of the wrong type.
+    replaced = 0
+    for path in pathlib.Path(cache_dir).glob("objects/*/*.bin"):
+        blob = path.read_bytes()
+        payload = blob[8 + 32:]
+        try:
+            value = _pickle.loads(payload)
+        except Exception:
+            continue
+        if isinstance(value, MustAliasFacts):
+            bogus = _pickle.dumps({"not": "facts"})
+            path.write_bytes(b"PATACHE1" + hashlib.sha256(bogus).digest() + bogus)
+            replaced += 1
+    assert replaced == 1
+
+    import repro.pointsto.flow_tier as flow_tier
+
+    calls = []
+    real = flow_tier.compute_flow_facts
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(flow_tier, "compute_flow_facts", counting)
+    warm = _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw")
+    assert calls  # shape surprise -> recompute
+    assert _report_text(warm) == _report_text(cold)
+
+
+def test_flow_facts_key_distinguishes_fp_resolution(tmp_path, monkeypatch):
+    """``resolve_function_pointers`` changes closure shapes inside the
+    facts, so it participates in the layer key: flipping it never
+    replays the other mode's facts."""
+    cache_dir = str(tmp_path)
+    _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw")
+
+    import repro.pointsto.flow_tier as flow_tier
+
+    calls = []
+    real = flow_tier.compute_flow_facts
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(flow_tier, "compute_flow_facts", counting)
+    resolved = _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw",
+                        resolve_function_pointers=True)
+    assert calls  # different key -> fresh facts
+    baseline = _analyze(_sources(), resolve_function_pointers=True)
+    assert _report_text(resolved) == _report_text(baseline)
+
+
+def test_steens_tier_stages_no_flow_facts(tmp_path):
+    """Below the flow tier the layer must not exist: a steens-tier run
+    commits no :class:`MustAliasFacts` object."""
+    import pickle as _pickle
+
+    from repro.pointsto.flow_tier import MustAliasFacts
+
+    cache_dir = str(tmp_path)
+    _analyze(_sources(), cache_dir=cache_dir, cache_mode="rw", alias_tier="steens")
+    for path in pathlib.Path(cache_dir).glob("objects/*/*.bin"):
+        try:
+            value = _pickle.loads(path.read_bytes()[8 + 32:])
+        except Exception:
+            continue
+        assert not isinstance(value, MustAliasFacts)
 
 
 # ---------------------------------------------------------------------------

@@ -70,12 +70,13 @@ def test_spawn_respects_explicit_batch_size(mixed_program):
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("tier", [True, False], ids=["tier-on", "tier-off"])
+@pytest.mark.parametrize("tier", ["off", "steens", "flow"])
 def test_spawn_alias_tier_byte_identical_reports(mixed_program, tier):
-    """The P1.7 partition rides to spawn workers through the initargs
-    pickle (fork inherits it zero-copy, so only this suite exercises the
-    pickled path).  Both tier settings must match the sequential run of
-    the same setting, and the two settings must match each other."""
+    """The P1.7 partition and P1.8 flow facts ride to spawn workers
+    through the initargs pickle (fork inherits them zero-copy, so only
+    this suite exercises the pickled path — including MustAliasFacts'
+    ``__reduce__``, which must rebuild its memo dicts empty).  Every
+    tier must match the sequential run of the same tier."""
     sequential = PATA(
         checker_spec="all", config=AnalysisConfig(workers=1, alias_tier=tier)
     ).analyze(mixed_program)
@@ -85,21 +86,26 @@ def test_spawn_alias_tier_byte_identical_reports(mixed_program, tier):
     assert spawned.stats.workers_used == 2
     assert _render(sequential) == _render(spawned)
     assert sequential.stats.explored_paths == spawned.stats.explored_paths
-    if tier:
-        assert spawned.stats.singletons_proven > 0
-    else:
+    if tier == "off":
         assert spawned.stats.singletons_proven == 0
+        assert spawned.stats.must_singletons == 0
+    else:
+        assert spawned.stats.singletons_proven > 0
+        if tier == "flow":
+            assert spawned.stats.must_singletons > 0
 
 
 @pytest.mark.slow
-def test_spawn_tier_on_vs_off_byte_identical(mixed_program):
-    on = PATA(
-        checker_spec="all", config=_spawn_config(alias_tier=True)
-    ).analyze(mixed_program)
-    off = PATA(
-        checker_spec="all", config=_spawn_config(alias_tier=False)
-    ).analyze(mixed_program)
-    assert _render(on) == _render(off)
+def test_spawn_tier_ladder_byte_identical(mixed_program):
+    runs = {
+        tier: PATA(
+            checker_spec="all", config=_spawn_config(alias_tier=tier)
+        ).analyze(mixed_program)
+        for tier in ("off", "steens", "flow")
+    }
+    baseline = _render(runs["off"])
+    assert _render(runs["steens"]) == baseline
+    assert _render(runs["flow"]) == baseline
 
 
 @pytest.mark.slow
