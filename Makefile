@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-incremental bench-alias bench-ptaflow report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-xtaint bench-incremental bench-alias bench-ptaflow report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,12 @@ bench-taint:
 # corpus; writes BENCH_race.json.
 bench-race:
 	$(PYTHON) -m pytest benchmarks/bench_components.py -k race_checker_vs_eraser -q --benchmark-disable
+
+# P2.6 cross-module taint vs the module-granular grep tier of the naive
+# baseline on the firmlab multi-image corpus, plus the workers x
+# cold/warm-cache report-identity differential; writes BENCH_xtaint.json.
+bench-xtaint:
+	$(PYTHON) -m pytest benchmarks/bench_components.py -k xtaint_checker_vs_naive -q --benchmark-disable
 
 # Incremental cache cold/warm/one-function-edit comparison on the linux
 # corpus; writes BENCH_incremental.json.

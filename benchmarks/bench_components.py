@@ -439,6 +439,134 @@ def test_race_checker_vs_eraser_baseline(benchmark, harness):
     assert identical
 
 
+def test_xtaint_checker_vs_naive_baseline(benchmark, harness):
+    """P2.6 cross-module taint vs the module-granular grep tier of
+    ``TaintNaive`` on the firmware multi-image ``firmlab`` corpus; writes
+    ``BENCH_xtaint.json`` at the repo root with recall, bait false
+    positives, the naive tier's cross-module FP count, summary-layer
+    cache behaviour, and a workers-1-vs-N × cold/warm-cache report-
+    identity differential.  The checker must find every injected
+    cross-module flow (border-source patterns are excluded: they need
+    ``--taint-borders``) with zero bait hits; the naive tier must miss
+    the relay chains and flag bait; reports must be byte-identical
+    across every differential leg.  When the machine has fewer cores
+    than the parallel leg's workers the payload is stamped ``degraded``
+    (the identity checks still gate)."""
+    import json
+    import os
+    import pathlib
+    import tempfile
+    import time
+
+    from repro.baselines import TaintNaive
+    from repro.baselines.taint_naive import CROSS_MODULE_PREFIX
+    from repro.corpus import FIRMLAB, generate
+    from repro.lang import compile_program
+
+    corpus = generate(FIRMLAB)
+    program = compile_program(corpus.compiled_sources())
+    parallel_workers = 4
+    cpu_count = os.cpu_count() or 1
+    degraded = cpu_count < parallel_workers
+
+    #: the default-config recall denominator: border-source ground truth
+    #: is only reachable under --taint-borders
+    flows = [g for g in corpus.ground_truth if not g.requires.border]
+
+    def found_uids(hits):
+        uids = set()
+        for gt in flows:
+            for kind, path, line in hits:
+                if gt.covers(kind, path, line):
+                    uids.add(gt.uid)
+        return uids
+
+    def bait_hits(hits):
+        return [
+            (path, line)
+            for _, path, line in hits
+            if any(
+                b.path == path and b.line_start <= line <= b.line_end
+                for b in corpus.bait_regions
+            )
+        ]
+
+    def run_checker():
+        return PATA(checker_spec="xtaint").analyze(program)
+
+    started = time.perf_counter()
+    checker = benchmark.pedantic(run_checker, rounds=1, iterations=1)
+    checker_seconds = time.perf_counter() - started
+    checker_hits = [(r.kind, r.sink_file, r.sink_line) for r in checker.reports]
+    baseline_renders = [r.render() for r in checker.reports]
+
+    started = time.perf_counter()
+    naive = TaintNaive().analyze(program)
+    naive_seconds = time.perf_counter() - started
+    naive_hits = [(f.kind, f.file, f.line) for f in naive.findings]
+    naive_cross = [
+        f for f in naive.findings if f.message.startswith(CROSS_MODULE_PREFIX)
+    ]
+    naive_cross_fp = len(
+        bait_hits([(f.kind, f.file, f.line) for f in naive_cross])
+    )
+
+    # Differential: workers 1 vs N, each with a cold then warm cache
+    # (fresh cache dir per worker count, so both cold legs are cold).
+    legs = {}
+    summaries_cached_warm = 0
+    for workers in (1, parallel_workers):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            for leg in ("cold", "warm"):
+                config = AnalysisConfig(
+                    workers=workers, cache_dir=cache_dir, cache_mode="rw"
+                )
+                started = time.perf_counter()
+                result = PATA(config=config, checker_spec="xtaint").analyze(program)
+                legs[f"workers{workers}_{leg}"] = {
+                    "seconds": round(time.perf_counter() - started, 4),
+                    "identical": [r.render() for r in result.reports]
+                    == baseline_renders,
+                }
+                if leg == "warm":
+                    summaries_cached_warm = max(
+                        summaries_cached_warm, result.stats.summaries_cached
+                    )
+
+    checker_found = found_uids(checker_hits)
+    naive_found = found_uids(naive_hits)
+    payload = {
+        "corpus": "firmlab",
+        "injected_cross_flows": len(flows),
+        "injected_border_flows": len(corpus.ground_truth) - len(flows),
+        "degraded": degraded,
+        "checker_found": len(checker_found),
+        "checker_bait_false_positives": len(bait_hits(checker_hits)),
+        "checker_seconds": round(checker_seconds, 4),
+        "taint_flows_recorded": checker.stats.taint_flows_recorded,
+        "xtaint_pairs_matched": checker.stats.xtaint_pairs_matched,
+        "time_xmatch_seconds": round(checker.stats.time_xmatch_seconds, 4),
+        "summaries_cached_warm": summaries_cached_warm,
+        "naive_found": len(naive_found),
+        "naive_bait_false_positives": len(bait_hits(naive_hits)),
+        "naive_cross_module_findings": len(naive_cross),
+        "naive_cross_module_false_positives": naive_cross_fp,
+        "naive_seconds": round(naive_seconds, 4),
+        "dropped_false_bugs": checker.stats.dropped_false_bugs,
+        "differential": legs,
+    }
+    out = pathlib.Path(__file__).parent.parent / "BENCH_xtaint.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert len(checker_found) == len(flows)
+    assert not bait_hits(checker_hits)
+    # The grep tier misses the relay chains (the middle image has no
+    # source) and flags the bait shapes the checker discharges.
+    assert len(naive_found) < len(flows)
+    assert naive_cross_fp > 0
+    assert summaries_cached_warm > 0
+    assert all(leg["identical"] for leg in legs.values())
+
+
 def test_pruned_vs_unpruned_entry_analysis(benchmark, harness):
     """The P1.5 relevance pre-analysis on vs off (``--no-prune``) on the
     largest generated corpus; writes ``BENCH_prune.json`` at the repo

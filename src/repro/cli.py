@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "reports are byte-identical across tiers "
                             "(default: flow; 'on' is a deprecated alias for "
                             "steens, kept for pre-tier-ladder scripts)")
+    check.add_argument("--taint-borders", action="store_true",
+                       help="xtaint border-source inference: treat interface "
+                            "parameters of registered functions with no extern "
+                            "caller as tainted (off by default; only the "
+                            "xtaint checker consults it)")
     check.add_argument("--stats", action="store_true",
                        help="print a per-entry-function stats table")
     check.add_argument("--stats-json", metavar="FILE", default=None,
@@ -194,6 +199,7 @@ def cmd_check(args) -> int:
                             parallel_batch_size=args.batch_size,
                             parallel_dispatch_factor=args.dispatch_factor,
                             parallel_start_method=args.start_method,
+                            taint_borders=args.taint_borders,
                             cache_dir=args.cache_dir, cache_mode=args.cache)
     if args.max_paths is not None:
         config.max_paths_per_entry = args.max_paths

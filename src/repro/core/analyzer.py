@@ -205,6 +205,7 @@ class PathExplorer:
         self.seen_access_keys: Set[Tuple] = set()
         self.repeated_accesses = 0
         self.ctx.record_access_fn = self._record_access
+        self.ctx.record_flow_fn = self._record_flow
         self.paths = 0
         self.steps = 0
         self.budget_exhausted = False
@@ -246,6 +247,22 @@ class PathExplorer:
         access.trace = tuple(self.trace)
         self.shared_accesses.append(access)
 
+    def _record_flow(self, flow) -> None:
+        """Record one cross-module taint half-flow (the
+        :meth:`~repro.typestate.manager.TrackerContext.record_flow`
+        hook, P2.6 input).  Flows ride the ``shared_accesses`` channel —
+        same list, same dedup-before-snapshot contract, same worker and
+        cache plumbing; their ``dedup_key`` is "xflow"-namespaced so it
+        can never collide with a :class:`SharedAccess` key."""
+        flow.entry = self.ctx.entry_function
+        dedup = flow.dedup_key
+        if dedup in self.seen_access_keys:
+            self.repeated_accesses += 1
+            return
+        self.seen_access_keys.add(dedup)
+        flow.trace = tuple(self.trace)
+        self.shared_accesses.append(flow)
+
     def _dispatch(self, event) -> None:
         self.manager.dispatch(event, self.ctx)
 
@@ -285,10 +302,13 @@ class PathExplorer:
         self.ctx.entry_function = entry.name
         if self.config.entry_time_limit is not None:
             self._deadline = time.monotonic() + self.config.entry_time_limit
-        for checker in self.manager.active:
-            checker.on_path_start(self.ctx)
         mark = self.trail.mark()
         tlen = len(self.trace)
+        # After the mark: path-start state (e.g. border-source taint on
+        # entry parameters) is trailed and unwinds with the entry, so it
+        # can never leak into the next entry this explorer walks.
+        for checker in self.manager.active:
+            checker.on_path_start(self.ctx)
         frame = self._new_frame(entry, is_entry=True, cont=None)
         self.ctx.frame_id = frame.frame_id
         self._call_stack.append(entry.name)

@@ -89,6 +89,12 @@ class AnalysisConfig:
     #: else spawn (workers unpickle the program once at initialization);
     #: "spawn" forces the portable path — useful for differential testing
     parallel_start_method: Optional[str] = None
+    #: border-source inference (P2.6): treat the parameters of interface
+    #: functions no extern caller ever invokes as tainted — the firmware
+    #: border-binary heuristic.  Off by default; only the ``xtaint``
+    #: checker consults it, and with an empty border set (every interface
+    #: function has a caller) enabling it preserves reports exactly.
+    taint_borders: bool = False
     #: incremental-cache directory (None = caching off).  See
     #: :mod:`repro.incremental`; results are byte-identical with the
     #: cache on, off, or partially populated.

@@ -89,16 +89,20 @@ class BugFilter:
             return True, None
         stats.validated += 1
         if bug.second_trace:
-            # Pair finding (race matches): both paths must be jointly
-            # feasible — a guard contradiction across them discharges it.
-            # The matcher encodes both entries as "<a> vs <b>"; each
-            # trace replays under its own entry's skip set.
+            # Pair finding (race or cross-module taint matches): both
+            # paths must be jointly feasible — a guard contradiction
+            # across them discharges it.  The matcher encodes both
+            # entries as "<a> vs <b>"; each trace replays under its own
+            # entry's skip set.  A P2.6 pair additionally carries the
+            # sink's out-of-range atom, interpreted on the second
+            # (sink-side) trace — race pairs carry None here.
             entry_a, sep, entry_b = bug.entry_function.partition(" vs ")
             translation = translate_trace_pair(
                 bug.trace, bug.second_trace, alias_aware=self.alias_aware,
                 partition=self.partition,
                 skip_names_a=self._skip_for(entry_a) if sep else None,
-                skip_names_b=self._skip_for(entry_b) if sep else None)
+                skip_names_b=self._skip_for(entry_b) if sep else None,
+                extra_requirement_b=bug.extra_requirement)
         else:
             translation = translate_trace(
                 bug.trace, bug.extra_requirement, alias_aware=self.alias_aware,

@@ -52,7 +52,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..ir import Function, Program
 from ..races.shared import SharedAccess
 from ..typestate import PossibleBug
-from ..typestate.checkers import checkers_from_spec
+from ..typestate.checkers import checkers_from_spec, configure_checkers
 from .analyzer import PathExplorer
 from .collector import InformationCollector
 from .config import AnalysisConfig
@@ -272,7 +272,9 @@ def _init_worker(init: _WorkerInit) -> None:
             if init.dead_masks is not None
             else None
         )
-    checkers = checkers_from_spec(init.checker_spec, collector)
+    checkers = configure_checkers(
+        checkers_from_spec(init.checker_spec, collector), init.config
+    )
     _WORLD = _WorkerWorld(
         program, init.config, checkers, collector, relevance, init.partition,
         init.flow_facts,

@@ -19,7 +19,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..ir import Function, Program
 from ..lang import compile_program
-from ..typestate import Checker, checkers_from_spec
+from ..typestate import Checker, checkers_from_spec, configure_checkers
 from .analyzer import PathExplorer
 from .collector import InformationCollector
 from .config import AnalysisConfig
@@ -254,7 +254,20 @@ class PATA:
                 if func.name in explored or func.name in cached_outcomes
             ]
             stats.entries_cached = len(merge_list) - len(analyzed_list)
-        possible_bugs, shared_accesses = merge_outcomes(merge_list, merge_map, stats)
+        possible_bugs, merged_records = merge_outcomes(merge_list, merge_map, stats)
+        # The access channel carries two record families: SharedAccess
+        # (P2.5 race input) and TaintFlow (P2.6 cross-module taint
+        # input).  Partition once; each matcher sees only its own.
+        shared_accesses = merged_records
+        taint_flows = []
+        if merged_records:
+            from ..xtaint import TaintFlow
+
+            taint_flows = [r for r in merged_records if isinstance(r, TaintFlow)]
+            if taint_flows:
+                shared_accesses = [
+                    r for r in merged_records if not isinstance(r, TaintFlow)
+                ]
         # P2.5: cross-entry race matching.  Accesses only exist when a
         # race checker is registered; the matcher pairs same-key accesses
         # from different entries with disjoint locksets (≥1 write) into
@@ -269,6 +282,30 @@ class PATA:
             stats.race_pairs_matched = len(race_bugs)
             possible_bugs.extend(race_bugs)
         stats.time_match_seconds = time.monotonic() - phase_started
+        # P2.6: cross-module taint matching.  Flows only exist when the
+        # xtaint checker is registered.  Per-module interface summaries
+        # condense the merged flows (replayed from their cache layer on
+        # warm runs — keyed on the module closure, so any edit misses);
+        # the fixpoint matcher stitches export-in-module-A to
+        # sink-in-module-B, and every pair re-discharges in P3 with both
+        # path conditions conjoined.
+        phase_started = time.monotonic()
+        if taint_flows:
+            from ..xtaint import all_flows, build_summaries, match_cross_module
+
+            summaries = incr.cached_xtaint_summaries() if incr is not None else None
+            if summaries is not None:
+                stats.summaries_cached = len(summaries)
+                taint_flows = all_flows(summaries)
+            else:
+                summaries = build_summaries(taint_flows, partition=partition)
+                if incr is not None:
+                    incr.stage_xtaint_summaries(summaries)
+            xtaint_bugs = match_cross_module(summaries)
+            stats.taint_flows_recorded = len(taint_flows)
+            stats.xtaint_pairs_matched = len(xtaint_bugs)
+            possible_bugs.extend(xtaint_bugs)
+        stats.time_xmatch_seconds = time.monotonic() - phase_started
         if skipped_names:
             # Re-interleave the skipped entries' zero rows so per_entry
             # stays in original entry-list order with or without pruning.
@@ -325,4 +362,6 @@ class PATA:
     def _resolve_checkers(self, collector: InformationCollector) -> List[Checker]:
         if self._checkers is not None:
             return self._checkers
-        return checkers_from_spec(self._checker_spec(), collector)
+        return configure_checkers(
+            checkers_from_spec(self._checker_spec(), collector), self.config
+        )

@@ -142,6 +142,14 @@ class AnalysisStats:
     #: the race checker, and disjoint-lockset pairs sent to stage 2
     shared_accesses: int = 0
     race_pairs_matched: int = 0
+    #: P2.6 cross-module taint (zero unless the ``xtaint`` checker is in
+    #: the spec): distinct export/import/relay half-flows recorded,
+    #: cross-module pairs sent to stage 2, module summaries replayed
+    #: from the cache layer (0 on a cold run), and the phase wall clock
+    taint_flows_recorded: int = 0
+    xtaint_pairs_matched: int = 0
+    summaries_cached: int = 0
+    time_xmatch_seconds: float = 0.0
     #: incremental cache (zero unless ``--cache`` is active): object
     #: store hits/misses across all layers, objects that failed their
     #: checksum, entries served from cache, entries this run explored

@@ -11,6 +11,7 @@ from .spec import (
 from .generator import generate
 from .oses import (
     ALL_PROFILES,
+    FIRMLAB,
     LINUX,
     PROFILES_BY_NAME,
     RACELAB,
@@ -30,7 +31,7 @@ from .metrics import (
 __all__ = [
     "BaitRegion", "GeneratedFile", "GeneratedOS", "GroundTruthBug",
     "OSProfile", "Requirement", "generate",
-    "ALL_PROFILES", "LINUX", "PROFILES_BY_NAME", "RACELAB", "RIOT", "TAINTLAB", "TENCENTOS", "ZEPHYR",
+    "ALL_PROFILES", "FIRMLAB", "LINUX", "PROFILES_BY_NAME", "RACELAB", "RIOT", "TAINTLAB", "TENCENTOS", "ZEPHYR",
     "CONFIRM_PERCENT", "MatchResult", "is_confirmed", "match_findings",
     "reachable_truth",
 ]

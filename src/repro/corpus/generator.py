@@ -130,7 +130,83 @@ def generate(profile: OSProfile, include_extended_kinds: bool = True) -> Generat
         out.files.append(
             GeneratedFile(path=path, source="\n".join(lines) + "\n", category=category, compiled=compiled)
         )
+    if include_extended_kinds:
+        _inject_cross_module(profile, out)
     return out
+
+
+def _inject_cross_module(profile: OSProfile, out: GeneratedOS) -> None:
+    """Post-loop cross-module injection (P2.6 corpora, e.g. FIRMLAB).
+
+    Multi-file patterns are appended to already-generated files from a
+    *separate* rng stream: the per-file loop above consumes ``rng``
+    exactly as it always did, so profiles with zero cross quotas — every
+    historical one — generate byte-identical trees.  Each pattern's
+    pieces land in distinct files (``xrng.sample``), modeling flows
+    between separately built firmware images."""
+    from .patterns import XTNT_BAIT_PATTERNS, XTNT_BORDER_PATTERNS, XTNT_FLOW_PATTERNS
+
+    if profile.cross_flows + profile.cross_baits + profile.cross_border == 0:
+        return
+    xrng = random.Random(profile.seed * 7919 + 17)
+    targets = [f for f in out.files if f.compiled]
+    if len(targets) < 2:
+        return
+    counter = 0
+
+    def place(pool, index: int) -> None:
+        nonlocal counter
+        counter += 1
+        uid = f"x{profile.seed % 97}{counter:04d}"
+        pieces = pool[index % len(pool)](uid, xrng)
+        if len(pieces) > len(targets):
+            return
+        for piece, target in zip(pieces, xrng.sample(targets, k=len(pieces))):
+            _append_snippet(out, target, piece, profile, uid)
+
+    # Round-robin over each pool: the quota, not an rng draw, decides
+    # the pattern mix, so every scale hits every shape.
+    for i in range(profile.cross_flows):
+        place(XTNT_FLOW_PATTERNS, i)
+    for i in range(profile.cross_baits):
+        place(XTNT_BAIT_PATTERNS, i)
+    for i in range(profile.cross_border):
+        place(XTNT_BORDER_PATTERNS, i)
+
+
+def _append_snippet(
+    out: GeneratedOS, file: GeneratedFile, snippet: Snippet,
+    profile: OSProfile, uid: str,
+) -> None:
+    """Append ``snippet`` to an already-assembled file, recording ground
+    truth with the same base-index arithmetic as the per-file loop (the
+    blank separator line occupies ``base``; snippet lines follow)."""
+    base = file.source.count("\n") + 1
+    file.source = file.source + "\n" + "\n".join(snippet.lines) + "\n"
+    for kind, rel_start, rel_end, requirement in snippet.bugs:
+        out.ground_truth.append(
+            GroundTruthBug(
+                uid=f"{profile.name}-{uid}",
+                kind=kind,
+                path=file.path,
+                line_start=base + rel_start + 1,
+                line_end=base + rel_end + 1,
+                requires=requirement,
+                category=file.category,
+                pattern=snippet.pattern,
+            )
+        )
+    for kind, rel_start, rel_end in snippet.baits:
+        out.bait_regions.append(
+            BaitRegion(
+                uid=f"{profile.name}-bait-{uid}",
+                kind=kind,
+                path=file.path,
+                line_start=base + rel_start + 1,
+                line_end=base + rel_end + 1,
+                pattern=snippet.pattern,
+            )
+        )
 
 
 _STEMS = [

@@ -135,5 +135,35 @@ RACELAB = OSProfile(
     kind_mix={"RACE": 1.0},
 )
 
+#: Firmware multi-image corpus for the P2.6 cross-module taint pass:
+#: many small separately built images whose only coupling is name-unified
+#: globals — exactly the channel the interface summaries export/import
+#: over.  Intra-module bug/bait rates are zero; everything interesting is
+#: injected by the generator's cross-module post-pass (22 real flows over
+#: the four multi-file shapes, 8 bait-only shapes the pair discharge or
+#: flow tracking must stay silent on, and 3 border-source probes only
+#: reportable under ``--taint-borders``).  Like TAINTLAB/RACELAB,
+#: deliberately *not* part of ``ALL_PROFILES``.
+FIRMLAB = OSProfile(
+    name="firmlab",
+    version_label="multi-image",
+    seed=7117,
+    layout=[
+        ("images/boot", "firmware", 0.20),
+        ("images/app", "firmware", 0.30),
+        ("images/net", "firmware", 0.30),
+        ("images/sensor", "firmware", 0.20),
+    ],
+    total_files=18,
+    snippets_per_file=(1, 2),
+    bug_rate={"firmware": 0.0},
+    bait_rate=0.0,
+    excluded_fraction=0.0,
+    kind_mix={"TNT": 1.0},
+    cross_flows=22,
+    cross_baits=8,
+    cross_border=3,
+)
+
 ALL_PROFILES: List[OSProfile] = [LINUX, ZEPHYR, RIOT, TENCENTOS]
 PROFILES_BY_NAME: Dict[str, OSProfile] = {p.name: p for p in ALL_PROFILES}

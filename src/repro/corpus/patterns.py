@@ -1282,6 +1282,264 @@ FILLER_PATTERNS: List[PatternFn] = [
 
 UNCOMPILED_BUG_PATTERNS: List[PatternFn] = [npd_easy_uncompiled]
 
+
+# ===========================================================================
+# Cross-module taint (P2.6): multi-file patterns
+# ===========================================================================
+#
+# Each pattern returns a *list* of snippets, one per module; the
+# generator appends them to distinct already-generated files from its
+# own rng stream, after the per-file loop (see ``_inject_cross_module``)
+# — so every historical profile's bytes are untouched.  The pieces
+# share a global declared in both files: the frontend unifies globals
+# by name (the ``g_pool_head`` precedent), and that shared cell is
+# exactly the channel the P2.6 interface summaries export/import over.
+# These registries are NEW — never append to the existing pools above,
+# whose draw order feeds every historical profile's rng stream.
+
+XPatternFn = Callable[[str, random.Random], List[Snippet]]
+
+
+def xtnt_global_index(uid: str, rng: random.Random) -> List[Snippet]:
+    """Writer image stores user input into a shared global; reader image
+    indexes a table with it.  The range-checked sibling reader is bait
+    (the P3 pair discharge proves the bridge atom unsatisfiable)."""
+    writer = Snippet(pattern="xtnt_global_index")
+    dev = _devname(rng)
+    writer.extend(f"""
+int g_xs_{uid};
+int read_user_val_{uid}(void);
+
+void {dev}_update_{uid}(void) {{
+    int v = read_user_val_{uid}();
+    g_xs_{uid} = v;
+}}""")
+    reader = Snippet(pattern="xtnt_global_index")
+    dev2 = _devname(rng)
+    reader.extend(f"""
+int g_xs_{uid};
+static int xlut_{uid}[16];
+
+int {dev2}_peek_{uid}(void) {{
+    int idx = g_xs_{uid};""")
+    start, end = reader.extend(f"""
+    return xlut_{uid}[idx];""")
+    reader.bug(BugKind.TAINT, start, end, cross_module=True, path_sensitive=True)
+    reader.extend("}")
+    bait_start, bait_end = reader.extend(f"""
+int {dev2}_peek_safe_{uid}(void) {{
+    int idx = g_xs_{uid};
+    if (idx < 0)
+        return -1;
+    if (idx > 15)
+        return -1;
+    return xlut_{uid}[idx];
+}}""")
+    reader.bait(BugKind.TAINT, bait_start, bait_end)
+    return [writer, reader]
+
+
+def xtnt_alloc_len(uid: str, rng: random.Random) -> List[Snippet]:
+    """A user-supplied length crosses images through a shared global and
+    reaches an allocation size unchecked."""
+    writer = Snippet(pattern="xtnt_alloc_len")
+    dev = _devname(rng)
+    writer.extend(f"""
+int g_xlen_{uid};
+int read_user_len_{uid}(void);
+
+void {dev}_cfg_{uid}(void) {{
+    int n = read_user_len_{uid}();
+    g_xlen_{uid} = n;
+}}""")
+    reader = Snippet(pattern="xtnt_alloc_len")
+    dev2 = _devname(rng)
+    reader.extend(f"""
+int g_xlen_{uid};
+
+int {dev2}_setup_{uid}(void) {{
+    int n = g_xlen_{uid};""")
+    start, end = reader.extend(f"""
+    char *buf = kmalloc(n);""")
+    reader.bug(BugKind.TAINT, start, end, cross_module=True)
+    reader.extend(f"""
+    if (buf == NULL)
+        return -1;
+    consume_buffer(buf);
+    return 0;
+}}""")
+    return [writer, reader]
+
+
+def xtnt_div(uid: str, rng: random.Random) -> List[Snippet]:
+    """A user-supplied count crosses images and divides unchecked."""
+    writer = Snippet(pattern="xtnt_div")
+    dev = _devname(rng)
+    writer.extend(f"""
+int g_xdiv_{uid};
+int read_user_cnt_{uid}(void);
+
+void {dev}_tune_{uid}(void) {{
+    int n = read_user_cnt_{uid}();
+    g_xdiv_{uid} = n;
+}}""")
+    reader = Snippet(pattern="xtnt_div")
+    dev2 = _devname(rng)
+    reader.extend(f"""
+int g_xdiv_{uid};
+
+int {dev2}_avg_{uid}(int total) {{
+    int d = g_xdiv_{uid};""")
+    start, end = reader.extend(f"""
+    return total / d;""")
+    reader.bug(BugKind.TAINT, start, end, cross_module=True, path_sensitive=True)
+    reader.extend("}")
+    return [writer, reader]
+
+
+def xtnt_relay_chain(uid: str, rng: random.Random) -> List[Snippet]:
+    """Three images: source writes one global, a relay image copies it
+    into a second, the sink image indexes with that — found only by the
+    cross-module fixpoint (one matching round per hop)."""
+    src = Snippet(pattern="xtnt_relay_chain")
+    dev = _devname(rng)
+    src.extend(f"""
+int g_xsrc_{uid};
+int read_user_val_{uid}(void);
+
+void {dev}_feed_{uid}(void) {{
+    g_xsrc_{uid} = read_user_val_{uid}();
+}}""")
+    relay = Snippet(pattern="xtnt_relay_chain")
+    dev2 = _devname(rng)
+    relay.extend(f"""
+int g_xsrc_{uid};
+int g_xmid_{uid};
+
+void {dev2}_shuttle_{uid}(void) {{
+    int t = g_xsrc_{uid};
+    g_xmid_{uid} = t;
+}}""")
+    sink = Snippet(pattern="xtnt_relay_chain")
+    dev3 = _devname(rng)
+    sink.extend(f"""
+int g_xmid_{uid};
+static int rlut_{uid}[8];
+
+int {dev3}_drain_{uid}(void) {{
+    int i = g_xmid_{uid};""")
+    start, end = sink.extend(f"""
+    return rlut_{uid}[i];""")
+    sink.bug(BugKind.TAINT, start, end, cross_module=True, interprocedural=True)
+    sink.extend("}")
+    return [src, relay, sink]
+
+
+def xtnt_bait_mode_flag(uid: str, rng: random.Random) -> List[Snippet]:
+    """Guard-contradicted pair: the writer only exports under
+    ``mode != 0``, the reader only sinks under ``mode == 0`` — the
+    conjoined pair constraints are UNSAT, so stage 2 stays silent."""
+    writer = Snippet(pattern="xtnt_bait_mode_flag")
+    dev = _devname(rng)
+    writer.extend(f"""
+int g_xmode_{uid};
+int g_xv_{uid};
+int read_user_val_{uid}(void);
+
+void {dev}_arm_{uid}(void) {{
+    if (g_xmode_{uid} != 0) {{
+        int v = read_user_val_{uid}();
+        g_xv_{uid} = v;
+    }}
+}}""")
+    reader = Snippet(pattern="xtnt_bait_mode_flag")
+    dev2 = _devname(rng)
+    bait_start, bait_end = reader.extend(f"""
+int g_xmode_{uid};
+int g_xv_{uid};
+static int mlut_{uid}[16];
+
+int {dev2}_idle_{uid}(void) {{
+    if (g_xmode_{uid} == 0) {{
+        int i = g_xv_{uid};
+        return mlut_{uid}[i];
+    }}
+    return 0;
+}}""")
+    reader.bait(BugKind.TAINT, bait_start, bait_end)
+    return [writer, reader]
+
+
+def xtnt_bait_const_global(uid: str, rng: random.Random) -> List[Snippet]:
+    """Near-miss: the writer function calls a user-input intrinsic but
+    stores only a *constant* into the shared global; the reader sinks
+    it.  Module-granular grepping (the naive cross tier) flags the
+    reader — the flow-tracking checker stays silent."""
+    writer = Snippet(pattern="xtnt_bait_const_global")
+    dev = _devname(rng)
+    writer.extend(f"""
+int g_xcal_{uid};
+int read_user_val_{uid}(void);
+
+void {dev}_calib_{uid}(void) {{
+    int v = read_user_val_{uid}();
+    emit_status(v);
+    g_xcal_{uid} = 7;
+}}""")
+    reader = Snippet(pattern="xtnt_bait_const_global")
+    dev2 = _devname(rng)
+    bait_start, bait_end = reader.extend(f"""
+int g_xcal_{uid};
+static int clut_{uid}[16];
+
+int {dev2}_lookup_{uid}(void) {{
+    int i = g_xcal_{uid};
+    return clut_{uid}[i];
+}}""")
+    reader.bait(BugKind.TAINT, bait_start, bait_end)
+    return [writer, reader]
+
+
+def xtnt_border_probe(uid: str, rng: random.Random) -> List[Snippet]:
+    """Border source: a registered interface function with no extern
+    caller takes a length parameter straight to an allocation.  Only
+    found under ``--taint-borders`` (``requires.border=True`` keeps it
+    out of default-config recall counts)."""
+    s = Snippet(pattern="xtnt_border_probe")
+    dev = _devname(rng)
+    s.extend(f"""
+struct xbdrv_{uid} {{ int id; }};
+
+int {dev}_attach_{uid}(int len) {{""")
+    start, end = s.extend(f"""
+    char *buf = kmalloc(len);""")
+    s.bug(BugKind.TAINT, start, end, border=True)
+    s.extend(f"""
+    if (buf == NULL)
+        return -1;
+    consume_buffer(buf);
+    return 0;
+}}
+
+struct xdrv_{uid} {{ int (*probe)(int len); }};
+static struct xdrv_{uid} {dev}_xdriver_{uid} = {{ .probe = {dev}_attach_{uid} }};""")
+    return [s]
+
+
+XTNT_FLOW_PATTERNS: List[XPatternFn] = [
+    xtnt_global_index,
+    xtnt_alloc_len,
+    xtnt_div,
+    xtnt_relay_chain,
+]
+
+XTNT_BAIT_PATTERNS: List[XPatternFn] = [
+    xtnt_bait_mode_flag,
+    xtnt_bait_const_global,
+]
+
+XTNT_BORDER_PATTERNS: List[XPatternFn] = [xtnt_border_probe]
+
 #: external helpers the snippets call; declared once per file
 COMMON_DECLS = """\
 struct pool_ent;

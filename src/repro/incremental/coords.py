@@ -146,6 +146,15 @@ def outcome_coords(outcome, index: CoordIndex) -> Dict[int, Coord]:
         for lock in access.lockset:
             for uid in _key_uids(lock):
                 note(uid)
+        # TaintFlow records (P2.6) ride the same channel and add two
+        # fields SharedAccess lacks; duck-typed so both families walk.
+        source = getattr(access, "source", None)
+        if source is not None:
+            note(source.uid)
+        dst_key = getattr(access, "dst_key", None)
+        if dst_key is not None:
+            for uid in _key_uids(dst_key):
+                note(uid)
     return coords
 
 
@@ -194,6 +203,10 @@ def rehydrate_outcome(outcome, coords: Dict[int, Coord], index: CoordIndex):
         access.trace = map_trace(access.trace)
         access.key = map_key(access.key)
         access.lockset = frozenset(map_key(lock) for lock in access.lockset)
+        if getattr(access, "source", None) is not None:
+            access.source = map_inst(access.source)
+        if getattr(access, "dst_key", None) is not None:
+            access.dst_key = map_key(access.dst_key)
     return outcome
 
 

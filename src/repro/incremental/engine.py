@@ -26,6 +26,7 @@ facts      function transitive key                                 checker-spec 
 partition  module closure (every transitive key)                   checker-spec *and* config changes
 masks      entry transitive key + spec + presolve-config fp        P2 budget changes
 outcomes   entry transitive key + spec + engine-config fp          edits outside the entry's closure
+xsummary   module closure + spec + engine-config fp                nothing (any edit rebuilds)
 =========  ======================================================  =================================
 
 Every key also folds the engine + cache-format versions (see
@@ -82,6 +83,27 @@ def _flow_key(closure_pairs: List[str], resolve_fp: bool) -> str:
     changes the disqualification rules and the embedded pool, so the
     flag folds into the key."""
     return CacheStore.object_key("flowfacts", repr(resolve_fp), *closure_pairs)
+
+
+def _xsummary_key(closure_pairs: List[str], spec_fp: str, engine_fp: str) -> str:
+    """P2.6 interface-summary layer: one object per module closure — the
+    summaries are a projection of every module's merged taint flows, so
+    an edit anywhere rebuilds them.  The spec and engine fingerprints
+    participate because the flows depend on which checkers are armed and
+    on the exploration budgets (same ingredients as the outcome layer:
+    the summaries are exactly a re-grouping of outcome records)."""
+    return CacheStore.object_key("xsummary", spec_fp, engine_fp, *closure_pairs)
+
+
+class _FlowBundle:
+    """Adapter giving a flat TaintFlow list the ``(bugs, accesses)``
+    shape that :func:`~.coords.outcome_coords` and
+    :func:`~.coords.rehydrate_outcome` walk — flows are rehydrated in
+    place, so the summaries referencing them heal too."""
+
+    def __init__(self, flows):
+        self.bugs: List = []
+        self.accesses = flows
 
 
 # Program-wide *bundle* objects: the fully-warm fast path.  A warm run
@@ -245,6 +267,50 @@ class IncrementalContext:
                 _flow_key(self._closure_pairs, self.config.resolve_function_pointers),
                 facts,
             )
+
+    # -- layer x: P2.6 interface summaries ------------------------------------
+
+    def cached_xtaint_summaries(self):
+        """module -> :class:`~repro.xtaint.summary.ModuleSummary` cached
+        under this program's module closure, rehydrated onto the current
+        program, or ``None`` on a miss (shape surprises and stale
+        coordinates degrade to rebuilding from the merged flows)."""
+        from ..xtaint import ModuleSummary, all_flows
+
+        payload = self.store.get(
+            _xsummary_key(self._closure_pairs, self.spec_fp, self.engine_fp)
+        )
+        if not isinstance(payload, dict) or "summaries" not in payload:
+            return None
+        summaries = payload["summaries"]
+        if not isinstance(summaries, dict) or not all(
+            isinstance(s, ModuleSummary) for s in summaries.values()
+        ):
+            return None
+        bundle = _FlowBundle(all_flows(summaries))
+        try:
+            rehydrate_outcome(bundle, payload.get("coords", {}), self.index)
+        except StaleEntry as exc:
+            log.warning("cache: stale xtaint summaries (%s); rebuilding", exc)
+            self.stale_entries += 1
+            return None
+        return summaries
+
+    def stage_xtaint_summaries(self, summaries) -> None:
+        """Stage freshly built summaries for the next commit."""
+        if not summaries or self.store.mode != "rw":
+            return
+        from ..xtaint import all_flows
+
+        key = _xsummary_key(self._closure_pairs, self.spec_fp, self.engine_fp)
+        if self.store.contains(key):
+            return
+        try:
+            coords = outcome_coords(_FlowBundle(all_flows(summaries)), self.index)
+        except StaleEntry as exc:  # pragma: no cover - defensive
+            log.warning("cache: not storing xtaint summaries (%s)", exc)
+            return
+        self.store.put(key, {"summaries": summaries, "coords": coords})
 
     # -- layers b + c: entry partition --------------------------------------
 

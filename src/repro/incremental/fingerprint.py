@@ -250,6 +250,7 @@ def engine_config_fingerprint(config) -> str:
                 config.max_indirect_targets,
                 config.prune,
                 config.alias_tier,
+                config.taint_borders,
             )
         ),
     )
@@ -260,8 +261,11 @@ def presolve_config_fingerprint(config) -> str:
     deliberately narrower than :func:`engine_config_fingerprint`, so
     relevance masks survive a path-budget change that forces P2 to
     re-run.  ``alias_tier`` participates because P1.7 sharpening changes
-    which blocks the masks call dead (soundly, but the bytes differ)."""
+    which blocks the masks call dead (soundly, but the bytes differ);
+    ``taint_borders`` because border arming widens the xtaint checker's
+    trigger mask, which feeds the relevance masks."""
     return _sha(
         "pcfg",
-        repr((config.resolve_function_pointers, config.optimize_ir, config.alias_tier)),
+        repr((config.resolve_function_pointers, config.optimize_ir,
+              config.alias_tier, config.taint_borders)),
     )

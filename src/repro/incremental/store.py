@@ -39,8 +39,10 @@ log = logging.getLogger("repro.incremental")
 
 #: bump when the pickled payload schema changes incompatibly
 #: (2: P1.7 partition layer + sharpened relevance-mask payloads;
-#: 3: P1.8 must-alias-facts layer + taint-sharpened relevance masks)
-CACHE_FORMAT = 3
+#: 3: P1.8 must-alias-facts layer + taint-sharpened relevance masks;
+#: 4: P2.6 xtaint module-summary layer + TaintFlow records in cached
+#: outcomes' access lists)
+CACHE_FORMAT = 4
 _MAGIC = b"PATACHE1"
 _DIGEST_BYTES = 32
 

@@ -450,6 +450,7 @@ def translate_trace_pair(
     partition=None,
     skip_names_a=None,
     skip_names_b=None,
+    extra_requirement_b=None,
 ) -> Translation:
     """Translate two independently recorded paths into one *joint*
     constraint set — stage 2 for pair findings (the race detector's
@@ -472,6 +473,12 @@ def translate_trace_pair(
     contradictions — errors fall toward *keeping* the report, matching
     the filter's "only a proven contradiction silences a finding"
     contract.
+
+    ``extra_requirement_b`` is an out-of-range atom ("op", var, const)
+    interpreted in the *second* trace's world — the sink side of a P2.6
+    cross-module taint pair.  It must be satisfiable together with both
+    path conditions and the bridges, so a range check dominating the
+    sink discharges the pair exactly like the single-trace case.
     """
     defined = _trace_defined_globals(trace_a) | _trace_defined_globals(trace_b)
     bridges: List[Atom] = []
@@ -483,7 +490,7 @@ def translate_trace_pair(
         first = PathTranslator(partition=partition, skip_names=skip_names_a)
         second = PathTranslator(partition=partition, skip_names=skip_names_b)
         result_a = first.translate(trace_a)
-        result_b = second.translate(trace_b)
+        result_b = second.translate(trace_b, extra_requirement_b)
         for name in sorted(first.graph._node_of):
             if not name.startswith("@") or name in defined:
                 continue
@@ -501,7 +508,7 @@ def translate_trace_pair(
         result_a = first.translate(trace_a)
         second = NaPathTranslator()
         second._counter = first._counter  # keep the symbol spaces disjoint
-        result_b = second.translate(trace_b)
+        result_b = second.translate(trace_b, extra_requirement_b)
         for name in sorted(first._env):
             if not name.startswith("@") or name in defined:
                 continue

@@ -32,6 +32,7 @@ __all__ = [
     "CHECKER_NAMES",
     "CHECKER_SPECS",
     "checkers_from_spec",
+    "configure_checkers",
     "registered_checkers",
 ]
 
@@ -73,6 +74,40 @@ def _make_race_checker(collector):
     )
 
 
+def _make_xtaint_checker(collector):
+    # Lazy like taint/race.  The collector feeds the shared heap
+    # universe and the border set (interface functions without any
+    # extern caller); without one (spec validation, --list-checkers)
+    # the checker sees only globals and an empty border.
+    from ...xtaint import CrossModuleTaintChecker, border_entries_of
+
+    if collector is None:
+        return CrossModuleTaintChecker()
+    return CrossModuleTaintChecker(
+        shared_sites=collector.shared_heap_sites(),
+        border_entries=border_entries_of(collector.program, collector.callgraph),
+    )
+
+
+def configure_checkers(checkers: List[Checker], config) -> List[Checker]:
+    """Apply run-configuration knobs to freshly built checkers — called
+    by the sequential driver and by each parallel worker's initializer,
+    so both sides arm identically.  Currently one knob: border-source
+    inference (``config.taint_borders``), which also widens the armed
+    trigger mask — a border entry carries taint *at path start* with no
+    trigger event in its region, so any sink-bearing region must stay
+    armed for entry pruning to remain report-preserving."""
+    borders = bool(getattr(config, "taint_borders", False))
+    for checker in checkers:
+        if hasattr(checker, "taint_borders"):
+            checker.taint_borders = borders
+            if borders:
+                checker.trigger_events = (
+                    checker.trigger_events | checker.sink_events
+                )
+    return checkers
+
+
 #: individual checker factories, keyed by the checker's ``name`` attribute;
 #: each takes the information collector (or None) and returns a fresh
 #: instance.
@@ -89,15 +124,16 @@ _CHECKER_FACTORIES = {
     ),
     "taint": _make_taint_checker,
     "race": _make_race_checker,
+    "xtaint": _make_xtaint_checker,
 }
 
 #: every individually addressable checker name, in canonical order
 CHECKER_NAMES = tuple(_CHECKER_FACTORIES)
 
 #: named shorthands for common sets (kept for CLI/worker back-compat).
-#: ``race`` (like ``taint``) stays opt-in: it is not part of the paper's
-#: historical six, and its P2.5 matching phase has cost even on
-#: race-free code.
+#: ``race``, ``taint`` and ``xtaint`` stay opt-in: they are not part of
+#: the paper's historical six, and their matching phases (P2.5 / P2.6)
+#: have cost even on code without the respective bug class.
 CHECKER_ALIASES = {
     "default": "npd,uva,ml",
     "all": "npd,uva,ml,dl,aiu,dbz",

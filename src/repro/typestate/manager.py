@@ -141,6 +141,9 @@ class TrackerContext:
         #: engine hook for shared-access recording (the race checker's
         #: output channel); None when no recording engine is attached.
         self.record_access_fn: Optional[Callable] = None
+        #: engine hook for cross-module taint-flow recording (the xtaint
+        #: checker's output channel, P2.6 input); same contract.
+        self.record_flow_fn: Optional[Callable] = None
 
     # -- keys -------------------------------------------------------------------
 
@@ -222,6 +225,12 @@ class TrackerContext:
         recorder — checkers may call this unconditionally."""
         if self.record_access_fn is not None:
             self.record_access_fn(key, is_write, inst, lockset)
+
+    def record_flow(self, flow) -> None:
+        """Record a cross-module taint half-flow on the current path
+        (P2.6 input).  Same no-op contract as :meth:`record_access`."""
+        if self.record_flow_fn is not None:
+            self.record_flow_fn(flow)
 
 
 class Checker:

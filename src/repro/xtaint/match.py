@@ -1,0 +1,125 @@
+"""Cross-module taint matching — phase **P2.6** of the extended pipeline.
+
+Runs in the parent process after the per-entry outcomes are merged and
+the per-module summaries are built (or replayed from the cache layer),
+between P2.5 race matching and the P3 bug filter.  The matcher is the
+other half of the recorder in :mod:`repro.xtaint.checker`:
+
+1. **Fixpoint** — relay edges (``g_out = g_in``) propagate export
+   provenance across shared keys until nothing changes.  A key's
+   provenance is the set of *origin* export flows that can reach it; the
+   relay module drops out of the provenance (its path condition is not
+   conjoined — a deliberate over-approximation the P3 validator keeps
+   honest on the two end segments).
+2. **Pairing** — every import (shared key reaching a sink) joins every
+   origin export of the same key from a *different module and different
+   entry*, modeled on P2.5's deterministic sorted-group pairing:
+   sorted iteration everywhere, canonical ``(inst.uid, entry)`` flow
+   order, first path combination stands in for repeats.
+3. Each pair carries both path snapshots; stage 2 conjoins them with
+   bridge atoms (:func:`repro.smt.translate.translate_trace_pair`) and
+   additionally must prove the sink's out-of-range atom satisfiable on
+   the import side — so a range check dominating the sink, or a guard
+   contradiction between writer and reader, discharges the pair even
+   across the module boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..races.shared import render_key
+from ..typestate.events import BugKind
+from ..typestate.manager import PossibleBug
+from .records import TaintFlow
+from .summary import ModuleSummary
+
+#: matcher guardrail: beyond this many origin exports for one key, an
+#: import pairs only against the earliest ones (keeps hot keys bounded).
+_MAX_ORIGINS = 256
+
+#: fixpoint guardrail: relay chains longer than this are pathological
+#: (a chain can add at most one key per round).
+_MAX_ROUNDS = 64
+
+
+def _flow_order(flow: TaintFlow):
+    """Canonical deterministic flow order (P2.5's group-order idiom)."""
+    return (flow.inst.uid, flow.entry)
+
+
+def match_cross_module(summaries: Dict[str, ModuleSummary]) -> List[PossibleBug]:
+    """Join per-module summaries into stage-1 cross-module candidates."""
+    exports: List[TaintFlow] = []
+    imports: List[TaintFlow] = []
+    relays: List[TaintFlow] = []
+    for module in sorted(summaries):
+        summary = summaries[module]
+        exports.extend(summary.exports)
+        imports.extend(summary.imports)
+        relays.extend(summary.relays)
+
+    # 1. provenance fixpoint: key -> {origin id -> origin export flow}
+    tainted: Dict[tuple, Dict[tuple, TaintFlow]] = {}
+    for export in sorted(exports, key=_flow_order):
+        tainted.setdefault(export.key, {})[
+            (export.inst.uid, export.entry)] = export
+    relays_sorted = sorted(relays, key=_flow_order)
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for relay in relays_sorted:
+            origins = tainted.get(relay.key)
+            if not origins or relay.dst_key is None:
+                continue
+            bucket = tainted.setdefault(relay.dst_key, {})
+            for oid in sorted(origins):
+                if oid not in bucket:
+                    bucket[oid] = origins[oid]
+                    changed = True
+        if not changed:
+            break
+
+    # 2. pairing
+    bugs: List[PossibleBug] = []
+    seen_pairs = set()
+    for imp in sorted(imports, key=_flow_order):
+        origins = tainted.get(imp.key)
+        if not origins:
+            continue
+        candidates = [origins[oid] for oid in sorted(origins)[:_MAX_ORIGINS]]
+        for origin in candidates:
+            if origin.module == imp.module:
+                continue  # same image: the plain taint checker's world
+            if origin.entry == imp.entry:
+                continue  # one inlined path; ditto
+            pair_key = (origin.inst.uid, imp.inst.uid)
+            if pair_key in seen_pairs:
+                continue  # first path combination stands in for all
+            seen_pairs.add(pair_key)
+            subject = render_key(imp.key)
+            provenance = "border-inferred " if origin.border else ""
+            bugs.append(_pair_bug(origin, imp, subject, provenance))
+    return bugs
+
+
+def _pair_bug(origin: TaintFlow, imp: TaintFlow, subject: str,
+              provenance: str) -> PossibleBug:
+    bug = PossibleBug(
+        kind=BugKind.TAINT,
+        checker="xtaint",
+        subject=subject,
+        source=origin.source if origin.source is not None else origin.inst,
+        sink=imp.inst,
+        message=(
+            f"cross-module taint on '{subject}': {provenance}taint "
+            f"exported by {origin.entry} reaches {imp.entry} — {imp.message}"
+        ),
+        trace=origin.trace,
+        second_trace=imp.trace,
+        entry_function=f"{origin.entry} vs {imp.entry}",
+    )
+    # Stage 2 proves the sink's out-of-range atom satisfiable under the
+    # *conjoined* pair constraints (import-side sanitization and
+    # writer/reader guard contradictions both discharge here).
+    bug.extra_requirement = imp.extra_requirement
+    return bug

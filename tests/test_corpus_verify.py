@@ -7,11 +7,11 @@ operand) would silently skew them.  Run in CI via ``make lint-corpus``.
 
 import pytest
 
-from repro.corpus import ALL_PROFILES, RACELAB, TAINTLAB, generate
+from repro.corpus import ALL_PROFILES, FIRMLAB, RACELAB, TAINTLAB, generate
 from repro.ir import LockOp, PointerType, Var, verify_program
 from repro.lang import compile_program
 
-_PROFILES = ALL_PROFILES + [TAINTLAB, RACELAB]
+_PROFILES = ALL_PROFILES + [TAINTLAB, RACELAB, FIRMLAB]
 
 
 @pytest.mark.parametrize("profile", _PROFILES, ids=[p.name for p in _PROFILES])

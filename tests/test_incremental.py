@@ -195,12 +195,13 @@ def test_store_version_skew_warns_and_misses(tmp_path, caplog):
 
 def test_store_pre_bump_format_heals_on_commit(tmp_path, caplog):
     """Regression for the CACHE_FORMAT bumps (1 -> 2: partition layer;
-    2 -> 3: P1.8 flow-facts layer + taint-sharpened relevance masks —
-    each changed what an entry result depends on): a directory stamped
-    with the pre-bump format must read as all-misses, stay usable, and
-    be re-stamped with the current format by the next commit — no
-    manual cache wipe needed."""
-    assert CACHE_FORMAT == 3  # update the pre-bump fixture when bumping again
+    2 -> 3: P1.8 flow-facts layer + taint-sharpened relevance masks;
+    3 -> 4: P2.6 xtaint summary layer + TaintFlow records in cached
+    outcomes — each changed what an entry result depends on): a
+    directory stamped with the pre-bump format must read as all-misses,
+    stay usable, and be re-stamped with the current format by the next
+    commit — no manual cache wipe needed."""
+    assert CACHE_FORMAT == 4  # update the pre-bump fixture when bumping again
     # A pre-bump cache: old header stamp plus an object under a key only
     # the old derivation could have produced.
     stale_dir = tmp_path / "objects" / "ab"

@@ -1,0 +1,285 @@
+"""P2.6 cross-module taint: corpus, matcher, borders, cache, stats.
+
+The firmlab corpus is the acceptance harness: every injected
+cross-module flow must be found with zero bait hits, and the reports
+must be byte-identical across the alias-tier ladder, worker counts,
+start methods, and cold/warm summary caches — P2.6 adds a post-merge
+phase, so any ordering leak in summaries or matching shows up here as
+a render mismatch.
+"""
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.baselines import TaintNaive
+from repro.baselines.taint_naive import CROSS_MODULE_PREFIX
+from repro.cli import main as cli_main
+from repro.core.report import AnalysisStats
+from repro.corpus import FIRMLAB, generate
+from repro.lang import compile_program
+from repro.typestate import BugKind
+
+
+@pytest.fixture(scope="module")
+def firm_corpus():
+    return generate(FIRMLAB)
+
+
+@pytest.fixture(scope="module")
+def firm_program(firm_corpus):
+    return compile_program(firm_corpus.compiled_sources())
+
+
+@pytest.fixture(scope="module")
+def firm_result(firm_program):
+    """The baseline run every differential leg is compared against."""
+    return PATA(checker_spec="xtaint").analyze(firm_program)
+
+
+def _render(result):
+    return [r.render() for r in result.reports]
+
+
+def _cross_flows(corpus):
+    """Ground truth reachable without --taint-borders."""
+    return [g for g in corpus.ground_truth if not g.requires.border]
+
+
+def _found_uids(corpus, result):
+    hits = [(r.kind, r.sink_file, r.sink_line) for r in result.reports]
+    return {
+        gt.uid
+        for gt in _cross_flows(corpus)
+        if any(gt.covers(kind, path, line) for kind, path, line in hits)
+    }
+
+
+def _bait_hits(corpus, hits):
+    return [
+        (path, line)
+        for _, path, line in hits
+        if any(
+            b.path == path and b.line_start <= line <= b.line_end
+            for b in corpus.bait_regions
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Corpus: determinism and shape
+# ---------------------------------------------------------------------------
+
+
+def test_firmlab_generation_deterministic(firm_corpus):
+    """Same profile ⇒ byte-identical module set, ground truth, and bait
+    regions — the cross-module injection post-pass draws from its own
+    RNG, so it must be exactly as reproducible as the per-file loop."""
+    again = generate(FIRMLAB)
+    assert firm_corpus.all_sources() == again.all_sources()
+    assert [
+        (g.uid, g.kind, g.path, g.line_start, g.line_end)
+        for g in firm_corpus.ground_truth
+    ] == [
+        (g.uid, g.kind, g.path, g.line_start, g.line_end)
+        for g in again.ground_truth
+    ]
+    assert [
+        (b.uid, b.path, b.line_start, b.line_end)
+        for b in firm_corpus.bait_regions
+    ] == [
+        (b.uid, b.path, b.line_start, b.line_end) for b in again.bait_regions
+    ]
+
+
+def test_firmlab_quotas(firm_corpus):
+    """The profile's cross-module quotas all land: ≥20 cross flows (the
+    acceptance floor), plus the border probes, plus bait regions."""
+    flows = _cross_flows(firm_corpus)
+    borders = [g for g in firm_corpus.ground_truth if g.requires.border]
+    assert len(flows) == FIRMLAB.cross_flows >= 20
+    assert all(g.requires.cross_module for g in flows)
+    assert len(borders) == FIRMLAB.cross_border
+    assert len(firm_corpus.bait_regions) >= FIRMLAB.cross_baits
+    assert len(firm_corpus.files) == FIRMLAB.total_files
+    # Every flow's pieces live in at least two distinct modules: the
+    # sink file differs from at least one other ground-truth-free file
+    # writing its global — checked end-to-end by the matcher test below;
+    # here we just pin that flows span multiple files at all.
+    assert len({g.path for g in flows}) > 1
+
+
+# ---------------------------------------------------------------------------
+# The matcher: recall, precision, report shape
+# ---------------------------------------------------------------------------
+
+
+def test_xtaint_finds_every_cross_flow_with_zero_bait_hits(
+    firm_corpus, firm_result
+):
+    flows = _cross_flows(firm_corpus)
+    found = _found_uids(firm_corpus, firm_result)
+    missed = {g.uid for g in flows} - found
+    assert not missed, f"missed cross-module flows: {sorted(missed)}"
+    hits = [(r.kind, r.sink_file, r.sink_line) for r in firm_result.reports]
+    assert _bait_hits(firm_corpus, hits) == []
+    # Without --taint-borders every report is a cross-module pair.
+    assert firm_result.reports
+    for report in firm_result.reports:
+        assert report.kind is BugKind.TAINT
+        assert " vs " in report.entry_function
+        assert "border-inferred" not in report.render()
+    # The P2.6 counters moved.
+    assert firm_result.stats.taint_flows_recorded > 0
+    assert firm_result.stats.xtaint_pairs_matched >= len(flows)
+    assert firm_result.stats.time_xmatch_seconds >= 0.0
+
+
+def test_taint_naive_cross_tier_contrast(firm_corpus, firm_program):
+    """The module-granular grep tier finds the one-hop flows but misses
+    every relay chain (the middle image calls no source) and flags bait
+    — the contrast ``make bench-xtaint`` quantifies."""
+    naive = TaintNaive().analyze(firm_program)
+    cross = [
+        f for f in naive.findings if f.message.startswith(CROSS_MODULE_PREFIX)
+    ]
+    assert cross, "the cross-module tier found nothing at all"
+    hits = [(f.kind, f.file, f.line) for f in naive.findings]
+    found = {
+        gt.uid
+        for gt in _cross_flows(firm_corpus)
+        if any(gt.covers(kind, path, line) for kind, path, line in hits)
+    }
+    relays = {
+        g.uid
+        for g in _cross_flows(firm_corpus)
+        if g.pattern == "xtnt_relay_chain"
+    }
+    assert relays and not (relays & found)
+    assert len(found) < len(_cross_flows(firm_corpus))
+    assert _bait_hits(firm_corpus, [(f.kind, f.file, f.line) for f in cross])
+
+
+# ---------------------------------------------------------------------------
+# Determinism: tier ladder × workers × start method × cache temperature
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tier", ["off", "steens", "flow"])
+def test_reports_identical_across_tiers_and_workers(
+    firm_program, firm_result, tier
+):
+    baseline = _render(firm_result)
+    sequential = PATA(
+        checker_spec="xtaint", config=AnalysisConfig(workers=1, alias_tier=tier)
+    ).analyze(firm_program)
+    assert _render(sequential) == baseline
+    parallel = PATA(
+        checker_spec="xtaint", config=AnalysisConfig(workers=4, alias_tier=tier)
+    ).analyze(firm_program)
+    assert parallel.stats.workers_used > 1
+    assert _render(parallel) == baseline
+
+
+@pytest.mark.slow
+def test_reports_identical_under_spawn(firm_program, firm_result):
+    spawned = PATA(
+        checker_spec="xtaint",
+        config=AnalysisConfig(workers=2, parallel_start_method="spawn"),
+    ).analyze(firm_program)
+    assert spawned.stats.workers_used == 2
+    assert _render(spawned) == _render(firm_result)
+
+
+def test_reports_identical_cold_vs_warm_summary_cache(
+    firm_program, firm_result, tmp_path
+):
+    """A warm run replays the module summaries from the xsummary layer
+    (``summaries_cached`` counts them) and must not change a byte."""
+    config = lambda: AnalysisConfig(  # noqa: E731 - fresh config per leg
+        cache_dir=str(tmp_path), cache_mode="rw"
+    )
+    cold = PATA(checker_spec="xtaint", config=config()).analyze(firm_program)
+    warm = PATA(checker_spec="xtaint", config=config()).analyze(firm_program)
+    assert _render(cold) == _render(firm_result)
+    assert _render(warm) == _render(firm_result)
+    assert cold.stats.summaries_cached == 0
+    assert warm.stats.summaries_cached > 0
+    assert warm.stats.entries_reanalyzed == 0
+    assert warm.stats.taint_flows_recorded == cold.stats.taint_flows_recorded
+    assert warm.stats.xtaint_pairs_matched == cold.stats.xtaint_pairs_matched
+
+
+# ---------------------------------------------------------------------------
+# Border-source inference
+# ---------------------------------------------------------------------------
+
+
+def test_borders_additive_on_firmlab(firm_corpus, firm_program, firm_result):
+    """--taint-borders adds exactly the border-probe reports on top of
+    the default run: a superset, with every new render border-marked."""
+    armed = PATA(
+        checker_spec="xtaint", config=AnalysisConfig(taint_borders=True)
+    ).analyze(firm_program)
+    base_renders = set(_render(firm_result))
+    armed_renders = set(_render(armed))
+    assert base_renders <= armed_renders
+    extra = armed_renders - base_renders
+    assert extra and all("border-inferred" in r for r in extra)
+    borders = [g for g in firm_corpus.ground_truth if g.requires.border]
+    hits = [(r.kind, r.sink_file, r.sink_line) for r in armed.reports]
+    for gt in borders:
+        assert any(gt.covers(kind, path, line) for kind, path, line in hits)
+    assert _bait_hits(firm_corpus, hits) == []
+
+
+def test_borders_report_preserving_when_no_callerless_interface():
+    """When every registered interface function has an in-tree caller
+    the border set is empty and arming the flag changes nothing."""
+    source = r"""
+int g_len;
+int xlut[16];
+struct ops { int (*probe)(int n); };
+int dev_probe(int n) { g_len = n; return 0; }
+static struct ops d = { .probe = dev_probe };
+int boot(void) { return dev_probe(7); }
+int reader(void) { return xlut[g_len]; }
+"""
+    program = compile_program([("dev.c", source)])
+    plain = PATA(checker_spec="xtaint").analyze(program)
+    armed = PATA(
+        checker_spec="xtaint", config=AnalysisConfig(taint_borders=True)
+    ).analyze(program)
+    assert _render(plain) == _render(armed)
+
+
+def test_borders_off_by_default():
+    assert AnalysisConfig().taint_borders is False
+
+
+# ---------------------------------------------------------------------------
+# Stats schema and CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_stats_schema_exports_xtaint_counters(firm_result):
+    """The four P2.6 counters ride --stats-json via to_dict() — both on
+    a fresh stats object and on a real run's."""
+    for payload in (AnalysisStats().to_dict(), firm_result.stats.to_dict()):
+        assert isinstance(payload["taint_flows_recorded"], int)
+        assert isinstance(payload["xtaint_pairs_matched"], int)
+        assert isinstance(payload["summaries_cached"], int)
+        assert isinstance(payload["time_xmatch_seconds"], float)
+    assert firm_result.stats.to_dict()["xtaint_pairs_matched"] > 0
+
+
+def test_cli_list_checkers_includes_xtaint(capsys):
+    assert cli_main(["check", "--list-checkers"]) == 0
+    assert "xtaint" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_checker_eagerly(tmp_path, capsys):
+    path = tmp_path / "x.c"
+    path.write_text("int f(void) { return 0; }\n")
+    assert cli_main(["check", "--checkers", "bogus", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err and "xtaint" in err
