@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-xtaint bench-incremental bench-alias bench-ptaflow report lint-corpus clean
+.PHONY: install test bench bench-quick bench-parallel bench-prune bench-taint bench-race bench-xtaint bench-incremental bench-alias bench-ptaflow bench-serve report lint-corpus clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -66,6 +66,13 @@ bench-alias:
 # report identity.
 bench-ptaflow:
 	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) $(PYTHON) -m pytest benchmarks/bench_components.py -k ptaflow_cold_warm -q --benchmark-disable
+
+# Resident daemon (warm socket query) vs a cold one-shot CLI subprocess
+# on the linux corpus; writes BENCH_serve.json.  The 8x replay headline
+# is defined at scale 1.0; smaller REPRO_BENCH_SCALE values stamp the
+# payload degraded and gate only a 2x floor.
+bench-serve:
+	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) $(PYTHON) -m pytest benchmarks/bench_components.py -k serve_resident -q --benchmark-disable
 
 # IR-verify every generated corpus module (all evaluation profiles plus
 # the taintlab/racelab checker corpora).

@@ -994,3 +994,136 @@ def test_ptaflow_cold_warm(benchmark, harness, tmp_path):
     assert any(row.cached for row in warm_flow.stats.per_entry)
     if not degraded:
         assert speedup is not None and speedup >= 2.0, payload
+
+
+def test_serve_resident_vs_cold(benchmark, harness, tmp_path):
+    """Analysis-as-a-service: a resident daemon answering a warm query
+    vs a cold one-shot CLI run (fresh interpreter, fresh caches) on the
+    same corpus; writes ``BENCH_serve.json`` at the repo root.
+
+    The cold leg is the honest thing a daemon replaces: a full
+    ``python -m repro check`` subprocess — interpreter start, imports,
+    compile, analysis.  Two warm legs are measured over the daemon's
+    unix socket: the *replay* tier (a byte-identical repeated
+    ``check_module``, the daemon steady state) and the *cache* tier (a
+    never-seen-before ``check_diff`` overlay forcing a memo miss, so
+    modules and entry outcomes resolve out of the resident store).
+    Responses must be byte-identical to the cold CLI's stdout.  The 8x
+    replay headline is defined at scale >= 1.0; a reduced
+    ``REPRO_BENCH_SCALE`` run is stamped ``degraded`` and gates only a
+    2x floor (fixed per-request costs dominate tiny corpora).
+    """
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import sys
+    import time
+
+    from repro.corpus import PROFILES_BY_NAME, generate
+    from repro.serve import PataServer, ServeClient
+
+    corpus = generate(PROFILES_BY_NAME["linux"].scaled(harness.scale))
+    paths = []
+    for name, text in corpus.compiled_sources():
+        path = tmp_path / name.replace("/", "__")
+        path.write_text(text)
+        paths.append(str(path))
+
+    repo_root = pathlib.Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+
+    def run_cold_cli():
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", *paths],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode in (0, 1), proc.stderr
+        return proc.stdout, time.perf_counter() - started
+
+    cold_samples = [run_cold_cli() for _ in range(2)]
+    cli_output = cold_samples[0][0]
+    assert all(out == cli_output for out, _ in cold_samples)
+    cold_seconds = min(seconds for _, seconds in cold_samples)
+
+    server = PataServer(roots=paths, socket_path=str(tmp_path / "pata.sock"))
+    server.start()
+    try:
+        client = ServeClient(socket_path=server.socket_path, timeout=600)
+        warmup = client.request({"op": "check_module"})
+        assert warmup["ok"]
+
+        def warm_query():
+            started = time.perf_counter()
+            response = client.request({"op": "check_module"})
+            return response, time.perf_counter() - started
+
+        first, first_seconds = benchmark.pedantic(
+            warm_query, rounds=1, iterations=1
+        )
+        # Best of three: a warm round-trip is milliseconds, so one
+        # scheduler hiccup would dominate a lone measurement.
+        samples = [(first, first_seconds)] + [warm_query() for _ in range(2)]
+        warm_seconds = min(seconds for _, seconds in samples)
+        warm = samples[0][0]
+
+        def cache_tier_query(i):
+            # A nonce source the session has never seen: the request
+            # fingerprint misses the replay memo, so this times the
+            # resident *cache* tier (module + outcome replay from RAM).
+            overlay = {"bench_nonce.c": f"int bench_nonce(void) {{ return {i}; }}"}
+            started = time.perf_counter()
+            response = client.request({"op": "check_diff", "overlay": overlay})
+            return response, time.perf_counter() - started
+
+        tier2_samples = [cache_tier_query(i) for i in range(3)]
+        tier2_seconds = min(seconds for _, seconds in tier2_samples)
+        assert all(
+            response["ok"] and not response["serve"]["replayed"]
+            for response, _ in tier2_samples
+        )
+        status = client.request({"op": "status"})
+        client.close()
+    finally:
+        server.request_shutdown()
+        server.serve_forever()
+        server.close()
+
+    identical = all(
+        response["output"] == cli_output for response, _ in samples
+    ) and warmup["output"] == cli_output
+    degraded = harness.scale < 1.0
+    speedup = cold_seconds / warm_seconds if warm_seconds else None
+    tier2_speedup = cold_seconds / tier2_seconds if tier2_seconds else None
+    payload = {
+        "corpus": "linux",
+        "scale": harness.scale,
+        "files": len(paths),
+        "cold_cli_seconds": round(cold_seconds, 4),
+        "warm_query_seconds": round(warm_seconds, 6),
+        "cache_tier_query_seconds": round(tier2_seconds, 6),
+        "warmup_analysis_seconds": warmup["serve"]["analysis_seconds"],
+        "warm_replayed": warm["serve"]["replayed"],
+        "warm_entries_reanalyzed": warm["serve"]["entries_reanalyzed"],
+        "warm_cache_misses": warm["serve"]["cache_misses"],
+        "resident_cache_entries": warm["serve"]["resident_cache_entries"],
+        "requests_served": status["requests_served"],
+        "degraded": degraded,
+        # A degraded (reduced-scale) run headlines no speedup: it would
+        # measure fixed per-request overheads, not residency.
+        "speedup": None if degraded else (round(speedup, 2) if speedup else None),
+        "speedup_measured": round(speedup, 2) if speedup else None,
+        "cache_tier_speedup": round(tier2_speedup, 2) if tier2_speedup else None,
+        "identical_output": identical,
+        "reports": warm["bugs"],
+    }
+    out = repo_root / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert identical
+    assert warm["serve"]["entries_reanalyzed"] == 0
+    assert speedup is not None and speedup >= (8.0 if not degraded else 2.0), payload
+    # The cache tier (memo miss, resident store) must still beat a cold
+    # CLI run end-to-end, at any scale.
+    assert tier2_speedup is not None and tier2_speedup >= 2.0, payload

@@ -3,6 +3,8 @@
 Subcommands::
 
     repro-pata check FILE.c ...      analyze mini-C sources with PATA
+    repro-pata serve FILE.c ...      resident analysis daemon (socket API)
+    repro-pata submit check_module   submit a job to a running daemon
     repro-pata corpus --os linux     generate a synthetic OS tree
     repro-pata eval table5           regenerate one of the paper's tables
     repro-pata compare --os zephyr   one OS row of Table 8 vs the baselines
@@ -118,6 +120,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run each report in the concrete interpreter "
                             "over adversarial inputs and tag confirmed bugs")
 
+    serve = sub.add_parser(
+        "serve",
+        help="resident analysis daemon: keep compiled modules + all cache "
+             "layers in RAM and answer check jobs over a local socket")
+    serve.add_argument("files", nargs="+", help="root mini-C source files to serve")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="listen on a unix socket at PATH (default: TCP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP listen address (loopback only; default %(default)s)")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="TCP port (default 0 = ephemeral; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--checkers", metavar="SPEC", default=None,
+                       help="checker spec for every served request "
+                            "(default: the 'default' alias)")
+    serve.add_argument("--all-checkers", action="store_true",
+                       help="shorthand for --checkers all")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes per analysis (as in check)")
+    serve.add_argument("--alias-tier", choices=["off", "steens", "flow", "on"],
+                       default="flow", help="alias precision tier (as in check)")
+    serve.add_argument("--no-prune", action="store_true",
+                       help="disable P1.5 pruning (as in check)")
+    serve.add_argument("--taint-borders", action="store_true",
+                       help="xtaint border-source inference (as in check)")
+    serve.add_argument("--max-paths", type=int, default=None,
+                       help="path budget per entry function (as in check)")
+    serve.add_argument("--watch", action="store_true",
+                       help="stat-poll the root files and re-analyze the "
+                            "dirtied closure on change")
+    serve.add_argument("--poll-interval", type=float, default=0.5, metavar="S",
+                       help="watch poll interval in seconds (default %(default)s)")
+    serve.add_argument("--request-timeout", type=float, default=None, metavar="S",
+                       help="per-request wall-clock budget; a request over "
+                            "budget gets an error and the resident context "
+                            "is replaced fresh (default: no timeout)")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running serve daemon")
+    submit.add_argument("op", choices=["check_module", "check_diff", "status",
+                                       "shutdown"])
+    submit.add_argument("files", nargs="*",
+                        help="check_module: paths the server analyzes; "
+                             "check_diff: local files sent as an in-memory "
+                             "overlay on the server's root set")
+    submit.add_argument("--socket", metavar="PATH", default=None,
+                        help="daemon unix socket path")
+    submit.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    submit.add_argument("--port", type=int, default=0, help="daemon TCP port")
+    submit.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                        help="client-side response timeout (default %(default)s)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the full JSON response instead of the "
+                             "check output text")
+
     lint = sub.add_parser("lint", help="source-level diagnostics (no compilation)")
     lint.add_argument("files", nargs="+", help="mini-C source files")
 
@@ -146,6 +203,24 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # Subcommand implementations
 # ---------------------------------------------------------------------------
+
+
+def check_summary_line(result) -> str:
+    """The final line of ``check``'s plain output."""
+    return f"{len(result.reports)} bug(s); {result.summary()}"
+
+
+def check_output_text(result) -> str:
+    """Exactly the plain (no ``--stats``/``--confirm``) stdout of the
+    ``check`` subcommand for ``result`` — the daemon ships this in every
+    check response so clients can diff it byte-for-byte against a
+    one-shot CLI run."""
+    parts = []
+    for report in result.reports:
+        parts.append(report.render())
+        parts.append("")
+    parts.append(check_summary_line(result))
+    return "\n".join(parts) + "\n"
 
 
 def cmd_list_checkers() -> int:
@@ -319,8 +394,89 @@ def cmd_check(args) -> int:
         if args.stats:
             print(result.stats.render_entry_table())
             print()
-        print(f"{len(result.reports)} bug(s); {result.summary()}")
+        print(check_summary_line(result))
     return 1 if result.reports else 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run the resident analysis daemon until shutdown."""
+    import signal
+
+    from .serve import PataServer
+
+    for name in args.files:
+        if not pathlib.Path(name).exists():
+            print(f"error: no such file: {name}", file=sys.stderr)
+            return 2
+    if args.all_checkers and args.checkers:
+        print("error: --all-checkers and --checkers are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    config = AnalysisConfig(workers=args.workers, prune=not args.no_prune,
+                            alias_tier=args.alias_tier,
+                            taint_borders=args.taint_borders)
+    if args.max_paths is not None:
+        config.max_paths_per_entry = args.max_paths
+    spec = "all" if args.all_checkers else (args.checkers or "default")
+    try:
+        server = PataServer(
+            roots=args.files, config=config, checker_spec=spec,
+            socket_path=args.socket, host=args.host, port=args.port,
+            request_timeout=args.request_timeout,
+            watch=args.watch, poll_interval=args.poll_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server.start()
+    print(f"serving {len(args.files)} file(s) on {server.address}", flush=True)
+
+    def on_signal(signum, frame):
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    server.serve_forever()
+    server.close()
+    print("server drained; exiting", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """``submit``: one request to a running daemon; for check ops the
+    exit code mirrors the equivalent one-shot ``check`` run."""
+    from .serve import ServeClient
+
+    payload = {"op": args.op}
+    if args.op == "check_module" and args.files:
+        payload["files"] = args.files
+    if args.op == "check_diff":
+        if not args.files:
+            print("error: check_diff requires at least one file", file=sys.stderr)
+            return 2
+        overlay = {}
+        for name in args.files:
+            path = pathlib.Path(name)
+            if not path.exists():
+                print(f"error: no such file: {name}", file=sys.stderr)
+                return 2
+            overlay[str(path)] = path.read_text()
+        payload["overlay"] = overlay
+    try:
+        with ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port, timeout=args.timeout) as client:
+            response = client.request(payload)
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach server: {exc}", file=sys.stderr)
+        return 2
+    if args.json or args.op in ("status", "shutdown"):
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 2
+    if not response.get("ok"):
+        print(f"error: {response.get('error', 'request failed')}", file=sys.stderr)
+        return 2
+    print(response["output"], end="")
+    return int(response.get("exit_code", 0))
 
 
 def cmd_lint(args) -> int:
@@ -425,6 +581,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "check": cmd_check,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "lint": cmd_lint,
         "corpus": cmd_corpus,
         "eval": cmd_eval,

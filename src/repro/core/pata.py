@@ -47,6 +47,7 @@ class PATA:
         checkers: Optional[List[Checker]] = None,
         config: Optional[AnalysisConfig] = None,
         checker_spec: Optional[str] = None,
+        store=None,
     ):
         if checkers is not None and checker_spec is not None:
             raise ValueError("pass either live checkers or a checker_spec, not both")
@@ -57,6 +58,10 @@ class PATA:
             # deep inside a worker process.
             checkers_from_spec(checker_spec)
         self._spec = checker_spec
+        #: a pre-opened cache store (e.g. a resident session's in-memory
+        #: store) overriding ``config.cache_dir`` resolution; ``None``
+        #: for the normal disk-backed (or cache-off) path
+        self._store = store
 
     @classmethod
     def with_all_checkers(cls, config: Optional[AnalysisConfig] = None) -> "PATA":
@@ -71,22 +76,28 @@ class PATA:
     def analyze(self, program: Program, entries: Optional[List[Function]] = None) -> AnalysisResult:
         started = time.monotonic()
         if self.config.optimize_ir:
+            from ..incremental.coords import renumber_program
             from ..ir import optimize_program
 
             optimize_program(program)
             # Compile-time fingerprints print the unoptimized IR; after
-            # rewriting, they would poison every cache key.
+            # rewriting, they would poison every cache key.  Rewriting
+            # also mints fresh uids from the process counters, so
+            # renumber to keep uid-derived report text deterministic.
             program.__dict__.pop("_pata_fingerprints", None)
+            renumber_program(program)
         # Incremental cache (opt-in): fingerprint the program and open the
         # summary store before P1, so cached collector facts can seed it.
         # `incr` stays None when caching is off or cannot apply (live
         # checker objects, wall-clock budgets) — every later cache branch
         # collapses to today's behaviour then.
         incr = None
-        if self.config.cache_active():
+        if self.config.cache_active() or self._store is not None:
             from ..incremental import open_incremental
 
-            incr = open_incremental(program, self.config, self._checker_spec())
+            incr = open_incremental(
+                program, self.config, self._checker_spec(), store=self._store
+            )
         phase_started = time.monotonic()
         collector = InformationCollector(
             program, cached_facts=incr.cached_facts() if incr is not None else None

@@ -158,6 +158,17 @@ class AnalysisStats:
     cache_corrupt: int = 0
     entries_cached: int = 0
     entries_reanalyzed: int = 0
+    #: analysis-as-a-service counters (zero for one-shot CLI runs): time
+    #: this request waited in the daemon's FIFO queue before a scheduler
+    #: slot, requests the owning session has served so far (including
+    #: this one), and objects resident in the session's in-memory store
+    #: across all cache layers
+    queue_wait_seconds: float = 0.0
+    requests_served: int = 0
+    resident_cache_entries: int = 0
+    #: this request was answered from the session's replay memo (the
+    #: same names, bytes, config, and checkers were analyzed before)
+    request_replayed: bool = False
     #: one record per analyzed entry function, in entry-list order
     per_entry: List[EntryStats] = field(default_factory=list)
 

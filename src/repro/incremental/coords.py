@@ -211,20 +211,30 @@ def rehydrate_outcome(outcome, coords: Dict[int, Coord], index: CoordIndex):
 
 
 def renumber_program(program: Program) -> None:
-    """Reassign every block/instruction/terminator uid from the live
-    process counters, in deterministic program order.  Mandatory after
-    assembling a program from unpickled cached modules: their pickled
-    uids come from another process's counters and could collide with IR
-    compiled fresh in this one (colliding dedup keys silently drop
-    reports)."""
-    from ..ir.function import _block_ids
-    from ..ir.instructions import _ids
+    """Reassign every block/instruction/terminator uid sequentially from
+    1, in deterministic program order.  Mandatory after assembling a
+    program from unpickled cached modules: their pickled uids come from
+    another process's counters and could collide with IR compiled fresh
+    into the same program (colliding dedup keys silently drop reports).
 
+    The numbering is deliberately *process-independent*: uids leak into
+    rendered report text through ``heap#<uid>`` shared-state roots, so a
+    resident session (which compiles programs at arbitrary points in a
+    long-lived process) would otherwise drift from a one-shot CLI run on
+    the same sources.  Per-program numbering cannot collide across
+    programs — every uid consumer (dedup keys, race-matcher sort orders,
+    coordinate indexes, heap roots) is scoped to a single analysis, and
+    every uid inside one program is reassigned here in one pass."""
+    next_block = 0
+    next_inst = 0
     for module in program.modules:
         for func in module.functions.values():
             for block in func.blocks:
-                block.uid = next(_block_ids)
+                next_block += 1
+                block.uid = next_block
                 for inst in block.instructions:
-                    inst.uid = next(_ids)
+                    next_inst += 1
+                    inst.uid = next_inst
                 if block.terminator is not None:
-                    block.terminator.uid = next(_ids)
+                    next_inst += 1
+                    block.terminator.uid = next_inst

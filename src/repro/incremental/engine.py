@@ -523,13 +523,19 @@ class IncrementalContext:
         )
 
 
-def open_incremental(program: Program, config, checker_spec: Optional[str]):
+def open_incremental(program: Program, config, checker_spec: Optional[str],
+                     store: Optional[CacheStore] = None):
     """The :class:`IncrementalContext` for one analysis, or ``None`` with
     a one-line warning when caching is configured but cannot apply
     (live checker objects, per-entry wall-clock budgets, unopenable
     directory).  Mirrors the parallel fallback contract: degraded modes
-    warn, they never crash and never change results."""
-    if not getattr(config, "cache_dir", None):
+    warn, they never crash and never change results.
+
+    ``store`` bypasses directory resolution with a caller-owned store
+    (any object speaking the :class:`~.store.CacheStore` surface — the
+    resident session's in-memory store rides this); the caller keeps
+    ownership and its commit discipline."""
+    if store is None and not getattr(config, "cache_dir", None):
         return None
     if checker_spec is None:
         log.warning(
@@ -543,7 +549,8 @@ def open_incremental(program: Program, config, checker_spec: Optional[str]):
             "results wall-clock-dependent, so they cannot be reused"
         )
         return None
-    store = open_store(config.cache_dir, config.cache_mode)
+    if store is None:
+        store = open_store(config.cache_dir, config.cache_mode)
     if store is None:
         return None
     try:

@@ -21,8 +21,17 @@ __all__ = [
 
 
 def compile_program(sources: Iterable[Tuple[str, str]]) -> Program:
-    """Compile ``(filename, source)`` pairs into a linked :class:`Program`."""
+    """Compile ``(filename, source)`` pairs into a linked :class:`Program`.
+
+    Uids are renumbered deterministically (1..N in program order) so two
+    compiles of the same sources — in one process or across processes —
+    produce byte-identical analysis output (uids reach report text via
+    ``heap#<uid>`` shared-state roots; see
+    :func:`repro.incremental.coords.renumber_program`)."""
+    from ..incremental.coords import renumber_program
+
     program = Program()
     for filename, source in sources:
         program.add_module(compile_source(source, filename))
+    renumber_program(program)
     return program

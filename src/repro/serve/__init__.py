@@ -1,0 +1,32 @@
+"""Analysis-as-a-service: the resident session daemon.
+
+The batch pipeline (P1 collection → P1.5 relevance → P2 path-sensitive
+solving) pays process startup, module compile, and cache
+deserialization on every CLI invocation, even when the incremental
+engine makes the analysis itself nearly free.  This package keeps all
+of that resident:
+
+* :class:`~.store.ResidentStore` — an in-memory object store speaking
+  the :class:`~repro.incremental.store.CacheStore` surface, so every
+  cache layer (compiled modules, P1 facts, relevance masks, the P1.7
+  partition, P1.8 flow facts, P2 outcomes, P2.6 summaries) stays in RAM
+  across requests;
+* :class:`~.session.Session` — ``PATA.analyze`` refactored into a
+  reusable object owning one resident store: repeated ``analyze()``
+  calls are warm-cache runs with byte-identical reports;
+* :class:`~.daemon.PataServer` — a line-delimited-JSON socket daemon
+  (unix socket or localhost TCP) with a FIFO request queue, request
+  coalescing, per-request timeouts, and clean SIGTERM drain;
+* :class:`~.watch.WatchLoop` — a stat-poll watcher that re-analyzes
+  exactly the dirtied fingerprint closure on file change;
+* :class:`~.client.ServeClient` — the tiny client the ``submit`` CLI
+  subcommand and the tests use.
+"""
+
+from .client import ServeClient
+from .daemon import PataServer
+from .session import Session
+from .store import ResidentStore
+from .watch import WatchLoop
+
+__all__ = ["PataServer", "ResidentStore", "ServeClient", "Session", "WatchLoop"]

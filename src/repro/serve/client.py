@@ -1,0 +1,60 @@
+"""A minimal client for the resident daemon's line-JSON protocol.
+
+Used by the ``repro-pata submit`` CLI subcommand, the test suite, and
+the serve benchmark.  One connection, serial request/response — the
+daemon may answer pipelined requests out of order (coalescing), so a
+client that wants pipelining must match on ``id`` itself; this one
+never has more than one request in flight.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
+
+
+class ServeClient:
+    """Connect to a unix-socket or localhost-TCP daemon and exchange
+    one JSON object per request."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = None):
+        if socket_path:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.settimeout(timeout)
+            self.sock.connect(socket_path)
+        else:
+            self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self.sock.makefile("rb")
+        self._next_id = 0
+
+    def request(self, payload: dict) -> dict:
+        """Send one request (an ``id`` is added when absent) and block
+        for its response."""
+        if "id" not in payload:
+            self._next_id += 1
+            payload = {"id": self._next_id, **payload}
+        self.sock.sendall(encode(payload))
+        line = self._rfile.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient", "ProtocolError"]

@@ -1,0 +1,65 @@
+"""Stat-poll file watching (no dependencies, no inotify).
+
+:class:`WatchLoop` snapshots ``(mtime_ns, size)`` for a fixed file list
+and reports which paths changed between polls.  Deleted files count as
+changed once (and again when they reappear); the analysis itself
+surfaces the missing-file error.  Polling is deliberate: it needs no
+platform watcher dependency, and the resident session makes the
+re-analysis so cheap that sub-second polling is affordable — the
+incremental engine guarantees only the dirtied fingerprint closure is
+re-explored, however often the poll fires.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Stamp = Optional[Tuple[int, int]]
+
+
+class WatchLoop:
+    """Poll a file list for changes.
+
+    ``poll_once`` is the testable core (no sleeping); the daemon drives
+    ``wait_for_change``, which sleeps ``interval`` between polls until
+    something changes or ``should_stop`` says to exit.
+    """
+
+    def __init__(self, paths: Sequence[str], interval: float = 0.5):
+        self.paths = [str(p) for p in paths]
+        self.interval = interval
+        self._stamps: Dict[str, Stamp] = {p: self._stat(p) for p in self.paths}
+
+    @staticmethod
+    def _stat(path: str) -> Stamp:
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def poll_once(self) -> List[str]:
+        """Paths whose ``(mtime_ns, size)`` changed since the last poll
+        (or since construction), in ``paths`` order."""
+        changed = []
+        for path in self.paths:
+            stamp = self._stat(path)
+            if stamp != self._stamps[path]:
+                self._stamps[path] = stamp
+                changed.append(path)
+        return changed
+
+    def wait_for_change(
+        self, should_stop: Callable[[], bool] = lambda: False
+    ) -> List[str]:
+        """Block (polling every ``interval`` seconds) until some file
+        changes, returning the changed paths — or ``[]`` when
+        ``should_stop`` turned true first."""
+        while not should_stop():
+            changed = self.poll_once()
+            if changed:
+                return changed
+            time.sleep(self.interval)
+        return []

@@ -693,6 +693,10 @@ def test_cli_stats_json(tmp_path, capsys):
     assert payload["entries_reanalyzed"] > 0
     assert payload["entries_cached"] == 0
     assert isinstance(payload["per_entry"], list) and payload["per_entry"]
+    # Serve-mode residency fields are in the schema and inert one-shot.
+    assert payload["queue_wait_seconds"] == 0.0
+    assert payload["requests_served"] == 0
+    assert payload["resident_cache_entries"] == 0
     cli_main(["check", "--cache", "rw", "--cache-dir", cache,
               "--stats-json", str(stats_file), *paths])
     capsys.readouterr()

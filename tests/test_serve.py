@@ -1,0 +1,783 @@
+"""The resident analysis daemon: session reuse soundness, the line-JSON
+protocol, the FIFO scheduler (coalescing, timeouts, degradation, drain),
+watch mode, and byte-identity between daemon responses and one-shot CLI
+runs across alias tiers and worker counts."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import PATA, AnalysisConfig
+from repro.cli import check_output_text, main
+from repro.core.report import AnalysisStats
+from repro.lang import compile_program
+from repro.serve import PataServer, ResidentStore, ServeClient, Session, WatchLoop
+from repro.serve.protocol import (
+    ProtocolError, decode, encode, job_key, validate_request,
+)
+
+BUGGY = """
+struct s { int v; };
+int f(struct s *p) {
+    if (!p) {
+        return p->v;
+    }
+    return 0;
+}
+"""
+
+CLEAN = """
+int g(int a) {
+    return a + 1;
+}
+"""
+
+# Race on an escaping heap object whose shared-state root is a
+# ``heap#<uid>`` allocation-site name: both entries reach the allocation
+# through the same helper, so the rendered message embeds an instruction
+# uid.  This is the session-reuse soundness regression: uid counters used
+# to be process-global, so a second in-process compile shifted every
+# ``heap#N`` and the daemon's report bytes diverged from a one-shot run.
+HEAP_RACE = """
+struct buf { int len; int cap; };
+
+struct buf *acquire(void) {
+    struct buf *b = kzalloc(sizeof(struct buf));
+    publish(b);
+    return b;
+}
+
+int dev_write(void) {
+    struct buf *b = acquire();
+    if (!b)
+        return -12;
+    b->len = 1;
+    return 0;
+}
+
+int dev_read(void) {
+    struct buf *b = acquire();
+    if (!b)
+        return -11;
+    return b->len;
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.c"
+    path.write_text(BUGGY)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def race_file(tmp_path):
+    path = tmp_path / "race.c"
+    path.write_text(HEAP_RACE)
+    return path
+
+
+def one_shot_output(sources, checker_spec="default", **config):
+    """The rendered report text a fresh ``PATA`` produces — what every
+    resident-session run must match byte for byte."""
+    program = compile_program(list(sources))
+    result = PATA(config=AnalysisConfig(**config), checker_spec=checker_spec).analyze(program)
+    return check_output_text(result)
+
+
+# -- session reuse soundness -------------------------------------------------
+
+
+class TestSessionReuse:
+    def test_repeat_analyze_byte_identical(self):
+        session = Session(checker_spec="race")
+        first = session.analyze([("race.c", HEAP_RACE)])
+        second = session.analyze([("race.c", HEAP_RACE)])
+        assert check_output_text(first) == check_output_text(second)
+        assert "heap#" in check_output_text(first)
+
+    def test_session_matches_one_shot(self):
+        session = Session(checker_spec="race")
+        session.analyze([("race.c", HEAP_RACE)])  # warm the cache
+        warm = session.analyze([("race.c", HEAP_RACE)])
+        assert check_output_text(warm) == one_shot_output(
+            [("race.c", HEAP_RACE)], checker_spec="race")
+
+    def test_recompile_keeps_heap_uids_stable(self):
+        """Two compiles in one process must render identical ``heap#N``
+        roots — uid numbering is per-program, not process-global."""
+        outputs = []
+        for _ in range(2):
+            program = compile_program([("race.c", HEAP_RACE)])
+            result = PATA(checker_spec="race").analyze(program)
+            outputs.append(check_output_text(result))
+        assert outputs[0] == outputs[1]
+        assert "heap#" in outputs[0]
+
+    def test_identical_request_replays(self):
+        """Tier 1: a byte-identical repeat skips analysis entirely and
+        replays the memoized result."""
+        session = Session()
+        cold = session.analyze([("buggy.c", BUGGY), ("clean.c", CLEAN)])
+        warm = session.analyze([("buggy.c", BUGGY), ("clean.c", CLEAN)])
+        assert not cold.stats.request_replayed
+        assert cold.stats.entries_reanalyzed > 0
+        assert warm.stats.request_replayed
+        assert warm.stats.entries_reanalyzed == 0
+        assert warm.stats.cache_hits == 0  # the store was never touched
+        assert warm.stats.requests_served == 2
+        assert session.replays_served == 1
+
+    def test_overlapping_request_takes_cache_tier(self):
+        """Tier 2: a different file list misses the memo but resolves
+        its modules (and shared facts) out of the resident store."""
+        session = Session()
+        session.analyze([("buggy.c", BUGGY), ("clean.c", CLEAN)])
+        subset = session.analyze([("buggy.c", BUGGY)])
+        assert not subset.stats.request_replayed
+        assert subset.stats.cache_hits > 0  # buggy.c's module, at least
+        assert session.replays_served == 0
+
+    def test_edit_reanalyzes_only_dirtied_closure(self):
+        # --no-prune so the clean module's entry stays analyzed (P1.5
+        # would skip it and leave nothing to dirty).
+        session = Session(config=AnalysisConfig(prune=False))
+        session.analyze([("buggy.c", BUGGY), ("clean.c", CLEAN)])
+        edited = CLEAN.replace("a + 1", "a + 2")
+        delta = session.analyze([("buggy.c", BUGGY), ("clean.c", edited)])
+        assert delta.stats.entries_reanalyzed == 1
+        assert delta.stats.entries_cached >= 1
+
+    def test_per_request_cache_deltas(self):
+        """Store counters grow for the session's lifetime; each result
+        must carry this request's delta, not the running total."""
+        session = Session()
+        cold = session.analyze([("buggy.c", BUGGY), ("clean.c", CLEAN)])
+        subset = session.analyze([("buggy.c", BUGGY)])  # memo miss, cache hit
+        assert cold.stats.cache_misses > 0
+        assert subset.stats.cache_hits > 0
+        # The store's counters are cumulative; the result's are not.
+        assert session.store.misses == \
+            cold.stats.cache_misses + subset.stats.cache_misses
+        assert session.store.hits == \
+            cold.stats.cache_hits + subset.stats.cache_hits
+
+    def test_memo_is_bounded_and_recency_ordered(self):
+        from repro.serve.session import MEMO_LIMIT
+
+        session = Session()
+        first = [("m0.c", CLEAN.replace("int g", "int g0"))]
+        session.analyze(first)
+        # Fill the memo past its bound with distinct requests.
+        for i in range(1, MEMO_LIMIT + 1):
+            session.analyze([("m.c", CLEAN.replace("a + 1", f"a + {i}"))])
+        # ``first`` was the oldest entry: evicted, so it re-analyzes...
+        assert not session.analyze(first).stats.request_replayed
+        # ...and the re-insertion replays on the next repeat.
+        assert session.analyze(first).stats.request_replayed
+
+    def test_stats_carry_residency_fields(self):
+        session = Session()
+        result = session.analyze([("buggy.c", BUGGY)])
+        stats = result.stats.to_dict()
+        assert stats["requests_served"] == 1
+        assert stats["resident_cache_entries"] == len(session.store) > 0
+        assert stats["queue_wait_seconds"] == 0.0
+
+    def test_analyze_paths_overlay_matches_disk(self, tmp_path, buggy_file, clean_file):
+        """``check_diff`` semantics: an overlay source must yield the
+        same bytes as writing it to disk first."""
+        session = Session()
+        overlay_result = session.analyze_paths(
+            [str(buggy_file), str(clean_file)],
+            overlay={str(clean_file): BUGGY.replace("int f", "int h")},
+        )
+        clean_file.write_text(BUGGY.replace("int f", "int h"))
+        disk = one_shot_output(
+            [(str(buggy_file), BUGGY),
+             (str(clean_file), clean_file.read_text())])
+        assert check_output_text(overlay_result) == disk
+
+    def test_reset_drops_residency(self):
+        session = Session()
+        session.analyze([("buggy.c", BUGGY)])
+        assert len(session.store) > 0
+        session.reset()
+        assert len(session.store) == 0
+        result = session.analyze([("buggy.c", BUGGY)])
+        assert result.stats.entries_reanalyzed > 0  # cold again
+
+
+# -- resident store ----------------------------------------------------------
+
+
+class TestResidentStore:
+    def test_get_returns_fresh_copies(self):
+        """Pickle round-trip on purpose: in-place rehydration of a
+        fetched object must never mutate the resident copy."""
+        store = ResidentStore()
+        store.put("k", {"nested": [1, 2]})
+        store.commit()
+        first = store.get("k")
+        first["nested"].append(3)
+        assert store.get("k") == {"nested": [1, 2]}
+
+    def test_staged_until_commit(self):
+        """``put`` stages (readable at once, like a just-written cache
+        file) but only ``commit`` publishes into the resident set."""
+        store = ResidentStore()
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert len(store) == 0
+        assert store.occupancy()["staged"] == 1
+        assert store.commit() == 1
+        assert len(store) == 1
+        assert store.occupancy()["staged"] == 0
+        assert store.get("k") == 1 and store.hits == 2
+
+    def test_missing_key_counts_a_miss(self):
+        store = ResidentStore()
+        assert store.get("absent") is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_put_never_overwrites(self):
+        store = ResidentStore()
+        store.put("k", "first")
+        store.put("k", "second")
+        store.commit()
+        assert store.get("k") == "first"
+
+    def test_occupancy(self):
+        store = ResidentStore()
+        store.put("k", "v")
+        store.commit()
+        occ = store.occupancy()
+        assert occ["objects"] == 1
+        assert occ["staged"] == 0
+        assert occ["bytes"] > 0
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        payload = {"op": "status", "id": 7}
+        assert decode(encode(payload)) == payload
+
+    def test_encode_is_deterministic(self):
+        assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+    def test_validate_ops(self):
+        for op in ("check_module", "status", "shutdown"):
+            assert validate_request({"op": op}) == op
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "frobnicate"})
+        with pytest.raises(ProtocolError, match="list of path strings"):
+            validate_request({"op": "check_module", "files": "a.c"})
+        with pytest.raises(ProtocolError, match="overlay"):
+            validate_request({"op": "check_diff"})
+        with pytest.raises(ProtocolError, match="source text"):
+            validate_request({"op": "check_diff", "overlay": {"a.c": 3}})
+
+    def test_job_key_coalesces_identical_work(self):
+        assert job_key("check_module", ["a.c"], None) == \
+            job_key("check_module", ["a.c"], None)
+        assert job_key("check_module", ["a.c"], None) != \
+            job_key("check_module", ["b.c"], None)
+        assert job_key("check_module", ["a.c", "b.c"], None) != \
+            job_key("check_module", ["b.c", "a.c"], None)
+        assert job_key("check_diff", ["a.c"], {"a.c": "x"}) != \
+            job_key("check_diff", ["a.c"], {"a.c": "y"})
+
+
+# -- watch loop --------------------------------------------------------------
+
+
+class TestWatchLoop:
+    def test_poll_reports_content_changes(self, tmp_path):
+        path = tmp_path / "w.c"
+        path.write_text(CLEAN)
+        loop = WatchLoop([str(path)])
+        assert loop.poll_once() == []
+        path.write_text(CLEAN + "\n// edit\n")
+        assert loop.poll_once() == [str(path)]
+        assert loop.poll_once() == []
+
+    def test_poll_reports_deletion_and_reappearance(self, tmp_path):
+        path = tmp_path / "w.c"
+        path.write_text(CLEAN)
+        loop = WatchLoop([str(path)])
+        path.unlink()
+        assert loop.poll_once() == [str(path)]
+        assert loop.poll_once() == []
+        path.write_text(CLEAN)
+        assert loop.poll_once() == [str(path)]
+
+    def test_wait_for_change_honors_stop(self, tmp_path):
+        path = tmp_path / "w.c"
+        path.write_text(CLEAN)
+        loop = WatchLoop([str(path)], interval=0.01)
+        assert loop.wait_for_change(should_stop=lambda: True) == []
+
+
+# -- daemon ------------------------------------------------------------------
+
+
+def start_server(tmp_path, files, **kwargs):
+    server = PataServer(
+        roots=[str(f) for f in files],
+        socket_path=str(tmp_path / "pata.sock"),
+        **kwargs,
+    )
+    server.start()
+    return server
+
+
+def submit(server, payload, timeout=60):
+    with ServeClient(socket_path=server.socket_path, timeout=timeout) as client:
+        return client.request(payload)
+
+
+def drain(server):
+    server.request_shutdown()
+    server.serve_forever()
+    server.close()
+
+
+class TestDaemon:
+    def test_check_module_matches_one_shot(self, tmp_path, buggy_file, clean_file):
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            expected = one_shot_output(
+                [(str(buggy_file), BUGGY), (str(clean_file), CLEAN)])
+            response = submit(server, {"op": "check_module"})
+            assert response["ok"]
+            assert response["output"] == expected
+            assert response["exit_code"] == 1
+            assert response["bugs"] == 1
+            assert response["reports"][0]["kind"] == "NPD"
+            assert response["serve"]["queue_wait_seconds"] >= 0.0
+            assert response["stats"]["queue_wait_seconds"] >= 0.0
+            assert "per_entry" not in response["stats"]
+        finally:
+            drain(server)
+
+    def test_warm_request_is_fully_cached(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file])
+        try:
+            cold = submit(server, {"op": "check_module"})
+            warm = submit(server, {"op": "check_module"})
+            assert cold["output"] == warm["output"]
+            assert cold["serve"]["entries_reanalyzed"] > 0
+            assert cold["serve"]["replayed"] is False
+            assert warm["serve"]["entries_reanalyzed"] == 0
+            assert warm["serve"]["cache_misses"] == 0
+            assert warm["serve"]["replayed"] is True
+            assert warm["serve"]["requests_served"] == 2
+            assert warm["serve"]["resident_cache_entries"] > 0
+        finally:
+            drain(server)
+
+    def test_check_files_subset(self, tmp_path, buggy_file, clean_file):
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            response = submit(
+                server, {"op": "check_module", "files": [str(clean_file)]})
+            assert response["ok"]
+            assert response["bugs"] == 0
+            assert response["output"] == one_shot_output([(str(clean_file), CLEAN)])
+        finally:
+            drain(server)
+
+    def test_check_diff_overlay_matches_disk(self, tmp_path, buggy_file, clean_file):
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            edited = BUGGY.replace("int f", "int h")
+            response = submit(
+                server, {"op": "check_diff", "overlay": {str(clean_file): edited}})
+            assert response["ok"]
+            assert response["output"] == one_shot_output(
+                [(str(buggy_file), BUGGY), (str(clean_file), edited)])
+            # The overlay never touched the resident entries for the
+            # on-disk contents: a plain check still matches the disk.
+            plain = submit(server, {"op": "check_module"})
+            assert plain["output"] == one_shot_output(
+                [(str(buggy_file), BUGGY), (str(clean_file), CLEAN)])
+        finally:
+            drain(server)
+
+    def test_per_entry_stats_opt_in(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file])
+        try:
+            response = submit(server, {"op": "check_module", "per_entry": True})
+            assert response["stats"]["per_entry"]
+        finally:
+            drain(server)
+
+    def test_status_endpoint(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file])
+        try:
+            submit(server, {"op": "check_module"})
+            status = submit(server, {"op": "status"})
+            assert status["ok"]
+            assert status["requests_served"] == 1
+            assert status["sessions_reset"] == 0
+            assert status["queue_depth"] == 0
+            assert status["resident_cache"]["objects"] > 0
+            assert status["resident_cache"]["bytes"] > 0
+            assert status["uptime_seconds"] >= 0.0
+            assert status["watch"] is False
+        finally:
+            drain(server)
+
+    def test_shutdown_drains_queued_requests(self, tmp_path, buggy_file):
+        """Requests pipelined ahead of a shutdown still get answered;
+        afterwards the listener is gone and the scheduler has exited."""
+        server = start_server(tmp_path, [buggy_file])
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(server.socket_path)
+        rfile = sock.makefile("rb")
+        try:
+            for ident, op in ((1, "check_module"), (2, "check_module"),
+                              (3, "shutdown")):
+                sock.sendall(encode({"op": op, "id": ident}))
+            responses = {}
+            for _ in range(3):
+                responses.update({r["id"]: r for r in [decode(rfile.readline())]})
+            assert set(responses) == {1, 2, 3}
+            assert all(r["ok"] for r in responses.values())
+            assert responses[3]["op"] == "shutdown"
+        finally:
+            rfile.close()
+            sock.close()
+        server.serve_forever()  # returns: scheduler drained
+        with pytest.raises(OSError):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(server.socket_path)
+            finally:
+                probe.close()
+        server.close()
+
+    def test_sigterm_path_drains(self, tmp_path, buggy_file):
+        """``request_shutdown`` is the SIGTERM handler's body — the
+        serve_forever loop must unwind without any client involved."""
+        server = start_server(tmp_path, [buggy_file])
+        server.request_shutdown()
+        server.serve_forever()
+        server.close()
+
+    def test_protocol_error_responses(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file])
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(server.socket_path)
+        rfile = sock.makefile("rb")
+        try:
+            sock.sendall(b"this is not json\n")
+            error = decode(rfile.readline())
+            assert not error["ok"] and "invalid JSON" in error["error"]
+            sock.sendall(encode({"op": "frobnicate", "id": 9}))
+            error = decode(rfile.readline())
+            assert not error["ok"] and "unknown op" in error["error"]
+        finally:
+            rfile.close()
+            sock.close()
+            drain(server)
+
+    def test_user_error_keeps_session(self, tmp_path, buggy_file):
+        """A missing file is the client's problem: error response, no
+        session reset, and the resident cache keeps serving."""
+        server = start_server(tmp_path, [buggy_file])
+        try:
+            submit(server, {"op": "check_module"})
+            session_before = server.session
+            response = submit(
+                server,
+                {"op": "check_module", "files": [str(tmp_path / "gone.c")]})
+            assert not response["ok"]
+            assert server.session is session_before
+            assert server.sessions_reset == 0
+            warm = submit(server, {"op": "check_module"})
+            assert warm["ok"] and warm["serve"]["entries_reanalyzed"] == 0
+        finally:
+            drain(server)
+
+    def test_crash_degrades_to_fresh_session(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file])
+        try:
+            expected = submit(server, {"op": "check_module"})["output"]
+
+            def explode(paths, overlay=None):
+                raise RuntimeError("resident state corrupted")
+
+            server.session.analyze_paths = explode
+            response = submit(server, {"op": "check_module"})
+            assert not response["ok"]
+            assert "RuntimeError" in response["error"]
+            assert server.sessions_reset == 1
+            # The replacement session answers correctly (cold, but right).
+            recovered = submit(server, {"op": "check_module"})
+            assert recovered["ok"]
+            assert recovered["output"] == expected
+            assert recovered["serve"]["entries_reanalyzed"] > 0
+        finally:
+            drain(server)
+
+    def test_timeout_degrades_to_fresh_session(self, tmp_path, buggy_file):
+        server = start_server(tmp_path, [buggy_file], request_timeout=0.2)
+        try:
+            release = threading.Event()
+            stuck = server.session
+
+            def stall(paths, overlay=None):
+                release.wait(30)
+                return Session().analyze_paths(paths, overlay)
+
+            stuck.analyze_paths = stall
+            response = submit(server, {"op": "check_module"})
+            release.set()  # let the abandoned thread finish and exit
+            assert not response["ok"]
+            assert response["timed_out"] is True
+            assert server.requests_timed_out == 1
+            assert server.sessions_reset == 1
+            assert server.session is not stuck
+            recovered = submit(server, {"op": "check_module"})
+            assert recovered["ok"] and recovered["exit_code"] == 1
+        finally:
+            drain(server)
+
+    def test_identical_queued_requests_coalesce(self, tmp_path, buggy_file, clean_file):
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            release = threading.Event()
+            original = server.session.analyze_paths
+            state = {"first": True}
+
+            def gated(paths, overlay=None):
+                if state["first"]:
+                    state["first"] = False
+                    release.wait(30)
+                return original(paths, overlay)
+
+            server.session.analyze_paths = gated
+            results = [None] * 4
+
+            def client(i):
+                results[i] = submit(server, {"op": "check_module"})
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(4)]
+            threads[0].start()
+            # Wait until the scheduler is inside request 0, then pile
+            # three identical requests into the queue behind it.
+            while state["first"]:
+                time.sleep(0.005)
+            for thread in threads[1:]:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while True:
+                with server._cond:
+                    if len(server._queue) == 3:
+                        break
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            release.set()
+            for thread in threads:
+                thread.join(30)
+            assert all(r["ok"] for r in results)
+            assert len({r["output"] for r in results}) == 1
+            assert server.requests_coalesced == 2
+            coalesced = sorted(r["serve"]["coalesced"] for r in results)
+            assert coalesced == [0, 2, 2, 2]  # run 1: solo; run 2: group of 3
+        finally:
+            drain(server)
+
+    def test_watch_reanalyzes_dirtied_closure(self, tmp_path, buggy_file, clean_file):
+        server = start_server(tmp_path, [buggy_file, clean_file],
+                              watch=True, poll_interval=0.05)
+        try:
+            submit(server, {"op": "check_module"})  # warm
+            clean_file.write_text(BUGGY.replace("int f", "int h"))
+            deadline = time.monotonic() + 20
+            while server.watch_runs == 0:
+                assert time.monotonic() < deadline, "watch never fired"
+                time.sleep(0.02)
+            # The watch job already re-analyzed exactly the dirtied
+            # module's entries, so a client request right after is warm
+            # *and* sees the edit.
+            response = submit(server, {"op": "check_module"})
+            assert response["serve"]["entries_reanalyzed"] == 0
+            assert response["bugs"] == 2
+            assert response["output"] == one_shot_output(
+                [(str(buggy_file), BUGGY),
+                 (str(clean_file), clean_file.read_text())])
+        finally:
+            drain(server)
+
+
+# -- byte-identity across configs (tiers x workers) and concurrency ----------
+
+
+TIER_WORKER_GRID = [("off", 1), ("steens", 1), ("flow", 1),
+                    ("off", 4), ("steens", 4), ("flow", 4)]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("tier,workers", TIER_WORKER_GRID)
+    def test_daemon_matches_cli_across_configs(self, tmp_path, buggy_file,
+                                               clean_file, race_file,
+                                               tier, workers, capsys):
+        files = [buggy_file, clean_file, race_file]
+        args = ["check", "--all-checkers", "--no-prune",
+                "--alias-tier", tier, "--workers", str(workers)]
+        exit_code = main(args + [str(f) for f in files])
+        expected = capsys.readouterr().out
+        config = AnalysisConfig(alias_tier=tier, workers=workers, prune=False)
+        server = start_server(tmp_path, files, config=config,
+                              checker_spec="all")
+        try:
+            for _ in range(2):  # cold, then warm — both must match
+                response = submit(server, {"op": "check_module"})
+                assert response["ok"]
+                assert response["output"] == expected
+                assert response["exit_code"] == exit_code
+        finally:
+            drain(server)
+
+    def test_concurrent_clients_same_and_overlapping(self, tmp_path,
+                                                     buggy_file, clean_file):
+        """Eight clients hammer one daemon with the full set, each
+        subset, and a diff overlay; every response must equal the
+        one-shot output for its request."""
+        both = [str(buggy_file), str(clean_file)]
+        edited = BUGGY.replace("int f", "int h")
+        expected = {
+            "both": one_shot_output([(both[0], BUGGY), (both[1], CLEAN)]),
+            "buggy": one_shot_output([(both[0], BUGGY)]),
+            "clean": one_shot_output([(both[1], CLEAN)]),
+            "diff": one_shot_output([(both[0], BUGGY), (both[1], edited)]),
+        }
+        jobs = [
+            ("both", {"op": "check_module"}),
+            ("buggy", {"op": "check_module", "files": [both[0]]}),
+            ("clean", {"op": "check_module", "files": [both[1]]}),
+            ("diff", {"op": "check_diff", "overlay": {both[1]: edited}}),
+        ] * 2
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            results = [None] * len(jobs)
+
+            def client(i, payload):
+                results[i] = submit(server, dict(payload))
+
+            threads = [threading.Thread(target=client, args=(i, payload))
+                       for i, (_, payload) in enumerate(jobs)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            for (name, _), response in zip(jobs, results):
+                assert response is not None and response["ok"]
+                assert response["output"] == expected[name], name
+            status = submit(server, {"op": "status"})
+            assert status["requests_served"] == len(jobs)
+        finally:
+            drain(server)
+
+
+# -- stats schema -------------------------------------------------------------
+
+
+class TestStatsSchema:
+    def test_new_fields_default_to_zero(self):
+        stats = AnalysisStats().to_dict()
+        assert stats["queue_wait_seconds"] == 0.0
+        assert stats["requests_served"] == 0
+        assert stats["resident_cache_entries"] == 0
+
+    def test_one_shot_cli_stats_json_carries_fields(self, tmp_path, buggy_file,
+                                                    capsys):
+        stats_file = tmp_path / "stats.json"
+        main(["check", "--stats-json", str(stats_file), str(buggy_file)])
+        capsys.readouterr()
+        payload = json.loads(stats_file.read_text())
+        assert payload["queue_wait_seconds"] == 0.0
+        assert payload["requests_served"] == 0
+        assert payload["resident_cache_entries"] == 0
+
+
+# -- CLI subcommands ----------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_rejects_missing_file(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "gone.c")])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_serve_rejects_conflicting_checker_flags(self, buggy_file, capsys):
+        code = main(["serve", "--all-checkers", "--checkers", "race",
+                     str(buggy_file)])
+        assert code == 2
+
+    def test_submit_unreachable_server(self, tmp_path, capsys):
+        code = main(["submit", "status",
+                     "--socket", str(tmp_path / "nothing.sock")])
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_submit_check_matches_check(self, tmp_path, buggy_file,
+                                        clean_file, capsys):
+        """End-to-end through the CLI surface: ``submit check_module``
+        prints exactly what ``check`` prints and mirrors its exit code."""
+        code = main(["check", str(buggy_file), str(clean_file)])
+        expected = capsys.readouterr().out
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            submit_code = main(["submit", "check_module",
+                                "--socket", server.socket_path])
+            out = capsys.readouterr().out
+            assert out == expected
+            assert submit_code == code == 1
+            status_code = main(["submit", "status", "--json",
+                                "--socket", server.socket_path])
+            status = json.loads(capsys.readouterr().out)
+            assert status_code == 0 and status["ok"]
+            shutdown_code = main(["submit", "shutdown",
+                                  "--socket", server.socket_path])
+            payload = json.loads(capsys.readouterr().out)
+            assert shutdown_code == 0 and payload["op"] == "shutdown"
+            server.serve_forever()
+        finally:
+            server.close()
+
+    def test_submit_check_diff_reads_client_side(self, tmp_path, buggy_file,
+                                                 clean_file, capsys):
+        server = start_server(tmp_path, [buggy_file, clean_file])
+        try:
+            code = main(["submit", "check_diff", str(clean_file),
+                         "--socket", server.socket_path])
+            out = capsys.readouterr().out
+            assert code == 1  # root set still includes the buggy file
+            assert out == one_shot_output(
+                [(str(buggy_file), BUGGY), (str(clean_file), CLEAN)])
+        finally:
+            drain(server)
